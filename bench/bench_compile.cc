@@ -1,0 +1,172 @@
+// Experiments E7 + E8 — the three-level framework (section 4).
+//
+// E7: compile-once / execute-many. A parameterized query form prepared
+// once (the paper's *logical access path*) against re-deriving the plan on
+// every call. Expected shape: Prepare+N*Execute beats N*EvalQuery as soon
+// as N is a handful, because detection, inlining, and instantiation move
+// to level 2.
+//
+// E8: level-1 analysis cost — parsing, type checking, positivity testing
+// and partitioning m constructor definitions. Expected shape: linear in m;
+// this is the work DBPL pays at compile time so the runtime does not.
+
+#include <benchmark/benchmark.h>
+
+#include "ast/builder.h"
+#include "bench_util.h"
+#include "core/database.h"
+#include "core/access_path.h"
+#include "core/quant_graph.h"
+#include "lang/interpreter.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction
+using bench::Must;
+using bench::MustValue;
+
+// --- E7: prepared query forms ---
+
+void BM_ExecutePrepared(benchmark::State& state) {
+  Database db;
+  Must(workload::SetupClosure(&db, "g", workload::Chain(256)));
+  CalcExprPtr form = Union({IdentityBranch(
+      "r", Constructed(Rel("g_E"), "g_tc"),
+      Eq(FieldRef("r", "src"), Param("start")))});
+  PreparedQuery prepared =
+      MustValue(db.Prepare(form, {{"start", ValueType::kInt}}));
+  int64_t start = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustValue(prepared.Execute({{"start", Value::Int(start)}})).size());
+    start = (start + 37) % 256;
+  }
+}
+
+void BM_EvalQueryEachTime(benchmark::State& state) {
+  Database db;
+  Must(workload::SetupClosure(&db, "g", workload::Chain(256)));
+  int64_t start = 0;
+  for (auto _ : state) {
+    CalcExprPtr query = Union({IdentityBranch(
+        "r", Constructed(Rel("g_E"), "g_tc"),
+        Eq(FieldRef("r", "src"), Int(start)))});
+    benchmark::DoNotOptimize(MustValue(db.EvalQuery(query)).size());
+    start = (start + 37) % 256;
+  }
+}
+
+BENCHMARK(BM_ExecutePrepared)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_EvalQueryEachTime)->Unit(benchmark::kMicrosecond);
+
+// The paper's *physical* access path: materialize the unrestricted form
+// once, partition on the constant, answer each instantiation by probe.
+void BM_PhysicalAccessPathProbe(benchmark::State& state) {
+  Database db;
+  Must(workload::SetupClosure(&db, "g", workload::Chain(256)));
+  CalcExprPtr form = Union({IdentityBranch(
+      "r", Constructed(Rel("g_E"), "g_tc"),
+      Eq(FieldRef("r", "src"), Param("start")))});
+  PhysicalAccessPath path =
+      MustValue(PhysicalAccessPath::Build(&db, form, "start"));
+  int64_t start = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustValue(path.Execute(Value::Int(start))).size());
+    start = (start + 37) % 256;
+  }
+  state.counters["materialized"] =
+      static_cast<double>(path.materialized_size());
+}
+
+void BM_PhysicalAccessPathBuild(benchmark::State& state) {
+  Database db;
+  Must(workload::SetupClosure(&db, "g", workload::Chain(256)));
+  CalcExprPtr form = Union({IdentityBranch(
+      "r", Constructed(Rel("g_E"), "g_tc"),
+      Eq(FieldRef("r", "src"), Param("start")))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustValue(PhysicalAccessPath::Build(&db, form, "start"))
+            .materialized_size());
+  }
+}
+
+BENCHMARK(BM_PhysicalAccessPathProbe)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PhysicalAccessPathBuild)->Unit(benchmark::kMillisecond);
+
+// --- E8: level-1 definition analysis ---
+
+/// A family of m independent constructor definitions in surface syntax.
+std::string DefinitionFamily(int m) {
+  std::string source;
+  for (int i = 0; i < m; ++i) {
+    std::string t = "rel" + std::to_string(i);
+    source += "TYPE " + t + " = RELATION OF RECORD a, b: INTEGER END;\n";
+    source += "VAR R" + std::to_string(i) + ": " + t + ";\n";
+    source += "CONSTRUCTOR c" + std::to_string(i) + " FOR Rel: " + t +
+              " (): " + t + ";\n" +
+              "BEGIN EACH r IN Rel: TRUE,\n" +
+              "  <f.a, b.b> OF EACH f IN Rel, EACH b IN Rel {c" +
+              std::to_string(i) + "}: f.b = b.a\nEND c" + std::to_string(i) +
+              ";\n";
+  }
+  return source;
+}
+
+void BM_Level1Analysis(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  std::string source = DefinitionFamily(m);
+  for (auto _ : state) {
+    Database db;
+    Interpreter interp(&db);
+    Must(interp.Execute(source));
+    benchmark::DoNotOptimize(db.catalog().constructors().size());
+  }
+  state.counters["constructors"] = static_cast<double>(m);
+}
+
+BENCHMARK(BM_Level1Analysis)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_DefinitionPartitioning(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Database db;
+  Interpreter interp(&db);
+  Must(interp.Execute(DefinitionFamily(m)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionDefinitions(db.catalog()).size());
+  }
+}
+
+BENCHMARK(BM_DefinitionPartitioning)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_AugmentedQuantGraph(benchmark::State& state) {
+  Database db;
+  Must(workload::SetupCadScene(&db, 4, 2, 2, 1));
+  const ConstructorDecl* ahead =
+      MustValue(db.catalog().LookupConstructor("ahead"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildAugmentedQuantGraph(*ahead, db.catalog()).arcs.size());
+  }
+}
+
+BENCHMARK(BM_AugmentedQuantGraph)->Unit(benchmark::kMicrosecond);
+
+void BM_ExplainReport(benchmark::State& state) {
+  Database db;
+  Must(workload::SetupClosure(&db, "g", workload::Chain(16)));
+  RangePtr range = Constructed(Rel("g_E"), "g_tc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MustValue(db.Explain(range)).size());
+  }
+}
+
+BENCHMARK(BM_ExplainReport)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace datacon
+
+BENCHMARK_MAIN();

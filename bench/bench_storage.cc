@@ -1,0 +1,141 @@
+// Experiment E9 — the storage substrate (section 2.2's keyed relations).
+//
+// Micro-benchmarks for the operations every higher layer leans on: tuple
+// hashing, insertion with and without a declared key, membership probes,
+// hash-index construction and probing, and the checked whole-relation
+// assignment.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "storage/index.h"
+#include "storage/relation.h"
+
+namespace datacon {
+namespace {
+
+using bench::Must;
+using bench::MustValue;
+
+Schema SetSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+}
+
+Schema KeyedSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}}, {0});
+}
+
+Relation Filled(const Schema& schema, int n) {
+  Relation r(schema);
+  for (int i = 0; i < n; ++i) {
+    Must(r.Insert(Tuple({Value::Int(i), Value::Int(i * 7 % n)})).status());
+  }
+  return r;
+}
+
+void BM_InsertSetSemantics(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Relation r(SetSchema());
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          MustValue(r.Insert(Tuple({Value::Int(i), Value::Int(i)}))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_InsertKeyed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Relation r(KeyedSchema());
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          MustValue(r.Insert(Tuple({Value::Int(i), Value::Int(i)}))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_InsertDuplicates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation r = Filled(SetSchema(), n);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MustValue(r.Insert(Tuple({Value::Int(i), Value::Int(i * 7 % n)}))));
+    i = (i + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Contains(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation r = Filled(SetSchema(), n);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(r.Contains(Tuple({Value::Int(i), Value::Int(i)})));
+    i = (i + 1) % (2 * n);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_KeyViolationDetection(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation r = Filled(KeyedSchema(), n);
+  int i = 0;
+  for (auto _ : state) {
+    // Same key, different payload: must be detected, not inserted.
+    Result<bool> result = r.Insert(Tuple({Value::Int(i), Value::Int(-1)}));
+    benchmark::DoNotOptimize(result.status().code());
+    i = (i + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BuildHashIndex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation r = Filled(SetSchema(), n);
+  for (auto _ : state) {
+    HashIndex index(r, {1});
+    benchmark::DoNotOptimize(index.key_count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ProbeHashIndex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation r = Filled(SetSchema(), n);
+  HashIndex index(r, {0});
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Probe(Tuple({Value::Int(i)})).size());
+    i = (i + 1) % n;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_CheckedAssignment(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Relation value = Filled(SetSchema(), n);
+  for (auto _ : state) {
+    Relation target(KeyedSchema());
+    Must(target.InsertAll(value));
+    benchmark::DoNotOptimize(target.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+BENCHMARK(BM_InsertSetSemantics)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_InsertKeyed)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_InsertDuplicates)->Arg(100000);
+BENCHMARK(BM_Contains)->Arg(100000);
+BENCHMARK(BM_KeyViolationDetection)->Arg(100000);
+BENCHMARK(BM_BuildHashIndex)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_ProbeHashIndex)->Arg(100000);
+BENCHMARK(BM_CheckedAssignment)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace datacon
+
+BENCHMARK_MAIN();

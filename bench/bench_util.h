@@ -1,0 +1,29 @@
+#ifndef DATACON_BENCH_BENCH_UTIL_H_
+#define DATACON_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace datacon::bench {
+
+/// Aborts the benchmark run on setup errors — benchmark bodies must not
+/// silently measure failed work.
+inline void Must(const Status& status) {
+  DATACON_CHECK(status.ok(), status.ToString());
+}
+
+template <typename T>
+T MustValue(Result<T> result) {
+  DATACON_CHECK(result.ok(), result.status().ToString());
+  return std::move(result).value();
+}
+
+}  // namespace datacon::bench
+
+#endif  // DATACON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,88 @@
+// An interactive REPL for the DBPL-flavoured surface language.
+//
+//   $ ./build/examples/dbpl_repl
+//   dbpl> TYPE t = RELATION OF RECORD a, b: INTEGER END;
+//   dbpl> VAR E: t;
+//   dbpl> INSERT INTO E <1, 2>, <2, 3>;
+//   dbpl> CONSTRUCTOR tc FOR Rel: t (): t;
+//   ....>   BEGIN EACH r IN Rel: TRUE,
+//   ....>   <f.a, b.b> OF EACH f IN Rel, EACH b IN Rel {tc}: f.b = b.a
+//   ....>   END tc;
+//   dbpl> QUERY E {tc};
+//
+// Statements end with ';'; multi-line input is accumulated until the
+// declaration-aware heuristic sees a complete statement (declarations end
+// at the ';' after 'END <name>'). Reads from stdin, so it also runs
+// scripts: ./build/examples/dbpl_repl < program.dbpl
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "lang/interpreter.h"
+
+namespace {
+
+/// True when `buffer` holds at least one complete statement: it ends with
+/// ';' and every BEGIN has its END (so constructor/selector bodies with
+/// inner semicolons are not split early).
+bool StatementComplete(const std::string& buffer) {
+  size_t begins = 0, ends = 0, pos = 0;
+  while ((pos = buffer.find("BEGIN", pos)) != std::string::npos) {
+    ++begins;
+    pos += 5;
+  }
+  pos = 0;
+  while ((pos = buffer.find("END", pos)) != std::string::npos) {
+    ++ends;
+    pos += 3;
+  }
+  if (begins > ends) return false;
+  // Trailing semicolon (ignoring whitespace)?
+  size_t last = buffer.find_last_not_of(" \t\r\n");
+  return last != std::string::npos && buffer[last] == ';';
+}
+
+}  // namespace
+
+int main() {
+  datacon::Database db;
+  datacon::Interpreter interp(&db);
+  bool interactive = isatty(0);
+
+  std::string buffer;
+  std::string line;
+  if (interactive) {
+    std::printf("DataCon DBPL REPL — statements end with ';'\n");
+    std::printf("dbpl> ");
+    std::fflush(stdout);
+  }
+  while (std::getline(std::cin, line)) {
+    buffer += line;
+    buffer += "\n";
+    if (!StatementComplete(buffer)) {
+      if (interactive) {
+        std::printf("....> ");
+        std::fflush(stdout);
+      }
+      continue;
+    }
+    datacon::Status status = interp.Execute(buffer);
+    buffer.clear();
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+    for (const datacon::Interpreter::QueryResult& result : interp.results()) {
+      std::printf("%s\n", result.text.c_str());
+      for (const datacon::Tuple& t : result.relation.SortedTuples()) {
+        std::printf("  %s\n", t.ToString().c_str());
+      }
+    }
+    interp.ClearResults();
+    if (interactive) {
+      std::printf("dbpl> ");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

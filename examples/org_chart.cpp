@@ -1,0 +1,144 @@
+// Organizational chart: recursive queries beyond plain closure, plus the
+// stratified-negation extension.
+//
+//   * reports_to*  — transitive reporting chain (closure, capture rule)
+//   * same_level   — the same-generation query (recursive, NOT a closure:
+//                    the generic semi-naive engine carries it)
+//   * unmanaged    — employees with no chain to the CEO, defined with NOT
+//                    over a constructed relation: rejected by strict DBPL
+//                    positivity, accepted by the stratified extension.
+//
+// Run: ./build/examples/org_chart
+
+#include <cstdio>
+
+#include "ast/builder.h"
+#include "core/database.h"
+
+namespace {
+
+using namespace datacon;        // NOLINT: example brevity
+using namespace datacon::build; // NOLINT: example brevity
+
+Status Run() {
+  DatabaseOptions options;
+  options.allow_stratified_negation = true;  // the documented extension
+  Database db(options);
+
+  DATACON_RETURN_IF_ERROR(db.DefineRelationType(
+      "reportrel",
+      Schema({{"emp", ValueType::kString}, {"boss", ValueType::kString}})));
+  DATACON_RETURN_IF_ERROR(db.DefineRelationType(
+      "pairrel",
+      Schema({{"a", ValueType::kString}, {"b", ValueType::kString}})));
+  DATACON_RETURN_IF_ERROR(db.CreateRelation("Reports", "reportrel"));
+
+  const char* edges[][2] = {
+      {"ava", "ceo"},   {"ben", "ceo"},  {"cara", "ava"}, {"dan", "ava"},
+      {"eli", "ben"},   {"fay", "cara"}, {"gus", "dan"},  {"hana", "eli"},
+      {"ivan", "rogue"},  // rogue is not connected to the ceo
+  };
+  for (const auto& e : edges) {
+    DATACON_RETURN_IF_ERROR(db.Insert(
+        "Reports", Tuple({Value::String(e[0]), Value::String(e[1])})));
+  }
+
+  // chain = transitive reporting (the `ahead` shape; the capture rule
+  // serves it with the specialized closure).
+  DATACON_RETURN_IF_ERROR(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+      "chain", FormalRelation{"Rel", "reportrel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "reportrel",
+      Union({IdentityBranch("r", Rel("Rel"), True()),
+             MakeBranch({FieldRef("f", "emp"), FieldRef("b", "boss")},
+                        {Each("f", Rel("Rel")),
+                         Each("b", Constructed(Rel("Rel"), "chain"))},
+                        Eq(FieldRef("f", "boss"), FieldRef("b", "emp")))}))));
+
+  // same_level = same distance to a common ancestor (same-generation).
+  DATACON_RETURN_IF_ERROR(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+      "same_level", FormalRelation{"Rel", "reportrel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "pairrel",
+      Union({MakeBranch({FieldRef("u", "emp"), FieldRef("v", "emp")},
+                        {Each("u", Rel("Rel")), Each("v", Rel("Rel"))},
+                        Eq(FieldRef("u", "boss"), FieldRef("v", "boss"))),
+             MakeBranch({FieldRef("u", "emp"), FieldRef("v", "emp")},
+                        {Each("u", Rel("Rel")), Each("v", Rel("Rel")),
+                         Each("s", Constructed(Rel("Rel"), "same_level"))},
+                        And({Eq(FieldRef("u", "boss"), FieldRef("s", "a")),
+                             Eq(FieldRef("s", "b"), FieldRef("v", "boss"))}))}))));
+
+  // unmanaged = report edges whose employee has no chain to the ceo.
+  // Negative dependency on `chain` — strictly non-positive, stratifiable.
+  DATACON_RETURN_IF_ERROR(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+      "unmanaged", FormalRelation{"Rel", "reportrel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "reportrel",
+      Union({IdentityBranch(
+          "r", Rel("Rel"),
+          Not(In({FieldRef("r", "emp"), Str("ceo")},
+                 Constructed(Rel("Rel"), "chain"))))}))));
+
+  DATACON_ASSIGN_OR_RETURN(Relation chain,
+                           db.EvalRange(Constructed(Rel("Reports"), "chain")));
+  std::printf("reports_to* (%zu tuples); everyone under the ceo:\n ", chain.size());
+  for (const Tuple& t : chain.SortedTuples()) {
+    if (t.value(1).AsString() == "ceo") {
+      std::printf(" %s", t.value(0).AsString().c_str());
+    }
+  }
+
+  DATACON_ASSIGN_OR_RETURN(
+      Relation same,
+      db.EvalRange(Constructed(Rel("Reports"), "same_level")));
+  std::printf("\n\nsame_level pairs for fay:\n ");
+  for (const Tuple& t : same.SortedTuples()) {
+    if (t.value(0).AsString() == "fay") {
+      std::printf(" %s", t.value(1).AsString().c_str());
+    }
+  }
+
+  DATACON_ASSIGN_OR_RETURN(
+      Relation unmanaged,
+      db.EvalRange(Constructed(Rel("Reports"), "unmanaged")));
+  std::printf("\n\nunmanaged report edges (no chain to the ceo):\n");
+  for (const Tuple& t : unmanaged.SortedTuples()) {
+    std::printf("  %s -> %s\n", t.value(0).AsString().c_str(),
+                t.value(1).AsString().c_str());
+  }
+
+  // The same definition under strict DBPL rules is refused at definition
+  // time — show the paper-faithful behaviour too.
+  Database strict;
+  DATACON_RETURN_IF_ERROR(strict.DefineRelationType(
+      "reportrel",
+      Schema({{"emp", ValueType::kString}, {"boss", ValueType::kString}})));
+  DATACON_RETURN_IF_ERROR(strict.CreateRelation("Reports", "reportrel"));
+  DATACON_RETURN_IF_ERROR(strict.DefineConstructor(std::make_shared<ConstructorDecl>(
+      "chain", FormalRelation{"Rel", "reportrel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "reportrel",
+      Union({IdentityBranch("r", Rel("Rel"), True()),
+             MakeBranch({FieldRef("f", "emp"), FieldRef("b", "boss")},
+                        {Each("f", Rel("Rel")),
+                         Each("b", Constructed(Rel("Rel"), "chain"))},
+                        Eq(FieldRef("f", "boss"), FieldRef("b", "emp")))}))));
+  Status refused = strict.DefineConstructor(std::make_shared<ConstructorDecl>(
+      "unmanaged", FormalRelation{"Rel", "reportrel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "reportrel",
+      Union({IdentityBranch(
+          "r", Rel("Rel"),
+          Not(In({FieldRef("r", "emp"), Str("ceo")},
+                 Constructed(Rel("Rel"), "chain"))))})));
+  std::printf("\nstrict DBPL verdict on `unmanaged`: %s\n",
+              refused.ToString().c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status status = Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

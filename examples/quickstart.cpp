@@ -1,0 +1,63 @@
+// Quickstart: the paper's CAD scene in fifty lines.
+//
+// Declares the Infront relation, the recursive `ahead` constructor
+// (transitive closure) and the parameterized `hidden_by` selector, loads a
+// small scene, and runs the queries of sections 2-3:
+//
+//   Infront {ahead}
+//   Infront [hidden_by("table")]
+//   { EACH r IN Infront{ahead} : r.head = "table" }
+//
+// Build:  cmake --build build --target quickstart
+// Run:    ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "lang/interpreter.h"
+
+namespace {
+
+constexpr const char* kProgram = R"(
+TYPE parttype = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+TYPE aheadrel = RELATION OF RECORD head, tail: parttype END;
+VAR Infront: infrontrel;
+
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN EACH r IN Rel: TRUE,
+      <f.front, b.tail> OF EACH f IN Rel,
+      EACH b IN Rel {ahead}: f.back = b.head
+END ahead;
+
+INSERT INTO Infront <"vase", "table">, <"table", "chair">,
+                    <"chair", "door">, <"door", "wall">;
+
+QUERY Infront {ahead};
+QUERY Infront [hidden_by("table")];
+QUERY {EACH r IN Infront {ahead}: r.head = "table"};
+EXPLAIN Infront {ahead};
+)";
+
+}  // namespace
+
+int main() {
+  datacon::Database db;
+  datacon::Interpreter interp(&db);
+
+  datacon::Status status = interp.Execute(kProgram);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (const datacon::Interpreter::QueryResult& result : interp.results()) {
+    std::printf("== %s ==\n", result.text.c_str());
+    for (const datacon::Tuple& t : result.relation.SortedTuples()) {
+      std::printf("  %s\n", t.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

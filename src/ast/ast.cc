@@ -1,0 +1,81 @@
+#include <memory>
+
+#include "ast/builder.h"
+#include "ast/pred.h"
+#include "ast/range.h"
+#include "ast/term.h"
+
+namespace datacon {
+
+std::string ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "DIV";
+    case ArithOp::kMod:
+      return "MOD";
+  }
+  return "?";
+}
+
+std::string CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "#";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool Range::ContainsConstructor() const {
+  for (const RangeApp& app : apps_) {
+    if (app.kind == RangeApp::Kind::kConstructor) return true;
+    for (const RangePtr& arg : app.range_args) {
+      if (arg->ContainsConstructor()) return true;
+    }
+  }
+  return false;
+}
+
+namespace build {
+
+RangePtr Selected(const RangePtr& base, std::string name,
+                  std::vector<TermPtr> args) {
+  std::vector<RangeApp> apps = base->apps();
+  RangeApp app;
+  app.kind = RangeApp::Kind::kSelector;
+  app.name = std::move(name);
+  app.term_args = std::move(args);
+  apps.push_back(std::move(app));
+  return std::make_shared<Range>(base->relation(), std::move(apps));
+}
+
+RangePtr Constructed(const RangePtr& base, std::string name,
+                     std::vector<RangePtr> args,
+                     std::vector<TermPtr> scalar_args) {
+  std::vector<RangeApp> apps = base->apps();
+  RangeApp app;
+  app.kind = RangeApp::Kind::kConstructor;
+  app.name = std::move(name);
+  app.range_args = std::move(args);
+  app.term_args = std::move(scalar_args);
+  apps.push_back(std::move(app));
+  return std::make_shared<Range>(base->relation(), std::move(apps));
+}
+
+}  // namespace build
+}  // namespace datacon

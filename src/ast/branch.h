@@ -1,0 +1,71 @@
+#ifndef DATACON_AST_BRANCH_H_
+#define DATACON_AST_BRANCH_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/pred.h"
+#include "ast/range.h"
+#include "ast/term.h"
+
+namespace datacon {
+
+/// `EACH v IN range` — binds tuple variable `v` to each element of `range`.
+struct Binding {
+  std::string var;
+  RangePtr range;
+};
+
+class Branch;
+using BranchPtr = std::shared_ptr<const Branch>;
+
+/// One constructive branch of a relational expression:
+///
+///   [<t1, ..., tk> OF] EACH v1 IN R1, ..., EACH vn IN Rn : pred
+///
+/// Without a target list the branch copies the (single) bound variable's
+/// tuple unchanged — the paper's `EACH r IN Rel: TRUE`.
+class Branch {
+ public:
+  Branch(std::vector<Binding> bindings, PredPtr pred,
+         std::optional<std::vector<TermPtr>> targets = std::nullopt)
+      : bindings_(std::move(bindings)),
+        pred_(std::move(pred)),
+        targets_(std::move(targets)) {}
+
+  const std::vector<Binding>& bindings() const { return bindings_; }
+  const PredPtr& pred() const { return pred_; }
+
+  /// Target list, if declared; absent means identity projection of the
+  /// single bound variable.
+  const std::optional<std::vector<TermPtr>>& targets() const {
+    return targets_;
+  }
+
+ private:
+  std::vector<Binding> bindings_;
+  PredPtr pred_;
+  std::optional<std::vector<TermPtr>> targets_;
+};
+
+class CalcExpr;
+using CalcExprPtr = std::shared_ptr<const CalcExpr>;
+
+/// A relational calculus expression: the union of its constructive
+/// branches — `{branch1, branch2, ...}` in the paper's notation.
+class CalcExpr {
+ public:
+  explicit CalcExpr(std::vector<BranchPtr> branches)
+      : branches_(std::move(branches)) {}
+
+  const std::vector<BranchPtr>& branches() const { return branches_; }
+
+ private:
+  std::vector<BranchPtr> branches_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_AST_BRANCH_H_

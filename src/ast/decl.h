@@ -1,0 +1,105 @@
+#ifndef DATACON_AST_DECL_H_
+#define DATACON_AST_DECL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/branch.h"
+#include "ast/pred.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// A scalar formal parameter (`Obj: parttype` in `hidden_by`).
+struct FormalScalar {
+  std::string name;
+  ValueType type;
+};
+
+/// A relation-valued formal parameter. `type_name` names a declared
+/// relation type (resolved against the catalog).
+struct FormalRelation {
+  std::string name;
+  std::string type_name;
+};
+
+/// SELECTOR declaration (section 2.3, Fig. 1):
+///
+///   SELECTOR name (params) FOR Rel: reltype;
+///   BEGIN EACH var IN Rel: pred END name
+///
+/// A selector denotes the subrelation of its base containing exactly the
+/// elements satisfying `pred`.
+class SelectorDecl {
+ public:
+  SelectorDecl(std::string name, FormalRelation base,
+               std::vector<FormalScalar> params, std::string var, PredPtr pred)
+      : name_(std::move(name)),
+        base_(std::move(base)),
+        params_(std::move(params)),
+        var_(std::move(var)),
+        pred_(std::move(pred)) {}
+
+  const std::string& name() const { return name_; }
+  const FormalRelation& base() const { return base_; }
+  const std::vector<FormalScalar>& params() const { return params_; }
+  /// The element variable bound over the base relation.
+  const std::string& var() const { return var_; }
+  const PredPtr& pred() const { return pred_; }
+
+ private:
+  std::string name_;
+  FormalRelation base_;
+  std::vector<FormalScalar> params_;
+  std::string var_;
+  PredPtr pred_;
+};
+
+using SelectorDeclPtr = std::shared_ptr<const SelectorDecl>;
+
+/// CONSTRUCTOR declaration (section 3, Fig. 2):
+///
+///   CONSTRUCTOR name FOR Rel: reltype (R1: t1; ...): resulttype;
+///   BEGIN branch1, branch2, ... END name
+///
+/// Applied to an actual base relation, the constructor denotes the least
+/// fixpoint of its body (section 3.2). Relation parameters enable the
+/// paper's mutual recursion (`ahead(Ontop)` / `above(Infront)`); scalar
+/// parameters generalize the selector parameter mechanism to constructors.
+class ConstructorDecl {
+ public:
+  ConstructorDecl(std::string name, FormalRelation base,
+                  std::vector<FormalRelation> rel_params,
+                  std::vector<FormalScalar> scalar_params,
+                  std::string result_type_name, CalcExprPtr body)
+      : name_(std::move(name)),
+        base_(std::move(base)),
+        rel_params_(std::move(rel_params)),
+        scalar_params_(std::move(scalar_params)),
+        result_type_name_(std::move(result_type_name)),
+        body_(std::move(body)) {}
+
+  const std::string& name() const { return name_; }
+  const FormalRelation& base() const { return base_; }
+  const std::vector<FormalRelation>& rel_params() const { return rel_params_; }
+  const std::vector<FormalScalar>& scalar_params() const {
+    return scalar_params_;
+  }
+  const std::string& result_type_name() const { return result_type_name_; }
+  const CalcExprPtr& body() const { return body_; }
+
+ private:
+  std::string name_;
+  FormalRelation base_;
+  std::vector<FormalRelation> rel_params_;
+  std::vector<FormalScalar> scalar_params_;
+  std::string result_type_name_;
+  CalcExprPtr body_;
+};
+
+using ConstructorDeclPtr = std::shared_ptr<const ConstructorDecl>;
+
+}  // namespace datacon
+
+#endif  // DATACON_AST_DECL_H_

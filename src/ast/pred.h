@@ -1,0 +1,146 @@
+#ifndef DATACON_AST_PRED_H_
+#define DATACON_AST_PRED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/range.h"
+#include "ast/term.h"
+
+namespace datacon {
+
+class Pred;
+using PredPtr = std::shared_ptr<const Pred>;
+
+/// Comparison operators (`#` is DBPL's inequality).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Canonical spelling of a comparison operator ("=", "#", "<=", ...).
+std::string CompareOpName(CompareOp op);
+
+/// Quantifier kinds of the tuple relational calculus.
+enum class Quantifier { kSome, kAll };
+
+/// A boolean-valued expression over bound tuple variables: the predicate
+/// part of selectors, constructive branches, and queries.
+class Pred {
+ public:
+  enum class Kind { kBool, kCompare, kAnd, kOr, kNot, kQuant, kIn };
+
+  virtual ~Pred() = default;
+  Pred(const Pred&) = delete;
+  Pred& operator=(const Pred&) = delete;
+
+  Kind kind() const { return kind_; }
+
+ protected:
+  explicit Pred(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+};
+
+/// TRUE or FALSE.
+class BoolPred : public Pred {
+ public:
+  explicit BoolPred(bool value) : Pred(Kind::kBool), value_(value) {}
+  bool value() const { return value_; }
+
+ private:
+  bool value_;
+};
+
+/// `lhs op rhs` over scalar terms.
+class ComparePred : public Pred {
+ public:
+  ComparePred(CompareOp op, TermPtr lhs, TermPtr rhs)
+      : Pred(Kind::kCompare), op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  CompareOp op() const { return op_; }
+  const TermPtr& lhs() const { return lhs_; }
+  const TermPtr& rhs() const { return rhs_; }
+
+ private:
+  CompareOp op_;
+  TermPtr lhs_;
+  TermPtr rhs_;
+};
+
+/// N-ary conjunction.
+class AndPred : public Pred {
+ public:
+  explicit AndPred(std::vector<PredPtr> operands)
+      : Pred(Kind::kAnd), operands_(std::move(operands)) {}
+  const std::vector<PredPtr>& operands() const { return operands_; }
+
+ private:
+  std::vector<PredPtr> operands_;
+};
+
+/// N-ary disjunction.
+class OrPred : public Pred {
+ public:
+  explicit OrPred(std::vector<PredPtr> operands)
+      : Pred(Kind::kOr), operands_(std::move(operands)) {}
+  const std::vector<PredPtr>& operands() const { return operands_; }
+
+ private:
+  std::vector<PredPtr> operands_;
+};
+
+/// Negation. Together with ALL, NOT contributes to the parity counted by
+/// the positivity constraint of section 3.3.
+class NotPred : public Pred {
+ public:
+  explicit NotPred(PredPtr operand)
+      : Pred(Kind::kNot), operand_(std::move(operand)) {}
+  const PredPtr& operand() const { return operand_; }
+
+ private:
+  PredPtr operand_;
+};
+
+/// `SOME v IN range (pred)` or `ALL v IN range (pred)`. Per the paper's
+/// definition, a relation name occurring in `range` counts as appearing
+/// under the ALL, while names occurring only in `pred` do not.
+class QuantPred : public Pred {
+ public:
+  QuantPred(Quantifier quantifier, std::string var, RangePtr range, PredPtr body)
+      : Pred(Kind::kQuant),
+        quantifier_(quantifier),
+        var_(std::move(var)),
+        range_(std::move(range)),
+        body_(std::move(body)) {}
+
+  Quantifier quantifier() const { return quantifier_; }
+  const std::string& var() const { return var_; }
+  const RangePtr& range() const { return range_; }
+  const PredPtr& body() const { return body_; }
+
+ private:
+  Quantifier quantifier_;
+  std::string var_;
+  RangePtr range_;
+  PredPtr body_;
+};
+
+/// Membership test `<t1, ..., tk> IN range` (a single term denotes the whole
+/// tuple of a variable when it is a bare field-less reference is not
+/// supported; spell out the fields).
+class InPred : public Pred {
+ public:
+  InPred(std::vector<TermPtr> tuple, RangePtr range)
+      : Pred(Kind::kIn), tuple_(std::move(tuple)), range_(std::move(range)) {}
+
+  const std::vector<TermPtr>& tuple() const { return tuple_; }
+  const RangePtr& range() const { return range_; }
+
+ private:
+  std::vector<TermPtr> tuple_;
+  RangePtr range_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_AST_PRED_H_

@@ -1,0 +1,27 @@
+#ifndef DATACON_AST_PRINTER_H_
+#define DATACON_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/pred.h"
+#include "ast/range.h"
+#include "ast/term.h"
+
+namespace datacon {
+
+/// Renders AST nodes back to the paper's DBPL-flavoured concrete syntax.
+/// Used by `Database::Explain`, by error messages, and by tests that pin the
+/// shape of rewritten expressions.
+std::string ToString(const Term& term);
+std::string ToString(const Range& range);
+std::string ToString(const Pred& pred);
+std::string ToString(const Branch& branch);
+std::string ToString(const CalcExpr& expr);
+std::string ToString(const SelectorDecl& decl);
+std::string ToString(const ConstructorDecl& decl);
+
+}  // namespace datacon
+
+#endif  // DATACON_AST_PRINTER_H_

@@ -1,0 +1,59 @@
+#ifndef DATACON_AST_RANGE_H_
+#define DATACON_AST_RANGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace datacon {
+
+class Range;
+using RangePtr = std::shared_ptr<const Range>;
+
+/// One application in a range's suffix chain: either a selector application
+/// `[sel(t1, ..., tk)]` (scalar term arguments) or a constructor application
+/// `{ctor(R1, ..., Rm)}` (relation-valued range arguments) — the paper's
+/// `Infront [hidden_by("table")] {ahead(Ontop)}`.
+struct RangeApp {
+  enum class Kind { kSelector, kConstructor };
+
+  Kind kind;
+  std::string name;
+  /// Scalar arguments of a selector application.
+  std::vector<TermPtr> term_args;
+  /// Relation arguments of a constructor application; each is itself a
+  /// range expression (a name, possibly with its own suffixes).
+  std::vector<RangePtr> range_args;
+};
+
+/// A range expression: the set of tuples a tuple variable iterates over.
+///
+/// The base is a relation name — a database relation variable or, inside a
+/// selector/constructor body, a formal relation parameter such as `Rel`.
+/// Zero or more selector/constructor applications refine or expand it,
+/// applied left to right.
+class Range {
+ public:
+  explicit Range(std::string relation, std::vector<RangeApp> apps = {})
+      : relation_(std::move(relation)), apps_(std::move(apps)) {}
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<RangeApp>& apps() const { return apps_; }
+
+  /// True iff the range has no suffixes — it is a plain relation reference.
+  bool IsPlain() const { return apps_.empty(); }
+
+  /// True iff any suffix (recursively through constructor arguments) is a
+  /// constructor application.
+  bool ContainsConstructor() const;
+
+ private:
+  std::string relation_;
+  std::vector<RangeApp> apps_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_AST_RANGE_H_

@@ -1,0 +1,36 @@
+#ifndef DATACON_COMMON_CHECK_H_
+#define DATACON_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace datacon::internal_check {
+
+/// Prints a diagnostic and aborts. Out of line so the macro stays small.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::fprintf(stderr, "DATACON_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace datacon::internal_check
+
+/// Aborts with a diagnostic when `cond` is false. For internal invariants
+/// only — user-visible failures are reported through Status, never CHECKs.
+#define DATACON_CHECK(cond, ...)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::datacon::internal_check::CheckFailed(__FILE__, __LINE__, #cond,     \
+                                             ::std::string(__VA_ARGS__));   \
+    }                                                                       \
+  } while (0)
+
+/// Marks a code path that must be unreachable.
+#define DATACON_UNREACHABLE(msg)                                            \
+  ::datacon::internal_check::CheckFailed(__FILE__, __LINE__, "unreachable", \
+                                         ::std::string(msg))
+
+#endif  // DATACON_COMMON_CHECK_H_

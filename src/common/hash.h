@@ -1,0 +1,24 @@
+#ifndef DATACON_COMMON_HASH_H_
+#define DATACON_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace datacon {
+
+/// Mixes `value` into a running hash `seed` (boost::hash_combine recipe,
+/// 64-bit variant). Used to hash tuples and composite keys.
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes `v` with std::hash and mixes it into `seed`.
+template <typename T>
+void HashCombineValue(size_t& seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+}  // namespace datacon
+
+#endif  // DATACON_COMMON_HASH_H_

@@ -1,0 +1,77 @@
+#ifndef DATACON_COMMON_RESULT_H_
+#define DATACON_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace datacon {
+
+/// Value-or-error carrier: either holds a `T` or a non-OK `Status`.
+///
+/// `Result` is the return type of every fallible operation that produces a
+/// value. Callers must check `ok()` before calling `value()`; accessing the
+/// value of a failed result aborts (it is a programming error, consistent
+/// with the no-exceptions error model).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK `status`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    DATACON_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The held value; requires `ok()`.
+  const T& value() const& {
+    DATACON_CHECK(ok(), status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    DATACON_CHECK(ok(), status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    DATACON_CHECK(ok(), status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace datacon
+
+/// Evaluates `expr` (a Result<T>), propagating failure; on success binds the
+/// moved value to `lhs`.
+#define DATACON_ASSIGN_OR_RETURN(lhs, expr)            \
+  DATACON_ASSIGN_OR_RETURN_IMPL_(                      \
+      DATACON_CONCAT_(_datacon_result_, __LINE__), lhs, expr)
+
+#define DATACON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define DATACON_CONCAT_(a, b) DATACON_CONCAT_IMPL_(a, b)
+#define DATACON_CONCAT_IMPL_(a, b) a##b
+
+#endif  // DATACON_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace datacon {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kTypeError:
+      return "TYPE_ERROR";
+    case StatusCode::kPositivityViolation:
+      return "POSITIVITY_VIOLATION";
+    case StatusCode::kKeyViolation:
+      return "KEY_VIOLATION";
+    case StatusCode::kDivergence:
+      return "DIVERGENCE";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace datacon

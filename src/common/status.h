@@ -1,0 +1,133 @@
+#ifndef DATACON_COMMON_STATUS_H_
+#define DATACON_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace datacon {
+
+/// Classifies the failure reported by a `Status`.
+///
+/// DataCon follows the no-exceptions discipline: every fallible operation
+/// returns a `Status` (or a `Result<T>`, see result.h). The codes mirror the
+/// failure classes the paper's DBPL compiler and runtime distinguish: static
+/// errors found at definition time (type errors, positivity violations),
+/// dynamic errors found at evaluation time (key violations, divergence), and
+/// plain lookup failures.
+enum class StatusCode {
+  kOk = 0,
+  /// A named entity (type, relation, selector, constructor, field, variable)
+  /// is not known in the current catalog or scope.
+  kNotFound,
+  /// An entity with the same name already exists.
+  kAlreadyExists,
+  /// A static semantic error: ill-typed expression, arity mismatch,
+  /// schema incompatibility.
+  kTypeError,
+  /// The positivity constraint of section 3.3 is violated: a recursive
+  /// relation reference appears under an odd total number of NOTs and ALLs.
+  kPositivityViolation,
+  /// The key constraint of section 2.2 is violated: two tuples agree on the
+  /// key attributes but differ elsewhere.
+  kKeyViolation,
+  /// A fixpoint iteration exceeded its bound without converging (only
+  /// reachable in unchecked mode; checked constructors always converge).
+  kDivergence,
+  /// Malformed surface syntax (lexer/parser errors).
+  kParseError,
+  /// A request that is syntactically valid but not supported by the
+  /// engine or the chosen evaluation mode.
+  kUnsupported,
+  /// An argument value is outside the accepted domain.
+  kInvalidArgument,
+  /// An internal invariant was broken; indicates a bug in DataCon itself.
+  kInternal,
+};
+
+/// Returns the canonical spelling of `code`, e.g. "TYPE_ERROR".
+std::string_view StatusCodeName(StatusCode code);
+
+/// Carrier for success-or-error outcomes, in the style of the error models
+/// used by production storage engines.
+///
+/// A `Status` is cheap to construct in the success case and carries a code
+/// plus a human-readable message in the failure case. It must be inspected
+/// (`ok()`) before results depending on the operation are used.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Named constructors, one per failure class.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status PositivityViolation(std::string msg) {
+    return Status(StatusCode::kPositivityViolation, std::move(msg));
+  }
+  static Status KeyViolation(std::string msg) {
+    return Status(StatusCode::kKeyViolation, std::move(msg));
+  }
+  static Status Divergence(std::string msg) {
+    return Status(StatusCode::kDivergence, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure class (kOk on success).
+  StatusCode code() const { return code_; }
+
+  /// The diagnostic message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace datacon
+
+/// Propagates a non-OK status out of the enclosing function.
+#define DATACON_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::datacon::Status _datacon_status = (expr);      \
+    if (!_datacon_status.ok()) return _datacon_status; \
+  } while (0)
+
+#endif  // DATACON_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef DATACON_COMMON_STRING_UTIL_H_
+#define DATACON_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datacon {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at each occurrence of `sep`; adjacent separators yield empty
+/// elements. Splitting the empty string yields one empty element.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view text);
+
+/// Upper-cases ASCII letters.
+std::string AsciiToUpper(std::string_view text);
+
+}  // namespace datacon
+
+#endif  // DATACON_COMMON_STRING_UTIL_H_

@@ -1,0 +1,202 @@
+#include "core/capture.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ra/analysis.h"
+
+namespace datacon {
+
+namespace {
+
+/// True when `branch` is the closure's base case: the identity over the
+/// formal base `rel`, or an explicit field-for-field projection of it.
+bool IsBaseBranch(const Branch& branch, const std::string& rel) {
+  if (branch.bindings().size() != 1) return false;
+  const Binding& b = branch.bindings()[0];
+  if (b.range->relation() != rel || !b.range->IsPlain()) return false;
+  if (!FlattenConjuncts(branch.pred()).empty()) return false;  // pred != TRUE
+  if (!branch.targets().has_value()) return true;
+  // <r.f0, r.f1> over the base, in field order, also counts.
+  const auto& ts = *branch.targets();
+  if (ts.size() != 2) return false;
+  for (int i = 0; i < 2; ++i) {
+    if (ts[static_cast<size_t>(i)]->kind() != Term::Kind::kFieldRef) {
+      return false;
+    }
+    const auto& f =
+        static_cast<const FieldRefTerm&>(*ts[static_cast<size_t>(i)]);
+    if (f.var() != b.var) return false;
+    // Field order is validated against the base schema by the caller's
+    // type check; here we only require both positions reference the bound
+    // variable with distinct fields.
+  }
+  const auto& f0 = static_cast<const FieldRefTerm&>(*ts[0]);
+  const auto& f1 = static_cast<const FieldRefTerm&>(*ts[1]);
+  return f0.field() != f1.field();
+}
+
+struct FieldOf {
+  std::string var;
+  std::string field;
+};
+
+std::optional<FieldOf> AsField(const TermPtr& t) {
+  if (t->kind() != Term::Kind::kFieldRef) return std::nullopt;
+  const auto& f = static_cast<const FieldRefTerm&>(*t);
+  return FieldOf{f.var(), f.field()};
+}
+
+}  // namespace
+
+std::optional<TransitiveClosureInfo> DetectTransitiveClosure(
+    const ConstructorDecl& decl) {
+  if (!decl.rel_params().empty() || !decl.scalar_params().empty()) {
+    return std::nullopt;
+  }
+  if (decl.body()->branches().size() != 2) return std::nullopt;
+  const std::string& rel = decl.base().name;
+
+  const Branch* base_branch = nullptr;
+  const Branch* step_branch = nullptr;
+  for (const BranchPtr& b : decl.body()->branches()) {
+    if (base_branch == nullptr && IsBaseBranch(*b, rel)) {
+      base_branch = b.get();
+    } else {
+      step_branch = b.get();
+    }
+  }
+  if (base_branch == nullptr || step_branch == nullptr) return std::nullopt;
+
+  // The step branch: EACH f IN Rel, EACH b IN Rel{decl} joined on one
+  // equality, projecting <outer-source, recursive-target> (left-linear) or
+  // the mirror image (right-linear).
+  if (step_branch->bindings().size() != 2) return std::nullopt;
+  const Binding* outer = nullptr;   // over the plain base
+  const Binding* rec = nullptr;     // over Rel{decl}
+  for (const Binding& b : step_branch->bindings()) {
+    if (b.range->relation() != rel) return std::nullopt;
+    if (b.range->IsPlain()) {
+      if (outer != nullptr) return std::nullopt;
+      outer = &b;
+    } else {
+      const auto& apps = b.range->apps();
+      if (apps.size() != 1 || apps[0].kind != RangeApp::Kind::kConstructor ||
+          apps[0].name != decl.name() || !apps[0].range_args.empty() ||
+          !apps[0].term_args.empty()) {
+        return std::nullopt;
+      }
+      if (rec != nullptr) return std::nullopt;
+      rec = &b;
+    }
+  }
+  if (outer == nullptr || rec == nullptr) return std::nullopt;
+
+  std::vector<PredPtr> conjuncts = FlattenConjuncts(step_branch->pred());
+  if (conjuncts.size() != 1 ||
+      conjuncts[0]->kind() != Pred::Kind::kCompare) {
+    return std::nullopt;
+  }
+  const auto& cmp = static_cast<const ComparePred&>(*conjuncts[0]);
+  if (cmp.op() != CompareOp::kEq) return std::nullopt;
+  std::optional<FieldOf> lhs = AsField(cmp.lhs());
+  std::optional<FieldOf> rhs = AsField(cmp.rhs());
+  if (!lhs.has_value() || !rhs.has_value()) return std::nullopt;
+  // Normalize: the join must connect the outer variable and the recursive
+  // variable.
+  const FieldOf* outer_side = nullptr;
+  const FieldOf* rec_side = nullptr;
+  for (const FieldOf* side : {&*lhs, &*rhs}) {
+    if (side->var == outer->var) outer_side = side;
+    if (side->var == rec->var) rec_side = side;
+  }
+  if (outer_side == nullptr || rec_side == nullptr) return std::nullopt;
+
+  if (!step_branch->targets().has_value()) return std::nullopt;
+  const auto& ts = *step_branch->targets();
+  if (ts.size() != 2) return std::nullopt;
+  std::optional<FieldOf> t0 = AsField(ts[0]);
+  std::optional<FieldOf> t1 = AsField(ts[1]);
+  if (!t0.has_value() || !t1.has_value()) return std::nullopt;
+
+  // Left-linear (`ahead`): <outer.src, rec.tgt>, join outer.dst = rec.src.
+  if (t0->var == outer->var && t1->var == rec->var &&
+      outer_side->field != t0->field && rec_side->field != t1->field) {
+    return TransitiveClosureInfo{/*left_linear=*/true};
+  }
+  // Right-linear mirror: <rec.src, outer.dst>, join rec.tgt = outer.src.
+  if (t0->var == rec->var && t1->var == outer->var &&
+      rec_side->field != t0->field && outer_side->field != t1->field) {
+    return TransitiveClosureInfo{/*left_linear=*/false};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Adjacency of a binary relation: first column -> list of second columns.
+std::unordered_map<Value, std::vector<Value>> BuildAdjacency(
+    const Relation& edges) {
+  std::unordered_map<Value, std::vector<Value>> adj;
+  adj.reserve(edges.size());
+  for (const Tuple& t : edges.tuples()) {
+    adj[t.value(0)].push_back(t.value(1));
+  }
+  return adj;
+}
+
+/// Appends (source, x) for every x reachable from `source` via >= 1 edge.
+Status ClosureFrom(const Value& source,
+                   const std::unordered_map<Value, std::vector<Value>>& adj,
+                   Relation* out) {
+  std::unordered_set<Value> visited;
+  std::deque<Value> frontier;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    Value v = std::move(frontier.front());
+    frontier.pop_front();
+    auto it = adj.find(v);
+    if (it == adj.end()) continue;
+    for (const Value& next : it->second) {
+      if (!visited.insert(next).second) continue;
+      DATACON_ASSIGN_OR_RETURN(bool grew,
+                               out->Insert(Tuple({source, next})));
+      (void)grew;
+      frontier.push_back(next);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> FullClosure(const Relation& edges,
+                             const Schema& result_schema) {
+  if (edges.schema().arity() != 2 || result_schema.arity() != 2) {
+    return Status::TypeError("transitive closure requires binary relations");
+  }
+  std::unordered_map<Value, std::vector<Value>> adj = BuildAdjacency(edges);
+  Relation out(result_schema);
+  for (const auto& [source, unused] : adj) {
+    (void)unused;
+    DATACON_RETURN_IF_ERROR(ClosureFrom(source, adj, &out));
+  }
+  return out;
+}
+
+Result<Relation> SeededClosure(const Relation& edges,
+                               const std::vector<Value>& seeds,
+                               const Schema& result_schema) {
+  if (edges.schema().arity() != 2 || result_schema.arity() != 2) {
+    return Status::TypeError("transitive closure requires binary relations");
+  }
+  std::unordered_map<Value, std::vector<Value>> adj = BuildAdjacency(edges);
+  Relation out(result_schema);
+  for (const Value& seed : seeds) {
+    DATACON_RETURN_IF_ERROR(ClosureFrom(seed, adj, &out));
+  }
+  return out;
+}
+
+}  // namespace datacon

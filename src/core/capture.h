@@ -1,0 +1,58 @@
+#ifndef DATACON_CORE_CAPTURE_H_
+#define DATACON_CORE_CAPTURE_H_
+
+#include <optional>
+#include <vector>
+
+#include "ast/decl.h"
+#include "common/result.h"
+#include "storage/relation.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Result of the transitive-closure capture rule (section 4, step 3:
+/// "attempt to employ capture rules [Ullm 84] to detect special cases such
+/// as [Schn 78]").
+///
+/// A constructor matches when it has the paper's `ahead` shape over binary
+/// relations:
+///
+///   CONSTRUCTOR c FOR Rel: basetype (): resulttype;
+///   BEGIN EACH r IN Rel: TRUE,
+///         <f.a0, b.t1> OF EACH f IN Rel, EACH b IN Rel {c}: f.a1 = b.t0
+///   END c
+///
+/// (left-linear; the mirrored right-linear form also matches). Such a
+/// constructor denotes the transitive closure of its base, which a
+/// specialized frontier algorithm computes without generic join machinery.
+struct TransitiveClosureInfo {
+  /// True for the `ahead` orientation (recursive tuple extends on the
+  /// right); false for the mirrored right-linear form.
+  bool left_linear = true;
+};
+
+/// Detects the transitive-closure shape. Returns nullopt when the
+/// constructor is well-formed but differently shaped. The constructor must
+/// have no parameters, a binary base, and a binary result.
+std::optional<TransitiveClosureInfo> DetectTransitiveClosure(
+    const ConstructorDecl& decl);
+
+/// The full transitive closure of the binary relation `edges`, computed by
+/// a breadth-first frontier per source node. `result_schema` must be binary
+/// with field types matching `edges`.
+Result<Relation> FullClosure(const Relation& edges,
+                             const Schema& result_schema);
+
+/// The tuples of the transitive closure whose first component is in
+/// `seeds` — the "magic" variant used when a query binds the source
+/// attribute (the paper's `Infront [hidden_by("table")] {ahead}` plan):
+/// only reachability from the seeds is ever computed.
+Result<Relation> SeededClosure(const Relation& edges,
+                               const std::vector<Value>& seeds,
+                               const Schema& result_schema);
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_CAPTURE_H_

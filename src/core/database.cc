@@ -1,0 +1,425 @@
+#include "core/database.h"
+
+#include "ast/builder.h"
+#include "ast/printer.h"
+#include "common/check.h"
+#include "core/capture.h"
+#include "core/positivity.h"
+#include "core/quant_graph.h"
+#include "core/semantics.h"
+#include "ra/branch_exec.h"
+#include "ra/eval.h"
+
+namespace datacon {
+
+Status Database::DefineRelationType(const std::string& name, Schema schema) {
+  return catalog_.DefineRelationType(name, std::move(schema));
+}
+
+Status Database::CreateRelation(const std::string& name,
+                                const std::string& type_name) {
+  return catalog_.CreateRelation(name, type_name);
+}
+
+Status Database::Insert(const std::string& relation, Tuple tuple) {
+  DATACON_ASSIGN_OR_RETURN(Relation * rel, catalog_.LookupRelation(relation));
+  DATACON_ASSIGN_OR_RETURN(bool grew, rel->Insert(tuple));
+  (void)grew;
+  return Status::OK();
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  return catalog_.LookupRelation(name);
+}
+
+Result<Relation*> Database::GetMutableRelation(const std::string& name) {
+  return catalog_.LookupRelation(name);
+}
+
+Status Database::Assign(const std::string& relation, const Relation& value) {
+  DATACON_ASSIGN_OR_RETURN(Relation * rel, catalog_.LookupRelation(relation));
+  // Build the new value first so a key violation leaves `relation`
+  // unchanged — the paper's IF <test> THEN rel := rex ELSE <exception>.
+  Relation fresh(rel->schema());
+  DATACON_RETURN_IF_ERROR(fresh.InsertAll(value));
+  *rel = std::move(fresh);
+  return Status::OK();
+}
+
+Status Database::AssignThroughSelector(const std::string& relation,
+                                       const std::string& selector,
+                                       const std::vector<Value>& args,
+                                       const Relation& value) {
+  DATACON_ASSIGN_OR_RETURN(const SelectorDecl* sel,
+                           catalog_.LookupSelector(selector));
+  if (args.size() != sel->params().size()) {
+    return Status::TypeError("selector '" + selector + "' takes " +
+                             std::to_string(sel->params().size()) +
+                             " argument(s), got " + std::to_string(args.size()));
+  }
+  // An empty application graph still resolves plain and selected ranges,
+  // which is all a selector predicate may reference.
+  ApplicationGraph graph(&catalog_);
+  Environment env;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i].type() != sel->params()[i].type) {
+      return Status::TypeError("argument '" + sel->params()[i].name +
+                               "' of selector '" + selector + "' expects " +
+                               std::string(ValueTypeName(sel->params()[i].type)));
+    }
+    env.BindParam(sel->params()[i].name, args[i]);
+  }
+  SystemEvaluator ev(&catalog_, &graph, options_.eval, env);
+  DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
+  Evaluator eval(&ev);
+
+  Environment tuple_env = env;
+  for (const Tuple& t : value.tuples()) {
+    tuple_env.Bind(sel->var(), &t, &value.schema());
+    DATACON_ASSIGN_OR_RETURN(bool ok, eval.EvalPred(*sel->pred(), tuple_env));
+    if (!ok) {
+      return Status::InvalidArgument(
+          "tuple " + t.ToString() + " violates selector '" + selector +
+          "'; assignment through a selected relation rejected (section 2.3)");
+    }
+  }
+  return Assign(relation, value);
+}
+
+Status Database::DefineSelector(SelectorDeclPtr decl) {
+  DATACON_RETURN_IF_ERROR(CheckSelectorDecl(*decl, catalog_));
+  return catalog_.DefineSelector(std::move(decl));
+}
+
+Status Database::DefineConstructorGroup(
+    const std::vector<ConstructorDeclPtr>& decls, bool check_positivity) {
+  // Register the whole group first: a recursive constructor must be visible
+  // to its own type check, and mutually recursive constructors (section
+  // 3.1's ahead/above) to each other's. Roll everything back on failure.
+  std::vector<std::string> registered;
+  Status status = Status::OK();
+  for (const ConstructorDeclPtr& decl : decls) {
+    status = catalog_.DefineConstructor(decl);
+    if (!status.ok()) break;
+    registered.push_back(decl->name());
+  }
+  if (status.ok()) {
+    for (const ConstructorDeclPtr& decl : decls) {
+      status = CheckConstructorDecl(*decl, catalog_);
+      if (!status.ok()) break;
+      if (check_positivity) {
+        // The strict DBPL rule: reject at definition time (section 3.3).
+        // With the stratified extension, negative references are instead
+        // validated against the application graph at query compilation.
+        status = CheckPositivity(*decl);
+        if (!status.ok()) break;
+      }
+    }
+  }
+  if (!status.ok()) {
+    for (const std::string& name : registered) catalog_.RemoveConstructor(name);
+    return status;
+  }
+  return Status::OK();
+}
+
+Status Database::DefineConstructor(ConstructorDeclPtr decl) {
+  return DefineConstructorGroup({std::move(decl)},
+                                !options_.allow_stratified_negation);
+}
+
+Status Database::DefineConstructorGroup(
+    const std::vector<ConstructorDeclPtr>& decls) {
+  return DefineConstructorGroup(decls, !options_.allow_stratified_negation);
+}
+
+Status Database::DefineConstructorUnchecked(ConstructorDeclPtr decl) {
+  return DefineConstructorGroup({std::move(decl)}, /*check_positivity=*/false);
+}
+
+Result<Relation> Database::EvalRange(const RangePtr& range) {
+  // `Rel {ctor}` is the identity query over the range.
+  CalcExprPtr expr = build::Union(
+      {build::IdentityBranch("__q", range, build::True())});
+  return EvalQuery(expr);
+}
+
+Result<Relation> Database::EvalQuery(const CalcExprPtr& expr) {
+  DATACON_ASSIGN_OR_RETURN(Schema schema, InferQuerySchema(*expr, catalog_));
+  return Evaluate(expr, schema, Environment());
+}
+
+Result<Relation> Database::EvalQueryAs(const CalcExprPtr& expr,
+                                       const Schema& schema) {
+  DATACON_RETURN_IF_ERROR(CheckQuery(*expr, catalog_, schema));
+  return Evaluate(expr, schema, Environment());
+}
+
+Status Database::InstallCaptures(const ApplicationGraph& graph,
+                                 SystemEvaluator* ev) {
+  for (size_t i = 0; i < graph.nodes().size(); ++i) {
+    const ApplicationGraph::Node& node = graph.nodes()[i];
+    if (node.base->ContainsConstructor()) continue;
+    if (!DetectTransitiveClosure(*node.ctor).has_value()) continue;
+    DATACON_ASSIGN_OR_RETURN(const Relation* edges, ev->Resolve(*node.base));
+    DATACON_ASSIGN_OR_RETURN(Relation closure,
+                             FullClosure(*edges, node.result_schema));
+    DATACON_RETURN_IF_ERROR(ev->InstallNodeRelation(
+        static_cast<int>(i), std::make_unique<Relation>(std::move(closure))));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Seeded plans only run when the closure binding is the expression's sole
+/// constructor reference (everything else resolves against base relations).
+bool SeededPlanApplies(const CalcExpr& expr, const SeededTcPlan& plan) {
+  if (expr.branches().size() != 1 || plan.branch_index != 0) return false;
+  const Branch& branch = *expr.branches()[0];
+  size_t constructed = 0;
+  bool pred_recursion = false;
+  for (const Binding& b : branch.bindings()) {
+    if (b.range->ContainsConstructor()) ++constructed;
+  }
+  ForEachRangeWithParity(*branch.pred(), 0, [&](const Range& r, int) {
+    if (r.ContainsConstructor()) pred_recursion = true;
+  });
+  // The plan's binding must also carry no trailing selectors (its last app
+  // is the constructor; DetectSeededTc guarantees this).
+  return constructed == 1 && !pred_recursion;
+}
+
+}  // namespace
+
+Result<Relation> Database::Evaluate(const CalcExprPtr& expr,
+                                    const Schema& schema,
+                                    const Environment& params) {
+  last_stats_ = EvalStats{};
+
+  CalcExprPtr effective = expr;
+  if (options_.inline_nonrecursive) {
+    DATACON_ASSIGN_OR_RETURN(std::optional<CalcExprPtr> inlined,
+                             InlineNonRecursiveApplications(effective, catalog_));
+    if (inlined.has_value()) effective = *inlined;
+  }
+
+  if (options_.use_capture_rules) {
+    DATACON_ASSIGN_OR_RETURN(std::optional<SeededTcPlan> plan,
+                             DetectSeededTc(*effective, catalog_));
+    if (plan.has_value() && SeededPlanApplies(*effective, *plan)) {
+      return ExecuteSeeded(effective, schema, params, *plan);
+    }
+  }
+  return EvaluateGeneral(effective, schema, params);
+}
+
+Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
+                                         const Schema& schema,
+                                         const Environment& params,
+                                         const SeededTcPlan& plan) {
+  // Constant propagation into the recursive constructor: reachability from
+  // the bound constant only, never the full closure.
+  ApplicationGraph graph(&catalog_);
+  SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
+  DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
+
+  DATACON_ASSIGN_OR_RETURN(const Relation* edges,
+                           ev.Resolve(*plan.edges_range));
+  Value seed;
+  if (plan.seed_literal.has_value()) {
+    seed = *plan.seed_literal;
+  } else {
+    const Value* bound = params.LookupParam(*plan.seed_param);
+    if (bound == nullptr) {
+      return Status::NotFound("parameter '" + *plan.seed_param +
+                              "' not bound");
+    }
+    seed = *bound;
+  }
+  DATACON_ASSIGN_OR_RETURN(Relation closure,
+                           SeededClosure(*edges, {seed}, plan.result_schema));
+
+  const Branch& branch = *expr->branches()[0];
+  std::vector<ResolvedBinding> resolved;
+  for (size_t j = 0; j < branch.bindings().size(); ++j) {
+    if (j == plan.binding_index) {
+      resolved.push_back(ResolvedBinding{branch.bindings()[j].var, &closure});
+    } else {
+      DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                               ev.Resolve(*branch.bindings()[j].range));
+      resolved.push_back(ResolvedBinding{branch.bindings()[j].var, rel});
+    }
+  }
+  Relation out(schema);
+  Evaluator eval(&ev);
+  BranchExecStats exec_stats;
+  DATACON_RETURN_IF_ERROR(ExecuteBranch(branch, resolved, eval, params, &out,
+                                        &exec_stats, options_.eval.exec));
+  last_stats_.tuples_considered = exec_stats.env_count;
+  last_stats_.tuples_inserted = exec_stats.inserted;
+  return out;
+}
+
+Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
+                                           const Schema& schema,
+                                           const Environment& params) {
+  ApplicationGraph graph(&catalog_);
+  DATACON_RETURN_IF_ERROR(graph.AddRoots(*expr));
+  SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
+  if (options_.use_capture_rules) {
+    DATACON_RETURN_IF_ERROR(InstallCaptures(graph, &ev));
+  }
+  DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
+  DATACON_ASSIGN_OR_RETURN(Relation out, ev.EvaluateExpr(*expr, schema));
+  last_stats_ = ev.stats();
+  return out;
+}
+
+Result<PreparedQuery> Database::Prepare(
+    CalcExprPtr expr, std::map<std::string, ValueType> placeholders) {
+  DATACON_ASSIGN_OR_RETURN(Schema schema,
+                           InferQuerySchema(*expr, catalog_, placeholders));
+
+  PreparedQuery q;
+  q.db_ = this;
+  q.expr_ = expr;
+  q.schema_ = std::move(schema);
+  q.placeholders_ = std::move(placeholders);
+  q.plan_description_ = "general evaluation";
+
+  if (options_.inline_nonrecursive) {
+    DATACON_ASSIGN_OR_RETURN(std::optional<CalcExprPtr> inlined,
+                             InlineNonRecursiveApplications(q.expr_, catalog_));
+    if (inlined.has_value()) {
+      q.expr_ = *inlined;
+      q.plan_description_ = "inlined non-recursive applications";
+    }
+  }
+  if (options_.use_capture_rules) {
+    DATACON_ASSIGN_OR_RETURN(std::optional<SeededTcPlan> plan,
+                             DetectSeededTc(*q.expr_, catalog_));
+    if (plan.has_value() && SeededPlanApplies(*q.expr_, *plan)) {
+      q.seeded_plan_ = std::move(plan);
+      q.plan_description_ =
+          "seeded transitive closure (" +
+          (q.seeded_plan_->seed_param.has_value()
+               ? "parameter '" + *q.seeded_plan_->seed_param + "'"
+               : "constant " + q.seeded_plan_->seed_literal->ToString()) +
+          ")";
+    }
+  }
+  return q;
+}
+
+Result<Relation> PreparedQuery::Execute(
+    const std::map<std::string, Value>& params) {
+  // Validate the bindings against the declared placeholders.
+  for (const auto& [name, type] : placeholders_) {
+    auto it = params.find(name);
+    if (it == params.end()) {
+      return Status::InvalidArgument("parameter '" + name + "' not bound");
+    }
+    if (it->second.type() != type) {
+      return Status::TypeError("parameter '" + name + "' expects " +
+                               std::string(ValueTypeName(type)) + ", got " +
+                               it->second.ToString());
+    }
+  }
+  for (const auto& [name, value] : params) {
+    (void)value;
+    if (placeholders_.count(name) == 0) {
+      return Status::InvalidArgument("unknown parameter '" + name + "'");
+    }
+  }
+  Environment env;
+  for (const auto& [name, value] : params) env.BindParam(name, value);
+  // The plan was chosen at Prepare time (level 2); Execute runs level 3
+  // only — no re-detection, no re-inlining.
+  db_->last_stats_ = EvalStats{};
+  if (seeded_plan_.has_value()) {
+    return db_->ExecuteSeeded(expr_, schema_, env, *seeded_plan_);
+  }
+  return db_->EvaluateGeneral(expr_, schema_, env);
+}
+
+Result<std::string> Database::Explain(const RangePtr& range) const {
+  ApplicationGraph graph(&catalog_);
+  DATACON_ASSIGN_OR_RETURN(int root, graph.AddRootRange(*range));
+
+  std::string out = "query range: " + ToString(*range) + "\n";
+
+  out += "level 1 (definition analysis): partitions:\n";
+  for (const std::vector<std::string>& part : PartitionDefinitions(catalog_)) {
+    out += "  {";
+    for (size_t i = 0; i < part.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += part[i];
+    }
+    out += "}\n";
+  }
+
+  out += "level 2 (query compilation): instantiated applications:\n";
+  if (root < 0) {
+    out += "  (none — plain range)\n";
+    return out;
+  }
+  Result<SccDecomposition> scc = graph.Stratify();
+  if (!scc.ok()) return scc.status();
+  for (int comp : scc->topological_order) {
+    const std::vector<int>& members =
+        scc->components[static_cast<size_t>(comp)];
+    bool cyclic = scc->cyclic[static_cast<size_t>(comp)];
+    out += "  component:";
+    for (int n : members) {
+      out += " [" + graph.nodes()[static_cast<size_t>(n)].key + "]";
+    }
+    if (!cyclic) {
+      out += " -> single pass\n";
+      continue;
+    }
+    bool captured = false;
+    if (options_.use_capture_rules && members.size() == 1) {
+      const ApplicationGraph::Node& node =
+          graph.nodes()[static_cast<size_t>(members[0])];
+      if (!node.base->ContainsConstructor() &&
+          DetectTransitiveClosure(*node.ctor).has_value()) {
+        captured = true;
+      }
+    }
+    if (captured) {
+      out += " -> capture rule: specialized transitive closure\n";
+    } else {
+      out += options_.eval.strategy == FixpointStrategy::kSemiNaive
+                 ? " -> semi-naive fixpoint\n"
+                 : " -> naive fixpoint\n";
+    }
+  }
+
+  out += "level 3 (physical branch plans):\n";
+  AnalysisScope scope;
+  scope.catalog = &catalog_;
+  for (const ApplicationGraph::Node& node : graph.nodes()) {
+    out += "  [" + node.key + "]\n";
+    for (const BranchPtr& branch : node.body->branches()) {
+      std::vector<BindingSchema> schemas;
+      Status schema_status = Status::OK();
+      for (const Binding& b : branch->bindings()) {
+        Result<const Schema*> schema = RangeSchemaOf(*b.range, scope);
+        if (!schema.ok()) {
+          schema_status = schema.status();
+          break;
+        }
+        schemas.push_back(BindingSchema{b.var, schema.value()});
+      }
+      if (!schema_status.ok()) return schema_status;
+      DATACON_ASSIGN_OR_RETURN(
+          std::string plan,
+          ExplainBranchPlan(*branch, schemas, options_.eval.exec));
+      out += "    " + plan + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace datacon

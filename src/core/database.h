@@ -1,0 +1,185 @@
+#ifndef DATACON_CORE_DATABASE_H_
+#define DATACON_CORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/range.h"
+#include "common/result.h"
+#include "core/catalog.h"
+#include "core/fixpoint.h"
+#include "core/instantiate.h"
+#include "core/rewrite.h"
+#include "storage/relation.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Knobs of the three-level compilation/optimization framework (section 4).
+/// Benchmarks flip these to isolate the effect of each technique.
+struct DatabaseOptions {
+  EvalOptions eval;
+  /// Apply capture rules: transitive-closure-shaped constructors are
+  /// materialized by a specialized frontier algorithm, and queries binding
+  /// the closure's source attribute run a seeded (magic) closure.
+  bool use_capture_rules = true;
+  /// Inline non-recursive constructor applications into queries (the
+  /// section 4 propagation cases 1-3 over range-nested expressions).
+  bool inline_nonrecursive = true;
+  /// Extension beyond the paper: accept constructors violating the strict
+  /// positivity test as long as every negative dependency crosses strata
+  /// (checked at query compilation). The paper's DBPL rejects these at
+  /// definition time.
+  bool allow_stratified_negation = false;
+};
+
+class PreparedQuery;
+
+/// The DBPL database program facade: definitions run level-1 analysis
+/// (type check, positivity, definition partitioning), queries run level-2
+/// compilation (instantiation, rewrites, capture rules) and level-3
+/// evaluation (set-oriented fixpoint).
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {}) : options_(options) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Definitions (level 1) ---
+
+  /// `TYPE name = RELATION <key> OF RECORD ... END`.
+  Status DefineRelationType(const std::string& name, Schema schema);
+
+  /// `VAR name: type_name`.
+  Status CreateRelation(const std::string& name, const std::string& type_name);
+
+  /// Inserts one tuple into a base relation (key constraint enforced).
+  Status Insert(const std::string& relation, Tuple tuple);
+
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  /// Checked assignment `relation := value` (section 2.2: the type checker
+  /// re-validates the key constraint; on violation nothing changes).
+  Status Assign(const std::string& relation, const Relation& value);
+
+  /// Assignment through a selector, `relation[sel(args)] := value`
+  /// (section 2.3): every tuple of `value` must satisfy the selector's
+  /// predicate, otherwise kInvalidArgument and nothing changes.
+  Status AssignThroughSelector(const std::string& relation,
+                               const std::string& selector,
+                               const std::vector<Value>& args,
+                               const Relation& value);
+
+  /// Defines a selector after type-checking it.
+  Status DefineSelector(SelectorDeclPtr decl);
+
+  /// Defines a constructor after type-checking and (unless
+  /// allow_stratified_negation) the strict positivity test of section 3.3.
+  /// The constructor may reference itself; references to other constructors
+  /// must already be defined — use DefineConstructorGroup for mutual
+  /// recursion.
+  Status DefineConstructor(ConstructorDeclPtr decl);
+
+  /// Defines a set of (possibly mutually recursive) constructors: all are
+  /// registered, then all are checked; on any failure the whole group is
+  /// rolled back.
+  Status DefineConstructorGroup(const std::vector<ConstructorDeclPtr>& decls);
+
+  /// Defines a constructor with the positivity test skipped. Exists to
+  /// reproduce the section 3.3 examples (`nonsense`, `strange`) in
+  /// unchecked evaluation mode; not part of the paper's DBPL surface.
+  Status DefineConstructorUnchecked(ConstructorDeclPtr decl);
+
+  // --- Queries (levels 2 + 3) ---
+
+  /// The value of a (selected/constructed) relation expression —
+  /// `Infront {ahead}`, `Infront [hidden_by("table")] {ahead}`, ...
+  Result<Relation> EvalRange(const RangePtr& range);
+
+  /// Evaluates a relational calculus expression; the result schema is
+  /// inferred from the first branch.
+  Result<Relation> EvalQuery(const CalcExprPtr& expr);
+
+  /// Evaluates with an explicit result schema.
+  Result<Relation> EvalQueryAs(const CalcExprPtr& expr, const Schema& schema);
+
+  /// Compiles a parameterized query form once (the paper's *logical access
+  /// path*: a compiled procedure with dummy constants); Execute binds the
+  /// constants.
+  Result<PreparedQuery> Prepare(CalcExprPtr expr,
+                                std::map<std::string, ValueType> placeholders);
+
+  /// Human-readable description of how `range` would be evaluated:
+  /// instantiated applications, recursive components, chosen strategy,
+  /// capture-rule hits, and the level-1 definition partitions.
+  Result<std::string> Explain(const RangePtr& range) const;
+
+  const Catalog& catalog() const { return catalog_; }
+  DatabaseOptions& options() { return options_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Statistics of the most recent EvalRange/EvalQuery call.
+  const EvalStats& last_stats() const { return last_stats_; }
+
+ private:
+  friend class PreparedQuery;
+
+  /// Shared evaluation pipeline: level-2 rewrites + plan dispatch.
+  Result<Relation> Evaluate(const CalcExprPtr& expr, const Schema& schema,
+                            const Environment& params);
+
+  /// Level-3 execution of a seeded-closure plan (no re-detection).
+  Result<Relation> ExecuteSeeded(const CalcExprPtr& expr, const Schema& schema,
+                                 const Environment& params,
+                                 const SeededTcPlan& plan);
+
+  /// Level-3 general execution (instantiate, capture install, fixpoint);
+  /// `expr` must already be rewritten.
+  Result<Relation> EvaluateGeneral(const CalcExprPtr& expr,
+                                   const Schema& schema,
+                                   const Environment& params);
+
+  Status DefineConstructorGroup(const std::vector<ConstructorDeclPtr>& decls,
+                                bool check_positivity);
+
+  /// Installs capture-rule materializations for eligible nodes.
+  Status InstallCaptures(const ApplicationGraph& graph, SystemEvaluator* ev);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  EvalStats last_stats_;
+};
+
+/// A compiled parameterized query form. Holds the instantiated application
+/// graph and any seeded-closure plan; Execute supplies the constants.
+class PreparedQuery {
+ public:
+  /// Runs the compiled form with the given parameter values.
+  Result<Relation> Execute(const std::map<std::string, Value>& params);
+
+  /// One line describing the chosen plan ("seeded transitive closure on
+  /// parameter 'p'" / "general evaluation").
+  const std::string& plan_description() const { return plan_description_; }
+
+  const Schema& result_schema() const { return schema_; }
+
+ private:
+  friend class Database;
+  PreparedQuery() = default;
+
+  Database* db_ = nullptr;
+  CalcExprPtr expr_;
+  Schema schema_;
+  std::map<std::string, ValueType> placeholders_;
+  std::optional<SeededTcPlan> seeded_plan_;
+  std::string plan_description_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_DATABASE_H_

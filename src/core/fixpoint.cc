@@ -1,0 +1,450 @@
+#include "core/fixpoint.h"
+
+#include <algorithm>
+
+#include "ast/printer.h"
+#include "common/check.h"
+#include "core/positivity.h"
+#include "ra/branch_exec.h"
+#include "ra/eval.h"
+
+namespace datacon {
+
+SystemEvaluator::SystemEvaluator(const Catalog* catalog,
+                                 const ApplicationGraph* graph,
+                                 EvalOptions options, Environment params)
+    : catalog_(catalog),
+      graph_(graph),
+      options_(options),
+      params_(std::move(params)) {
+  totals_.resize(graph_->nodes().size());
+}
+
+Status SystemEvaluator::InstallNodeRelation(int node,
+                                            std::unique_ptr<Relation> rel) {
+  if (materialized_) {
+    return Status::Internal("InstallNodeRelation after MaterializeAll");
+  }
+  if (node < 0 || static_cast<size_t>(node) >= totals_.size()) {
+    return Status::InvalidArgument("no application node " +
+                                   std::to_string(node));
+  }
+  totals_[static_cast<size_t>(node)] = std::move(rel);
+  return Status::OK();
+}
+
+Status SystemEvaluator::MaterializeAll() {
+  DATACON_CHECK(!materialized_, "MaterializeAll called twice");
+
+  SccDecomposition scc;
+  if (options_.unchecked) {
+    // Unchecked mode: no stratification guarantees; plain iteration only.
+    scc = ComputeScc(graph_->BuildDigraph());
+  } else {
+    DATACON_ASSIGN_OR_RETURN(scc, graph_->Stratify());
+  }
+
+  for (int comp : scc.topological_order) {
+    const std::vector<int>& members =
+        scc.components[static_cast<size_t>(comp)];
+    // Components fully covered by installed (capture-rule) relations are
+    // already materialized.
+    bool installed = true;
+    for (int n : members) {
+      if (totals_[static_cast<size_t>(n)] == nullptr) {
+        installed = false;
+        break;
+      }
+    }
+    if (installed) continue;
+    if (!scc.cyclic[static_cast<size_t>(comp)]) {
+      DATACON_RETURN_IF_ERROR(EvaluateAcyclicNode(members[0]));
+    } else if (options_.unchecked ||
+               options_.strategy == FixpointStrategy::kNaive) {
+      DATACON_RETURN_IF_ERROR(NaiveFixpoint(members));
+    } else {
+      DATACON_RETURN_IF_ERROR(SemiNaiveFixpoint(members));
+    }
+  }
+  materialized_ = true;
+  return Status::OK();
+}
+
+Result<const Relation*> SystemEvaluator::NodeRelation(int node) const {
+  if (node < 0 || static_cast<size_t>(node) >= totals_.size() ||
+      totals_[static_cast<size_t>(node)] == nullptr) {
+    return Status::Internal("application node " + std::to_string(node) +
+                            " is not materialized");
+  }
+  return totals_[static_cast<size_t>(node)].get();
+}
+
+Result<Relation> SystemEvaluator::EvaluateExpr(const CalcExpr& expr,
+                                               const Schema& result_schema) {
+  Relation out(result_schema);
+  for (const BranchPtr& branch : expr.branches()) {
+    DATACON_RETURN_IF_ERROR(EvaluateBranch(*branch, &out));
+  }
+  return out;
+}
+
+Status SystemEvaluator::EvaluateAcyclicNode(int node) {
+  scratch_.clear();
+  const ApplicationGraph::Node& n = graph_->nodes()[static_cast<size_t>(node)];
+  totals_[static_cast<size_t>(node)] =
+      std::make_unique<Relation>(n.result_schema);
+  return EvaluateNodeBody(node, totals_[static_cast<size_t>(node)].get());
+}
+
+Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
+  iterating_nodes_.clear();
+  iterating_nodes_.insert(component.begin(), component.end());
+
+  // Section 3.1: Ahead := {}; Above := {}.
+  for (int n : component) {
+    totals_[static_cast<size_t>(n)] = std::make_unique<Relation>(
+        graph_->nodes()[static_cast<size_t>(n)].result_schema);
+  }
+
+  // REPEAT  Oldahead := Ahead; ...; Ahead := ahead_fct(Oldahead, Oldabove);
+  // UNTIL Ahead = Oldahead AND Above = Oldabove.
+  // `totals_` plays the role of the Old* variables during a round; the
+  // fresh relations are swapped in at the end of the round.
+  size_t round = 0;
+  while (true) {
+    ++round;
+    ++stats_.iterations;
+    if (options_.max_iterations != 0 && round > options_.max_iterations) {
+      return Status::Divergence(
+          "naive fixpoint did not converge within " +
+          std::to_string(options_.max_iterations) +
+          " iterations (a non-monotonic system such as section 3.3's "
+          "'nonsense' has no limit)");
+    }
+    scratch_.clear();
+
+    std::vector<std::unique_ptr<Relation>> fresh;
+    fresh.reserve(component.size());
+    for (int n : component) {
+      auto rel = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(n)].result_schema);
+      DATACON_RETURN_IF_ERROR(EvaluateNodeBody(n, rel.get()));
+      fresh.push_back(std::move(rel));
+    }
+
+    bool changed = false;
+    for (size_t i = 0; i < component.size(); ++i) {
+      if (!fresh[i]->SameTuples(*totals_[static_cast<size_t>(component[i])])) {
+        changed = true;
+        break;
+      }
+    }
+    for (size_t i = 0; i < component.size(); ++i) {
+      totals_[static_cast<size_t>(component[i])] = std::move(fresh[i]);
+    }
+    if (!changed) break;
+  }
+  iterating_nodes_.clear();
+  return Status::OK();
+}
+
+Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
+  iterating_nodes_.clear();
+  iterating_nodes_.insert(component.begin(), component.end());
+  std::set<int> in_component(component.begin(), component.end());
+
+  // Pre-analyze each branch: which bindings are recursive (range over an
+  // in-component application) and whether the predicate itself references
+  // the component (through a quantifier or membership range), which makes
+  // the branch non-differentiable — it is then fully re-evaluated each
+  // round, which is sound (monotonicity) if slower.
+  struct BranchInfo {
+    const Branch* branch;
+    int owner;
+    std::vector<int> binding_nodes;  // in-component node id per binding, or -1
+    bool differentiable = true;
+    bool recursive = false;
+  };
+  std::vector<BranchInfo> infos;
+  for (int n : component) {
+    const ApplicationGraph::Node& node =
+        graph_->nodes()[static_cast<size_t>(n)];
+    for (const BranchPtr& branch : node.body->branches()) {
+      BranchInfo info;
+      info.branch = branch.get();
+      info.owner = n;
+      for (const Binding& b : branch->bindings()) {
+        int id = -1;
+        RangeSplit split = SplitAtLastConstructor(*b.range);
+        if (split.ctor_head.has_value()) {
+          DATACON_ASSIGN_OR_RETURN(int found,
+                                   graph_->FindNode(**split.ctor_head));
+          if (in_component.count(found) > 0) {
+            id = found;
+            info.recursive = true;
+          }
+        }
+        info.binding_nodes.push_back(id);
+      }
+      Status scan_status = Status::OK();
+      ForEachRangeWithParity(
+          *branch->pred(), 0, [&](const Range& range, int /*parity*/) {
+            if (!scan_status.ok() || !range.ContainsConstructor()) return;
+            RangeSplit split = SplitAtLastConstructor(range);
+            Result<int> found = graph_->FindNode(**split.ctor_head);
+            if (!found.ok()) {
+              scan_status = found.status();
+              return;
+            }
+            if (in_component.count(found.value()) > 0) {
+              info.differentiable = false;
+              info.recursive = true;
+            }
+          });
+      DATACON_RETURN_IF_ERROR(scan_status);
+      infos.push_back(std::move(info));
+    }
+  }
+
+  // Round 0: evaluate every body with in-component references bound to the
+  // empty relation — f(EMPTY), the seed of the Tarski iteration.
+  std::vector<std::unique_ptr<Relation>> empties;
+  for (int n : component) {
+    totals_[static_cast<size_t>(n)] = std::make_unique<Relation>(
+        graph_->nodes()[static_cast<size_t>(n)].result_schema);
+    empties.push_back(std::make_unique<Relation>(
+        graph_->nodes()[static_cast<size_t>(n)].result_schema));
+  }
+  for (size_t i = 0; i < component.size(); ++i) {
+    overrides_[component[i]] = empties[i].get();
+  }
+  std::map<int, std::unique_ptr<Relation>> deltas;
+  scratch_.clear();
+  for (int n : component) {
+    auto raw = std::make_unique<Relation>(
+        graph_->nodes()[static_cast<size_t>(n)].result_schema);
+    DATACON_RETURN_IF_ERROR(EvaluateNodeBody(n, raw.get()));
+    DATACON_RETURN_IF_ERROR(
+        totals_[static_cast<size_t>(n)]->InsertAll(*raw));
+    deltas[n] = std::move(raw);
+  }
+  overrides_.clear();
+  ++stats_.iterations;
+
+  // Differential rounds.
+  while (true) {
+    bool any_delta = false;
+    for (int n : component) {
+      if (!deltas[n]->empty()) {
+        any_delta = true;
+        break;
+      }
+    }
+    if (!any_delta) break;
+
+    ++stats_.iterations;
+    if (options_.max_iterations != 0 &&
+        stats_.iterations > options_.max_iterations) {
+      return Status::Divergence("semi-naive fixpoint exceeded iteration bound");
+    }
+    scratch_.clear();
+
+    std::map<int, std::unique_ptr<Relation>> raws;
+    for (int n : component) {
+      raws[n] = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(n)].result_schema);
+    }
+
+    for (const BranchInfo& info : infos) {
+      if (!info.recursive) continue;  // contributes in round 0 only
+      Relation* out = raws[info.owner].get();
+      if (!info.differentiable) {
+        DATACON_RETURN_IF_ERROR(EvaluateBranch(*info.branch, out));
+        continue;
+      }
+      // One differential evaluation per recursive binding occurrence: that
+      // occurrence ranges over the last round's delta, all others over the
+      // full current approximations. Every derivation involving at least
+      // one new tuple is covered (deltas are subsets of the totals).
+      const std::vector<Binding>& bindings = info.branch->bindings();
+      for (size_t i = 0; i < bindings.size(); ++i) {
+        if (info.binding_nodes[i] < 0) continue;
+        std::vector<ResolvedBinding> resolved;
+        resolved.reserve(bindings.size());
+        Status status = Status::OK();
+        for (size_t j = 0; j < bindings.size(); ++j) {
+          const Relation* rel = nullptr;
+          if (j == i) {
+            // The delta occurrence, with any trailing selectors applied.
+            RangeSplit split = SplitAtLastConstructor(*bindings[j].range);
+            const Relation* base = deltas[info.binding_nodes[i]].get();
+            if (split.trailing_selectors.empty()) {
+              rel = base;
+            } else {
+              const Relation* current = base;
+              for (const RangeApp& app : split.trailing_selectors) {
+                auto filtered = ApplySelector(*current, app);
+                if (!filtered.ok()) {
+                  status = filtered.status();
+                  break;
+                }
+                scratch_.push_back(std::move(filtered).value());
+                current = scratch_.back().get();
+              }
+              rel = current;
+            }
+          } else {
+            Result<const Relation*> r = Resolve(*bindings[j].range);
+            if (!r.ok()) {
+              status = r.status();
+              break;
+            }
+            rel = r.value();
+          }
+          if (!status.ok()) break;
+          resolved.push_back(ResolvedBinding{bindings[j].var, rel});
+        }
+        DATACON_RETURN_IF_ERROR(status);
+        Evaluator eval(this);
+        BranchExecStats exec_stats;
+        DATACON_RETURN_IF_ERROR(ExecuteBranch(*info.branch, resolved, eval,
+                                              params_, out, &exec_stats,
+                                              options_.exec));
+        stats_.tuples_considered += exec_stats.env_count;
+      }
+    }
+
+    // new_delta = raw - total; then fold the deltas into the totals.
+    bool grew = false;
+    for (int n : component) {
+      auto new_delta = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(n)].result_schema);
+      for (const Tuple& t : raws[n]->tuples()) {
+        if (!totals_[static_cast<size_t>(n)]->Contains(t)) {
+          DATACON_ASSIGN_OR_RETURN(bool inserted, new_delta->Insert(t));
+          (void)inserted;
+        }
+      }
+      if (!new_delta->empty()) {
+        grew = true;
+        DATACON_RETURN_IF_ERROR(
+            totals_[static_cast<size_t>(n)]->InsertAll(*new_delta));
+        stats_.tuples_inserted += new_delta->size();
+      }
+      deltas[n] = std::move(new_delta);
+    }
+    if (!grew) break;
+  }
+
+  iterating_nodes_.clear();
+  return Status::OK();
+}
+
+Status SystemEvaluator::EvaluateNodeBody(int node, Relation* out) {
+  const ApplicationGraph::Node& n = graph_->nodes()[static_cast<size_t>(node)];
+  for (const BranchPtr& branch : n.body->branches()) {
+    DATACON_RETURN_IF_ERROR(EvaluateBranch(*branch, out));
+  }
+  return Status::OK();
+}
+
+Status SystemEvaluator::EvaluateBranch(const Branch& branch, Relation* out) {
+  std::vector<ResolvedBinding> resolved;
+  resolved.reserve(branch.bindings().size());
+  for (const Binding& b : branch.bindings()) {
+    DATACON_ASSIGN_OR_RETURN(const Relation* rel, Resolve(*b.range));
+    resolved.push_back(ResolvedBinding{b.var, rel});
+  }
+  Evaluator eval(this);
+  BranchExecStats exec_stats;
+  DATACON_RETURN_IF_ERROR(ExecuteBranch(branch, resolved, eval, params_, out,
+                                        &exec_stats, options_.exec));
+  stats_.tuples_considered += exec_stats.env_count;
+  stats_.tuples_inserted += exec_stats.inserted;
+  return Status::OK();
+}
+
+Result<const Relation*> SystemEvaluator::Resolve(const Range& range) const {
+  RangeSplit split = SplitAtLastConstructor(range);
+  const Relation* base = nullptr;
+  bool stable = true;
+
+  if (split.ctor_head.has_value()) {
+    DATACON_ASSIGN_OR_RETURN(int node, graph_->FindNode(**split.ctor_head));
+    auto ov = overrides_.find(node);
+    if (ov != overrides_.end()) {
+      base = ov->second;
+      stable = false;
+    } else {
+      if (totals_[static_cast<size_t>(node)] == nullptr) {
+        return Status::Internal("application '" + ToString(**split.ctor_head) +
+                                "' resolved before materialization");
+      }
+      base = totals_[static_cast<size_t>(node)].get();
+      if (iterating_nodes_.count(node) > 0) stable = false;
+    }
+  } else {
+    DATACON_ASSIGN_OR_RETURN(base, catalog_->LookupRelation(split.base_relation));
+  }
+
+  if (split.trailing_selectors.empty()) return base;
+
+  std::string key = ToString(range);
+  if (stable) {
+    auto it = source_cache_.find(key);
+    if (it != source_cache_.end()) return it->second.get();
+  }
+
+  const Relation* current = base;
+  std::unique_ptr<Relation> owned;
+  for (const RangeApp& app : split.trailing_selectors) {
+    DATACON_ASSIGN_OR_RETURN(owned, ApplySelector(*current, app));
+    current = owned.get();
+    scratch_.push_back(std::move(owned));
+  }
+  // The final filtered relation lives in scratch_; promote it to the cache
+  // when the source is stable.
+  if (stable) {
+    source_cache_[key] = std::move(scratch_.back());
+    scratch_.pop_back();
+    return source_cache_[key].get();
+  }
+  return current;
+}
+
+Result<std::unique_ptr<Relation>> SystemEvaluator::ApplySelector(
+    const Relation& input, const RangeApp& app) const {
+  DATACON_ASSIGN_OR_RETURN(const SelectorDecl* sel,
+                           catalog_->LookupSelector(app.name));
+  if (app.term_args.size() != sel->params().size()) {
+    return Status::TypeError("selector '" + app.name +
+                             "' argument count mismatch");
+  }
+  Evaluator eval(this);
+  Environment env = params_;
+  for (size_t i = 0; i < app.term_args.size(); ++i) {
+    // Selector arguments in range position must be constants (literals or
+    // prepared-query parameters); correlated arguments would need an outer
+    // environment that range resolution does not carry.
+    Result<Value> v = eval.EvalTerm(*app.term_args[i], params_);
+    if (!v.ok()) {
+      return Status::Unsupported(
+          "selector argument '" + ToString(*app.term_args[i]) +
+          "' is not a constant: " + v.status().message());
+    }
+    env.BindParam(sel->params()[i].name, std::move(v).value());
+  }
+
+  auto out = std::make_unique<Relation>(input.schema());
+  for (const Tuple& t : input.tuples()) {
+    env.Bind(sel->var(), &t, &input.schema());
+    DATACON_ASSIGN_OR_RETURN(bool keep, eval.EvalPred(*sel->pred(), env));
+    if (keep) {
+      DATACON_ASSIGN_OR_RETURN(bool inserted, out->Insert(t));
+      (void)inserted;
+    }
+  }
+  return out;
+}
+
+}  // namespace datacon

@@ -1,0 +1,148 @@
+#ifndef DATACON_CORE_FIXPOINT_H_
+#define DATACON_CORE_FIXPOINT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/branch.h"
+#include "common/result.h"
+#include "core/catalog.h"
+#include "core/instantiate.h"
+#include "ra/branch_plan.h"
+#include "ra/env.h"
+#include "ra/resolver.h"
+#include "storage/relation.h"
+
+namespace datacon {
+
+/// Evaluation strategy for recursive components (section 3.2 / section 4).
+enum class FixpointStrategy {
+  /// The paper's REPEAT loop verbatim: every round recomputes every g_j
+  /// from the full previous approximations (Jacobi iteration).
+  kNaive,
+  /// Differential evaluation: each round joins only against the tuples new
+  /// in the previous round. Requires monotonicity (positivity).
+  kSemiNaive,
+};
+
+/// Options controlling system evaluation.
+struct EvalOptions {
+  FixpointStrategy strategy = FixpointStrategy::kSemiNaive;
+  /// Physical execution knobs (hash-join ablation etc.).
+  BranchExecOptions exec;
+  /// Evaluate even non-positive systems by plain iteration, bounded by
+  /// `max_iterations`. Exists to demonstrate the section 3.3 examples
+  /// (`strange` converges, `nonsense` oscillates forever); forces kNaive.
+  bool unchecked = false;
+  /// Iteration bound per recursive component; 0 means unbounded. Exceeding
+  /// it yields kDivergence.
+  size_t max_iterations = 0;
+};
+
+/// Counters reported by evaluation, consumed by EXPLAIN and the benchmarks.
+struct EvalStats {
+  /// Fixpoint rounds summed over all recursive components.
+  size_t iterations = 0;
+  /// Environments reaching branch output (tuples considered before dedup).
+  size_t tuples_considered = 0;
+  /// Tuples actually added across all application relations.
+  size_t tuples_inserted = 0;
+};
+
+/// Evaluates an instantiated application system (level 3 of the paper's
+/// framework): components of the application graph are materialized in
+/// dependency order — acyclic components in a single pass, cyclic ones by
+/// naive or semi-naive least-fixpoint iteration.
+///
+/// The evaluator doubles as the RelationResolver for predicate-level range
+/// references (quantifiers, membership): during iteration, in-component
+/// references resolve to the current approximation.
+class SystemEvaluator : public RelationResolver {
+ public:
+  /// `catalog` and `graph` must outlive the evaluator. `params` carries the
+  /// scalar placeholder bindings of a prepared query form (empty for plain
+  /// evaluation).
+  SystemEvaluator(const Catalog* catalog, const ApplicationGraph* graph,
+                  EvalOptions options, Environment params = {});
+
+  /// Pre-installs an externally computed relation for `node` — the hook
+  /// used by capture rules (section 4): a recognized special case (e.g.
+  /// transitive closure) is materialized by a specialized algorithm and the
+  /// generic fixpoint skips it. Must be called before MaterializeAll.
+  Status InstallNodeRelation(int node, std::unique_ptr<Relation> rel);
+
+  /// Materializes every application node not already installed. Must be
+  /// called exactly once, before NodeRelation/EvaluateExpr.
+  Status MaterializeAll();
+
+  /// The materialized relation of application node `node`.
+  Result<const Relation*> NodeRelation(int node) const;
+
+  /// Evaluates a query expression against the materialized system into a
+  /// fresh relation over `result_schema`.
+  Result<Relation> EvaluateExpr(const CalcExpr& expr,
+                                const Schema& result_schema);
+
+  /// RelationResolver: resolves a fully-substituted range. Constructor
+  /// heads resolve to (current approximations of) application relations;
+  /// plain bases to catalog relations; trailing selector applications are
+  /// applied on top.
+  Result<const Relation*> Resolve(const Range& range) const override;
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  /// Single-pass evaluation of a non-recursive node.
+  Status EvaluateAcyclicNode(int node);
+
+  /// Naive (Jacobi) fixpoint over one cyclic component.
+  Status NaiveFixpoint(const std::vector<int>& component);
+
+  /// Semi-naive fixpoint over one cyclic component.
+  Status SemiNaiveFixpoint(const std::vector<int>& component);
+
+  /// Evaluates every branch of `node`'s body into `out`, resolving ranges
+  /// through `this` (honouring `overrides_`).
+  Status EvaluateNodeBody(int node, Relation* out);
+
+  /// Evaluates a single branch into `out`.
+  Status EvaluateBranch(const Branch& branch, Relation* out);
+
+  /// Materializes the base relation + selector chain of a split range.
+  Result<const Relation*> ResolveSource(const RangeSplit& split,
+                                        const std::string& cache_key) const;
+
+  /// Applies one selector application to `input`.
+  Result<std::unique_ptr<Relation>> ApplySelector(const Relation& input,
+                                                  const RangeApp& app) const;
+
+  const Catalog* catalog_;
+  const ApplicationGraph* graph_;
+  EvalOptions options_;
+  Environment params_;
+
+  std::vector<std::unique_ptr<Relation>> totals_;
+  bool materialized_ = false;
+
+  /// During a fixpoint round, remaps in-component node ids to a snapshot or
+  /// delta relation.
+  mutable std::map<int, const Relation*> overrides_;
+  /// Nodes of the component currently being iterated; ranges over these are
+  /// never cached.
+  std::set<int> iterating_nodes_;
+
+  /// Cache for materialized selector chains over stable sources.
+  mutable std::map<std::string, std::unique_ptr<Relation>> source_cache_;
+  /// Keeps ephemeral (uncacheable) materializations alive for the duration
+  /// of the evaluation step that requested them.
+  mutable std::vector<std::unique_ptr<Relation>> scratch_;
+
+  EvalStats stats_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_FIXPOINT_H_

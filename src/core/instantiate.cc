@@ -1,0 +1,177 @@
+#include "core/instantiate.h"
+
+#include "ast/printer.h"
+#include "common/check.h"
+#include "core/positivity.h"
+#include "core/subst.h"
+
+namespace datacon {
+
+RangeSplit SplitAtLastConstructor(const Range& range) {
+  RangeSplit split;
+  int last_ctor = -1;
+  const std::vector<RangeApp>& apps = range.apps();
+  for (size_t i = 0; i < apps.size(); ++i) {
+    if (apps[i].kind == RangeApp::Kind::kConstructor) {
+      last_ctor = static_cast<int>(i);
+    }
+  }
+  if (last_ctor < 0) {
+    split.base_relation = range.relation();
+    split.trailing_selectors = apps;
+    return split;
+  }
+  std::vector<RangeApp> head_apps(apps.begin(),
+                                  apps.begin() + last_ctor + 1);
+  split.ctor_head =
+      std::make_shared<Range>(range.relation(), std::move(head_apps));
+  split.base_relation = range.relation();
+  split.trailing_selectors.assign(apps.begin() + last_ctor + 1, apps.end());
+  return split;
+}
+
+Status ApplicationGraph::AddRoots(const CalcExpr& expr) {
+  DATACON_RETURN_IF_ERROR(ScanExpr(expr, /*from_node=*/-1));
+  return DrainPending();
+}
+
+Result<int> ApplicationGraph::AddRootRange(const Range& range) {
+  RangeSplit split = SplitAtLastConstructor(range);
+  if (!split.ctor_head.has_value()) return -1;
+  DATACON_ASSIGN_OR_RETURN(int root, NodeFor(*split.ctor_head));
+  DATACON_RETURN_IF_ERROR(DrainPending());
+  return root;
+}
+
+Status ApplicationGraph::DrainPending() {
+  while (!pending_.empty()) {
+    int id = pending_.back();
+    pending_.pop_back();
+    DATACON_RETURN_IF_ERROR(
+        ScanExpr(*nodes_[static_cast<size_t>(id)].body, id));
+  }
+  return Status::OK();
+}
+
+Result<int> ApplicationGraph::FindNode(const Range& head) const {
+  auto it = key_to_node_.find(ToString(head));
+  if (it == key_to_node_.end()) {
+    return Status::NotFound("application '" + ToString(head) +
+                            "' was not instantiated");
+  }
+  return it->second;
+}
+
+Digraph ApplicationGraph::BuildDigraph() const {
+  Digraph g(static_cast<int>(nodes_.size()));
+  for (const AppEdge& e : edges_) g.AddEdge(e.from, e.to);
+  return g;
+}
+
+Result<SccDecomposition> ApplicationGraph::Stratify() const {
+  SccDecomposition scc = ComputeScc(BuildDigraph());
+  for (const AppEdge& e : edges_) {
+    if (!e.negative) continue;
+    if (scc.component_of[static_cast<size_t>(e.from)] ==
+        scc.component_of[static_cast<size_t>(e.to)]) {
+      return Status::PositivityViolation(
+          "application '" + nodes_[static_cast<size_t>(e.from)].key +
+          "' depends negatively on '" + nodes_[static_cast<size_t>(e.to)].key +
+          "' within the same recursive component; the system is not "
+          "stratifiable");
+    }
+  }
+  return scc;
+}
+
+Result<int> ApplicationGraph::NodeFor(const RangePtr& head) {
+  std::string key = ToString(*head);
+  auto it = key_to_node_.find(key);
+  if (it != key_to_node_.end()) return it->second;
+
+  if (nodes_.size() >= kMaxNodes) {
+    return Status::Unsupported(
+        "constructor instantiation exceeded " + std::to_string(kMaxNodes) +
+        " distinct applications; the application set does not close");
+  }
+
+  DATACON_CHECK(!head->apps().empty() &&
+                    head->apps().back().kind == RangeApp::Kind::kConstructor,
+                "NodeFor requires a range ending in a constructor application");
+  const RangeApp& app = head->apps().back();
+
+  DATACON_ASSIGN_OR_RETURN(const ConstructorDecl* ctor,
+                           catalog_->LookupConstructor(app.name));
+
+  // The base of the application: the head minus its final application.
+  std::vector<RangeApp> base_apps(head->apps().begin(),
+                                  head->apps().end() - 1);
+  RangePtr base = std::make_shared<Range>(head->relation(),
+                                          std::move(base_apps));
+
+  // Section 3.2: replace all formal parameters by their actual values.
+  Substitution subst;
+  subst.relations.emplace(ctor->base().name, base);
+  if (app.range_args.size() != ctor->rel_params().size()) {
+    return Status::TypeError("constructor '" + app.name +
+                             "' relation-argument count mismatch");
+  }
+  for (size_t i = 0; i < app.range_args.size(); ++i) {
+    subst.relations.emplace(ctor->rel_params()[i].name, app.range_args[i]);
+  }
+  if (app.term_args.size() != ctor->scalar_params().size()) {
+    return Status::TypeError("constructor '" + app.name +
+                             "' scalar-argument count mismatch");
+  }
+  for (size_t i = 0; i < app.term_args.size(); ++i) {
+    subst.scalars.emplace(ctor->scalar_params()[i].name, app.term_args[i]);
+  }
+
+  Node node;
+  node.key = key;
+  node.ctor = ctor;
+  node.base = base;
+  node.body = SubstituteExpr(ctor->body(), subst);
+  DATACON_ASSIGN_OR_RETURN(
+      const Schema* result_schema,
+      catalog_->LookupRelationType(ctor->result_type_name()));
+  node.result_schema = *result_schema;
+
+  int id = static_cast<int>(nodes_.size());
+  // Register the key immediately so recursive references resolve to this
+  // node instead of expanding forever — the finite representation of the
+  // infinite derivation sequence. The body is scanned later by
+  // DrainPending.
+  key_to_node_.emplace(std::move(key), id);
+  nodes_.push_back(std::move(node));
+  pending_.push_back(id);
+  return id;
+}
+
+Status ApplicationGraph::ScanExpr(const CalcExpr& expr, int from_node) {
+  // Collect first, then recurse: ForEachRangeWithParity takes a plain
+  // callback, and instantiation can itself extend the graph.
+  struct Occurrence {
+    RangePtr head;
+    bool negative;
+  };
+  std::vector<Occurrence> occurrences;
+  for (const BranchPtr& branch : expr.branches()) {
+    ForEachRangeWithParity(*branch, [&](const Range& range, int parity) {
+      if (!range.ContainsConstructor()) return;
+      RangeSplit split = SplitAtLastConstructor(range);
+      DATACON_CHECK(split.ctor_head.has_value(),
+                    "constructor-containing range with no head");
+      occurrences.push_back(Occurrence{*split.ctor_head, parity % 2 != 0});
+    });
+  }
+  for (const Occurrence& occ : occurrences) {
+    DATACON_ASSIGN_OR_RETURN(int to, NodeFor(occ.head));
+    if (from_node >= 0) {
+      edges_.push_back(AppEdge{from_node, to, occ.negative});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace datacon

@@ -1,0 +1,123 @@
+#ifndef DATACON_CORE_INSTANTIATE_H_
+#define DATACON_CORE_INSTANTIATE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/range.h"
+#include "common/result.h"
+#include "core/catalog.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+
+namespace datacon {
+
+/// Decomposition of a range expression around its last top-level
+/// constructor application:
+///   `Infront [s1] {ahead(Ontop)} [s2]`
+/// splits into head `Infront [s1] {ahead(Ontop)}` (the application to
+/// instantiate) and trailing selector applications `[s2]` (applied to the
+/// materialized application at evaluation time). A range without any
+/// constructor application has no head: it denotes `base_relation`
+/// restricted by `trailing_selectors`.
+struct RangeSplit {
+  /// Present iff the range contains a constructor application; a range
+  /// ending exactly at that application.
+  std::optional<RangePtr> ctor_head;
+  std::string base_relation;
+  std::vector<RangeApp> trailing_selectors;
+};
+
+RangeSplit SplitAtLastConstructor(const Range& range);
+
+/// A dependency edge between constructor applications; `negative` marks
+/// references occurring at odd NOT/ALL parity (only producible when the
+/// strict positivity check is replaced by the stratified-negation
+/// extension).
+struct AppEdge {
+  int from;
+  int to;
+  bool negative;
+};
+
+/// The instantiated system of constructor applications referenced by a set
+/// of root expressions — the paper's finite representation of the possibly
+/// infinite derivation sequence ([Naqv 84], [Venk 84]), equivalent to a
+/// clause interconnectivity graph [Sick 76].
+///
+/// Each node is one application `Actrel{c(...)}` with all formals replaced
+/// by actuals (section 3.2's `g_j`); edges record which applications a
+/// node's body references. The SCC condensation of this graph drives
+/// evaluation: acyclic components in one pass, cyclic ones by fixpoint.
+class ApplicationGraph {
+ public:
+  struct Node {
+    /// Canonical printed form of the application range; the node identity.
+    std::string key;
+    const ConstructorDecl* ctor;
+    /// The application's base range (the head minus its final application).
+    RangePtr base;
+    /// Fully substituted body: no formal names remain.
+    CalcExprPtr body;
+    Schema result_schema;
+  };
+
+  /// Instantiation is bounded to catch programs whose applications never
+  /// close under substitution (not expressible through plain parameter
+  /// passing, but cheap to guard against).
+  static constexpr size_t kMaxNodes = 2000;
+
+  explicit ApplicationGraph(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Instantiates every application reachable from `expr`.
+  Status AddRoots(const CalcExpr& expr);
+
+  /// Instantiates every application reachable from `range`; returns the
+  /// node id for the range's own head, or -1 when the range contains no
+  /// constructor application.
+  Result<int> AddRootRange(const Range& range);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<AppEdge>& edges() const { return edges_; }
+
+  /// The node id of an already-instantiated head range.
+  Result<int> FindNode(const Range& head) const;
+
+  /// The dependency digraph (edge from -> to means "from's body references
+  /// to") over the current nodes.
+  Digraph BuildDigraph() const;
+
+  /// SCC decomposition in dependencies-first order, with a stratification
+  /// check: a negative edge inside a cyclic component makes the system
+  /// non-stratifiable and yields kPositivityViolation.
+  Result<SccDecomposition> Stratify() const;
+
+ private:
+  /// Memoizing node construction for a head range (must end in a
+  /// constructor application). Creation only enqueues the node; its body is
+  /// scanned by DrainPending — instantiation is iterative, so runaway
+  /// application sets hit the node bound instead of the thread stack.
+  Result<int> NodeFor(const RangePtr& head);
+
+  /// Scans an expression for constructor-containing ranges, creating nodes
+  /// and recording edges from `from_node` (or roots when -1).
+  Status ScanExpr(const CalcExpr& expr, int from_node);
+
+  /// Scans the bodies of all nodes created but not yet processed.
+  Status DrainPending();
+
+  const Catalog* catalog_;
+  std::vector<Node> nodes_;
+  std::vector<AppEdge> edges_;
+  std::map<std::string, int> key_to_node_;
+  std::vector<int> pending_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_INSTANTIATE_H_

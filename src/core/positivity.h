@@ -1,0 +1,50 @@
+#ifndef DATACON_CORE_POSITIVITY_H_
+#define DATACON_CORE_POSITIVITY_H_
+
+#include <functional>
+
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/pred.h"
+#include "ast/range.h"
+#include "common/status.h"
+
+namespace datacon {
+
+/// Invokes `fn(range, parity)` for every range expression occurring in the
+/// branch — binding ranges, quantifier ranges, and membership ranges —
+/// where `parity` is the total number of enclosing NOTs and ALLs, counted
+/// exactly as defined in section 3.3 of the paper:
+///
+///  * everything inside `NOT f` is under that NOT;
+///  * the *range* of `ALL v IN exp (p)` is under that ALL, but names
+///    occurring only in the body `p` are not;
+///  * branch binding ranges are at parity 0.
+///
+/// Constructor arguments nested inside a range share the range's parity
+/// (`fn` receives the outermost range; use Range::ContainsConstructor to
+/// inspect nesting).
+void ForEachRangeWithParity(
+    const Branch& branch,
+    const std::function<void(const Range&, int parity)>& fn);
+
+/// Same traversal over a bare predicate, starting at `initial_parity`.
+void ForEachRangeWithParity(
+    const Pred& pred, int initial_parity,
+    const std::function<void(const Range&, int parity)>& fn);
+
+/// The positivity constraint of section 3.3: every range containing a
+/// constructor application must occur under an even number of NOTs and
+/// ALLs. Violations yield kPositivityViolation with a message naming the
+/// offending occurrence — this is the test the DBPL compiler applies to
+/// reject `nonsense` (and, deliberately, the converging-but-non-monotonic
+/// `strange`).
+Status CheckPositivity(const ConstructorDecl& decl);
+
+/// Positivity of a single expression body (used for queries pushed into
+/// constructor bodies, section 4, case 3).
+Status CheckPositivity(const CalcExpr& expr);
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_POSITIVITY_H_

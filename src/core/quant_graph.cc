@@ -1,0 +1,168 @@
+#include "core/quant_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ast/printer.h"
+#include "core/positivity.h"
+#include "ra/analysis.h"
+
+namespace datacon {
+
+std::string QuantGraph::ToDot() const {
+  std::string out = "digraph quant {\n";
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" + nodes[i].label + "\"";
+    if (nodes[i].kind == Node::Kind::kHead) out += ", shape=box";
+    out += "];\n";
+  }
+  for (const Arc& a : arcs) {
+    out += "  n" + std::to_string(a.from) + " -> n" + std::to_string(a.to) +
+           " [label=\"" + a.label + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+QuantGraph BuildAugmentedQuantGraph(const ConstructorDecl& decl,
+                                    const Catalog& catalog) {
+  QuantGraph g;
+  g.nodes.push_back(QuantGraph::Node{QuantGraph::Node::Kind::kHead,
+                                     "CONSTRUCTOR " + decl.name() + " FOR " +
+                                         decl.base().name + ": " +
+                                         decl.base().type_name + " () : " +
+                                         decl.result_type_name()});
+
+  Result<const Schema*> result_schema =
+      catalog.LookupRelationType(decl.result_type_name());
+
+  for (const BranchPtr& branch : decl.body()->branches()) {
+    std::map<std::string, int> var_node;
+    for (const Binding& b : branch->bindings()) {
+      int id = static_cast<int>(g.nodes.size());
+      g.nodes.push_back(QuantGraph::Node{
+          QuantGraph::Node::Kind::kVariable,
+          "EACH " + b.var + " IN " + ToString(*b.range)});
+      var_node[b.var] = id;
+
+      // Step 2: a quantified node whose range is constructed points back to
+      // the corresponding constructor head. Self-recursion points at this
+      // head; other constructors are labelled by name.
+      for (const RangeApp& app : b.range->apps()) {
+        if (app.kind != RangeApp::Kind::kConstructor) continue;
+        if (app.name == decl.name()) {
+          g.arcs.push_back(QuantGraph::Arc{id, 0, "recursive"});
+        } else {
+          g.arcs.push_back(QuantGraph::Arc{id, 0, "uses " + app.name});
+        }
+      }
+    }
+
+    // Head arcs: the attribute relationships between the result relation
+    // and the range definitions (Fig. 3's "front = head" style arcs).
+    auto arc_for_target = [&](int position, const Term& term) {
+      if (term.kind() != Term::Kind::kFieldRef) return;
+      const auto& f = static_cast<const FieldRefTerm&>(term);
+      auto it = var_node.find(f.var());
+      if (it == var_node.end()) return;
+      std::string result_field =
+          result_schema.ok()
+              ? result_schema.value()->field(position).name
+              : std::to_string(position);
+      g.arcs.push_back(
+          QuantGraph::Arc{0, it->second, result_field + " = " + f.field()});
+    };
+    if (branch->targets().has_value()) {
+      int i = 0;
+      for (const TermPtr& t : *branch->targets()) arc_for_target(i++, *t);
+    } else if (!branch->bindings().empty()) {
+      auto it = var_node.find(branch->bindings()[0].var);
+      if (it != var_node.end()) {
+        g.arcs.push_back(QuantGraph::Arc{0, it->second, "="});
+      }
+    }
+
+    // Join arcs between variable nodes, one per equi-join conjunct, in
+    // quantifier direction (outside in).
+    for (const PredPtr& conjunct : FlattenConjuncts(branch->pred())) {
+      if (conjunct->kind() != Pred::Kind::kCompare) continue;
+      const auto& cmp = static_cast<const ComparePred&>(*conjunct);
+      if (cmp.op() != CompareOp::kEq) continue;
+      if (cmp.lhs()->kind() != Term::Kind::kFieldRef ||
+          cmp.rhs()->kind() != Term::Kind::kFieldRef) {
+        continue;
+      }
+      const auto& l = static_cast<const FieldRefTerm&>(*cmp.lhs());
+      const auto& r = static_cast<const FieldRefTerm&>(*cmp.rhs());
+      auto li = var_node.find(l.var());
+      auto ri = var_node.find(r.var());
+      if (li == var_node.end() || ri == var_node.end() ||
+          li->second == ri->second) {
+        continue;
+      }
+      g.arcs.push_back(QuantGraph::Arc{
+          li->second, ri->second, l.field() + " = " + r.field()});
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<std::string>> PartitionDefinitions(
+    const Catalog& catalog) {
+  // Name-level graph: each constructor connects to every constructor and
+  // relation type name its signature and body mention.
+  std::map<std::string, std::set<std::string>> adjacency;
+  auto connect = [&](const std::string& a, const std::string& b) {
+    adjacency[a].insert(b);
+    adjacency[b].insert(a);
+  };
+
+  for (const auto& [name, decl] : catalog.constructors()) {
+    const std::string ctor_node = "constructor:" + name;
+    connect(ctor_node, "type:" + decl->base().type_name);
+    connect(ctor_node, "type:" + decl->result_type_name());
+    for (const FormalRelation& r : decl->rel_params()) {
+      connect(ctor_node, "type:" + r.type_name);
+    }
+    for (const BranchPtr& branch : decl->body()->branches()) {
+      ForEachRangeWithParity(*branch, [&](const Range& range, int) {
+        for (const RangeApp& app : range.apps()) {
+          if (app.kind == RangeApp::Kind::kConstructor) {
+            connect(ctor_node, "constructor:" + app.name);
+          }
+        }
+      });
+    }
+  }
+
+  std::set<std::string> visited;
+  std::vector<std::vector<std::string>> components;
+  for (const auto& [name, unused] : catalog.constructors()) {
+    (void)unused;
+    const std::string start = "constructor:" + name;
+    if (visited.count(start) > 0) continue;
+    std::vector<std::string> stack = {start};
+    std::vector<std::string> ctors, types;
+    visited.insert(start);
+    while (!stack.empty()) {
+      std::string node = stack.back();
+      stack.pop_back();
+      if (node.rfind("constructor:", 0) == 0) {
+        ctors.push_back(node.substr(12));
+      } else {
+        types.push_back(node.substr(5));
+      }
+      for (const std::string& next : adjacency[node]) {
+        if (visited.insert(next).second) stack.push_back(next);
+      }
+    }
+    std::sort(ctors.begin(), ctors.end());
+    std::sort(types.begin(), types.end());
+    ctors.insert(ctors.end(), types.begin(), types.end());
+    components.push_back(std::move(ctors));
+  }
+  return components;
+}
+
+}  // namespace datacon

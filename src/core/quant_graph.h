@@ -1,0 +1,55 @@
+#ifndef DATACON_CORE_QUANT_GRAPH_H_
+#define DATACON_CORE_QUANT_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/decl.h"
+#include "core/catalog.h"
+
+namespace datacon {
+
+/// The augmented quant graph of Figure 3: a quant graph ([JaKo 83]) with a
+/// special node for the constructor head and arcs for the attribute
+/// relationships between the result relation and the range definitions,
+/// plus arcs from quantified nodes with constructed ranges back to the
+/// constructor head (step 2 — the clause interconnectivity graph).
+///
+/// DataCon uses the application graph (instantiate.h) for actual
+/// scheduling; the quant graph is the explainable artifact: EXPLAIN and the
+/// compilation benchmark render it, and tests pin its shape for the
+/// paper's `ahead` example.
+struct QuantGraph {
+  struct Node {
+    enum class Kind { kHead, kVariable };
+    Kind kind;
+    std::string label;
+  };
+  struct Arc {
+    int from;
+    int to;
+    std::string label;
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Arc> arcs;
+
+  /// Renders the graph in Graphviz DOT syntax.
+  std::string ToDot() const;
+};
+
+/// Builds the augmented quant graph of one constructor definition.
+QuantGraph BuildAugmentedQuantGraph(const ConstructorDecl& decl,
+                                    const Catalog& catalog);
+
+/// Level-1 partitioning (section 4): the connected components of the
+/// name-level definition graph over constructor names and the relation
+/// type names they mention. Each component lists constructor names first,
+/// then type names, both sorted. Components that contain no constructor
+/// are omitted.
+std::vector<std::vector<std::string>> PartitionDefinitions(
+    const Catalog& catalog);
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_QUANT_GRAPH_H_

@@ -1,0 +1,72 @@
+#ifndef DATACON_CORE_SEMANTICS_H_
+#define DATACON_CORE_SEMANTICS_H_
+
+#include <map>
+#include <string>
+
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/pred.h"
+#include "ast/range.h"
+#include "ast/term.h"
+#include "common/result.h"
+#include "core/catalog.h"
+#include "types/schema.h"
+
+namespace datacon {
+
+/// Name-resolution context for semantic analysis: the catalog plus the
+/// formal relation parameters, scalar parameters, and bound tuple variables
+/// of the construct being checked.
+struct AnalysisScope {
+  const Catalog* catalog = nullptr;
+  /// Formal relation name -> declared relation type name.
+  std::map<std::string, std::string> relation_formals;
+  /// Scalar parameter name -> type.
+  std::map<std::string, ValueType> scalar_params;
+  /// Bound tuple variable -> schema of its range.
+  std::map<std::string, const Schema*> vars;
+};
+
+/// The schema a range expression denotes under `scope`: the base relation's
+/// schema, checked through each selector application (schema-preserving) and
+/// constructor application (result-type schema). Verifies existence, arity,
+/// and type compatibility of every application.
+Result<const Schema*> RangeSchemaOf(const Range& range,
+                                    const AnalysisScope& scope);
+
+/// The scalar type of `term` under `scope`.
+Result<ValueType> TermTypeOf(const Term& term, const AnalysisScope& scope);
+
+/// Type-checks `pred` under `scope` (quantifiers extend the scope for their
+/// bodies). `scope` is restored on return.
+Status CheckPred(const Pred& pred, AnalysisScope* scope);
+
+/// Level-1 checks (run at definition time, section 4):
+
+/// Checks a selector declaration against the catalog.
+Status CheckSelectorDecl(const SelectorDecl& decl, const Catalog& catalog);
+
+/// Type-checks a constructor declaration against the catalog: every branch's
+/// ranges, predicate, and target list against the declared result type.
+/// (The positivity test is separate; see positivity.h.)
+Status CheckConstructorDecl(const ConstructorDecl& decl,
+                            const Catalog& catalog);
+
+/// Type-checks a query expression expected to produce `result_schema`.
+/// `placeholders` declares the types of free scalar parameters (prepared
+/// query forms, section 4).
+Status CheckQuery(const CalcExpr& expr, const Catalog& catalog,
+                  const Schema& result_schema,
+                  const std::map<std::string, ValueType>& placeholders = {});
+
+/// Infers a result schema for a query expression: the schema of the first
+/// branch's range for identity branches, or synthesized fields c0..ck-1 from
+/// the target terms' types. All branches must agree positionally.
+Result<Schema> InferQuerySchema(const CalcExpr& expr, const Catalog& catalog,
+                                const std::map<std::string, ValueType>&
+                                    placeholders = {});
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_SEMANTICS_H_

@@ -1,0 +1,201 @@
+#include "core/subst.h"
+
+#include "common/check.h"
+
+namespace datacon {
+
+TermPtr SubstituteTerm(const TermPtr& term, const Substitution& subst) {
+  switch (term->kind()) {
+    case Term::Kind::kFieldRef:
+    case Term::Kind::kLiteral:
+      return term;
+    case Term::Kind::kParamRef: {
+      const auto& t = static_cast<const ParamRefTerm&>(*term);
+      auto it = subst.scalars.find(t.name());
+      if (it == subst.scalars.end()) return term;
+      return it->second;
+    }
+    case Term::Kind::kArith: {
+      const auto& t = static_cast<const ArithTerm&>(*term);
+      TermPtr lhs = SubstituteTerm(t.lhs(), subst);
+      TermPtr rhs = SubstituteTerm(t.rhs(), subst);
+      if (lhs == t.lhs() && rhs == t.rhs()) return term;
+      return std::make_shared<ArithTerm>(t.op(), std::move(lhs), std::move(rhs));
+    }
+  }
+  DATACON_UNREACHABLE("term kind");
+}
+
+RangePtr SubstituteRange(const RangePtr& range, const Substitution& subst) {
+  auto substitute_apps = [&](const std::vector<RangeApp>& apps) {
+    std::vector<RangeApp> out;
+    out.reserve(apps.size());
+    for (const RangeApp& app : apps) {
+      RangeApp copy;
+      copy.kind = app.kind;
+      copy.name = app.name;
+      for (const TermPtr& t : app.term_args) {
+        copy.term_args.push_back(SubstituteTerm(t, subst));
+      }
+      for (const RangePtr& r : app.range_args) {
+        copy.range_args.push_back(SubstituteRange(r, subst));
+      }
+      out.push_back(std::move(copy));
+    }
+    return out;
+  };
+
+  auto it = subst.relations.find(range->relation());
+  if (it == subst.relations.end()) {
+    return std::make_shared<Range>(range->relation(),
+                                   substitute_apps(range->apps()));
+  }
+  // Splice: the actual's own suffix chain comes first, then this
+  // occurrence's (substituted) suffixes.
+  const RangePtr& actual = it->second;
+  std::vector<RangeApp> apps = actual->apps();
+  std::vector<RangeApp> own = substitute_apps(range->apps());
+  apps.insert(apps.end(), own.begin(), own.end());
+  return std::make_shared<Range>(actual->relation(), std::move(apps));
+}
+
+PredPtr SubstitutePred(const PredPtr& pred, const Substitution& subst) {
+  switch (pred->kind()) {
+    case Pred::Kind::kBool:
+      return pred;
+    case Pred::Kind::kCompare: {
+      const auto& p = static_cast<const ComparePred&>(*pred);
+      return std::make_shared<ComparePred>(p.op(), SubstituteTerm(p.lhs(), subst),
+                                           SubstituteTerm(p.rhs(), subst));
+    }
+    case Pred::Kind::kAnd: {
+      std::vector<PredPtr> ops;
+      for (const PredPtr& op : static_cast<const AndPred&>(*pred).operands()) {
+        ops.push_back(SubstitutePred(op, subst));
+      }
+      return std::make_shared<AndPred>(std::move(ops));
+    }
+    case Pred::Kind::kOr: {
+      std::vector<PredPtr> ops;
+      for (const PredPtr& op : static_cast<const OrPred&>(*pred).operands()) {
+        ops.push_back(SubstitutePred(op, subst));
+      }
+      return std::make_shared<OrPred>(std::move(ops));
+    }
+    case Pred::Kind::kNot: {
+      const auto& p = static_cast<const NotPred&>(*pred);
+      return std::make_shared<NotPred>(SubstitutePred(p.operand(), subst));
+    }
+    case Pred::Kind::kQuant: {
+      const auto& p = static_cast<const QuantPred&>(*pred);
+      return std::make_shared<QuantPred>(p.quantifier(), p.var(),
+                                         SubstituteRange(p.range(), subst),
+                                         SubstitutePred(p.body(), subst));
+    }
+    case Pred::Kind::kIn: {
+      const auto& p = static_cast<const InPred&>(*pred);
+      std::vector<TermPtr> tuple;
+      for (const TermPtr& t : p.tuple()) {
+        tuple.push_back(SubstituteTerm(t, subst));
+      }
+      return std::make_shared<InPred>(std::move(tuple),
+                                      SubstituteRange(p.range(), subst));
+    }
+  }
+  DATACON_UNREACHABLE("pred kind");
+}
+
+BranchPtr SubstituteBranch(const BranchPtr& branch, const Substitution& subst) {
+  std::vector<Binding> bindings;
+  bindings.reserve(branch->bindings().size());
+  for (const Binding& b : branch->bindings()) {
+    bindings.push_back(Binding{b.var, SubstituteRange(b.range, subst)});
+  }
+  std::optional<std::vector<TermPtr>> targets;
+  if (branch->targets().has_value()) {
+    targets.emplace();
+    for (const TermPtr& t : *branch->targets()) {
+      targets->push_back(SubstituteTerm(t, subst));
+    }
+  }
+  return std::make_shared<Branch>(std::move(bindings),
+                                  SubstitutePred(branch->pred(), subst),
+                                  std::move(targets));
+}
+
+CalcExprPtr SubstituteExpr(const CalcExprPtr& expr, const Substitution& subst) {
+  std::vector<BranchPtr> branches;
+  branches.reserve(expr->branches().size());
+  for (const BranchPtr& b : expr->branches()) {
+    branches.push_back(SubstituteBranch(b, subst));
+  }
+  return std::make_shared<CalcExpr>(std::move(branches));
+}
+
+TermPtr SubstituteFields(const TermPtr& term, const FieldSubstitution& subst) {
+  switch (term->kind()) {
+    case Term::Kind::kLiteral:
+    case Term::Kind::kParamRef:
+      return term;
+    case Term::Kind::kFieldRef: {
+      const auto& t = static_cast<const FieldRefTerm&>(*term);
+      auto it = subst.find({t.var(), t.field()});
+      return it == subst.end() ? term : it->second;
+    }
+    case Term::Kind::kArith: {
+      const auto& t = static_cast<const ArithTerm&>(*term);
+      return std::make_shared<ArithTerm>(t.op(), SubstituteFields(t.lhs(), subst),
+                                         SubstituteFields(t.rhs(), subst));
+    }
+  }
+  DATACON_UNREACHABLE("term kind");
+}
+
+PredPtr SubstituteFields(const PredPtr& pred, const FieldSubstitution& subst) {
+  switch (pred->kind()) {
+    case Pred::Kind::kBool:
+      return pred;
+    case Pred::Kind::kCompare: {
+      const auto& p = static_cast<const ComparePred&>(*pred);
+      return std::make_shared<ComparePred>(p.op(),
+                                           SubstituteFields(p.lhs(), subst),
+                                           SubstituteFields(p.rhs(), subst));
+    }
+    case Pred::Kind::kAnd: {
+      std::vector<PredPtr> ops;
+      for (const PredPtr& op : static_cast<const AndPred&>(*pred).operands()) {
+        ops.push_back(SubstituteFields(op, subst));
+      }
+      return std::make_shared<AndPred>(std::move(ops));
+    }
+    case Pred::Kind::kOr: {
+      std::vector<PredPtr> ops;
+      for (const PredPtr& op : static_cast<const OrPred&>(*pred).operands()) {
+        ops.push_back(SubstituteFields(op, subst));
+      }
+      return std::make_shared<OrPred>(std::move(ops));
+    }
+    case Pred::Kind::kNot: {
+      const auto& p = static_cast<const NotPred&>(*pred);
+      return std::make_shared<NotPred>(SubstituteFields(p.operand(), subst));
+    }
+    case Pred::Kind::kQuant: {
+      const auto& p = static_cast<const QuantPred&>(*pred);
+      // Semantic analysis forbids shadowing, so the quantified variable can
+      // never collide with a substituted one.
+      return std::make_shared<QuantPred>(p.quantifier(), p.var(), p.range(),
+                                         SubstituteFields(p.body(), subst));
+    }
+    case Pred::Kind::kIn: {
+      const auto& p = static_cast<const InPred&>(*pred);
+      std::vector<TermPtr> tuple;
+      for (const TermPtr& t : p.tuple()) {
+        tuple.push_back(SubstituteFields(t, subst));
+      }
+      return std::make_shared<InPred>(std::move(tuple), p.range());
+    }
+  }
+  DATACON_UNREACHABLE("pred kind");
+}
+
+}  // namespace datacon

@@ -1,0 +1,45 @@
+#ifndef DATACON_CORE_SUBST_H_
+#define DATACON_CORE_SUBST_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "ast/branch.h"
+#include "ast/pred.h"
+#include "ast/range.h"
+#include "ast/term.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Replaces formal names by actuals when a selector/constructor definition
+/// is instantiated for a concrete application (section 3.2: "replacing all
+/// formal parameters by their actual values").
+struct Substitution {
+  /// Formal relation name -> actual range. The actual's suffix chain is
+  /// spliced in front of any suffixes the occurrence carries.
+  std::map<std::string, RangePtr> relations;
+  /// Scalar parameter name -> actual term (a literal constant, or a
+  /// placeholder parameter of an enclosing prepared query form).
+  std::map<std::string, TermPtr> scalars;
+};
+
+TermPtr SubstituteTerm(const TermPtr& term, const Substitution& subst);
+RangePtr SubstituteRange(const RangePtr& range, const Substitution& subst);
+PredPtr SubstitutePred(const PredPtr& pred, const Substitution& subst);
+BranchPtr SubstituteBranch(const BranchPtr& branch, const Substitution& subst);
+CalcExprPtr SubstituteExpr(const CalcExprPtr& expr, const Substitution& subst);
+
+/// (variable, field) -> replacement term. Used by the section 4 propagation
+/// rules: a query predicate over a constructed range is rewritten onto a
+/// branch by substituting the branch's target term for each reference to
+/// the corresponding result field.
+using FieldSubstitution = std::map<std::pair<std::string, std::string>, TermPtr>;
+
+TermPtr SubstituteFields(const TermPtr& term, const FieldSubstitution& subst);
+PredPtr SubstituteFields(const PredPtr& pred, const FieldSubstitution& subst);
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_SUBST_H_

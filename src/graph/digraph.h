@@ -1,0 +1,49 @@
+#ifndef DATACON_GRAPH_DIGRAPH_H_
+#define DATACON_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace datacon {
+
+/// A simple directed graph over integer node ids 0..n-1, with adjacency
+/// lists. The substrate for the paper's dependency analyses: the
+/// constructor-application graph (clause interconnectivity graph, [Sick 76])
+/// and the level-1 partitioning of constructor definitions.
+class Digraph {
+ public:
+  /// A graph with `node_count` isolated nodes.
+  explicit Digraph(int node_count = 0)
+      : out_edges_(static_cast<size_t>(node_count)) {}
+
+  /// Appends a fresh isolated node, returning its id.
+  int AddNode() {
+    out_edges_.emplace_back();
+    return static_cast<int>(out_edges_.size()) - 1;
+  }
+
+  /// Adds the directed edge `from -> to` (parallel edges allowed).
+  void AddEdge(int from, int to) {
+    out_edges_[static_cast<size_t>(from)].push_back(to);
+  }
+
+  int node_count() const { return static_cast<int>(out_edges_.size()); }
+
+  const std::vector<int>& OutEdges(int node) const {
+    return out_edges_[static_cast<size_t>(node)];
+  }
+
+  /// True iff an edge `from -> to` exists.
+  bool HasEdge(int from, int to) const;
+
+  /// True iff `to` is reachable from `from` following edges (a node is
+  /// always reachable from itself).
+  bool Reachable(int from, int to) const;
+
+ private:
+  std::vector<std::vector<int>> out_edges_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_GRAPH_DIGRAPH_H_

@@ -1,0 +1,119 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace datacon {
+
+bool Digraph::HasEdge(int from, int to) const {
+  const std::vector<int>& outs = OutEdges(from);
+  return std::find(outs.begin(), outs.end(), to) != outs.end();
+}
+
+bool Digraph::Reachable(int from, int to) const {
+  if (from == to) return true;
+  std::vector<bool> seen(static_cast<size_t>(node_count()), false);
+  std::vector<int> stack = {from};
+  seen[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    for (int v : OutEdges(u)) {
+      if (v == to) return true;
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+SccDecomposition ComputeScc(const Digraph& graph) {
+  const int n = graph.node_count();
+  SccDecomposition out;
+  out.component_of.assign(static_cast<size_t>(n), -1);
+
+  // Iterative Tarjan. Tarjan emits each component only after every component
+  // it can reach, so with edges read as "depends on", emission order is
+  // dependencies-first — exactly the order the fixpoint scheduler wants.
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> scc_stack;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    size_t edge_pos;
+  };
+  std::vector<Frame> call_stack;
+
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    call_stack.push_back({root, 0});
+    index[static_cast<size_t>(root)] = lowlink[static_cast<size_t>(root)] =
+        next_index++;
+    scc_stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      int u = frame.node;
+      const std::vector<int>& outs = graph.OutEdges(u);
+      if (frame.edge_pos < outs.size()) {
+        int v = outs[frame.edge_pos++];
+        if (index[static_cast<size_t>(v)] == -1) {
+          index[static_cast<size_t>(v)] = lowlink[static_cast<size_t>(v)] =
+              next_index++;
+          scc_stack.push_back(v);
+          on_stack[static_cast<size_t>(v)] = true;
+          call_stack.push_back({v, 0});
+        } else if (on_stack[static_cast<size_t>(v)]) {
+          lowlink[static_cast<size_t>(u)] = std::min(
+              lowlink[static_cast<size_t>(u)], index[static_cast<size_t>(v)]);
+        }
+      } else {
+        if (lowlink[static_cast<size_t>(u)] == index[static_cast<size_t>(u)]) {
+          int comp = static_cast<int>(out.components.size());
+          out.components.emplace_back();
+          while (true) {
+            int w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = false;
+            out.component_of[static_cast<size_t>(w)] = comp;
+            out.components.back().push_back(w);
+            if (w == u) break;
+          }
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          int parent = call_stack.back().node;
+          lowlink[static_cast<size_t>(parent)] =
+              std::min(lowlink[static_cast<size_t>(parent)],
+                       lowlink[static_cast<size_t>(u)]);
+        }
+      }
+    }
+  }
+
+  // Emission order is already dependencies-first.
+  out.topological_order.resize(out.components.size());
+  for (size_t c = 0; c < out.components.size(); ++c) {
+    out.topological_order[c] = static_cast<int>(c);
+  }
+
+  out.cyclic.assign(out.components.size(), false);
+  for (size_t c = 0; c < out.components.size(); ++c) {
+    if (out.components[c].size() > 1) {
+      out.cyclic[c] = true;
+      continue;
+    }
+    int node = out.components[c][0];
+    if (graph.HasEdge(node, node)) out.cyclic[c] = true;
+  }
+  return out;
+}
+
+}  // namespace datacon

@@ -1,0 +1,37 @@
+#ifndef DATACON_GRAPH_SCC_H_
+#define DATACON_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace datacon {
+
+/// The strongly connected components of a digraph, plus the information the
+/// fixpoint scheduler needs: a topological order of the condensation and,
+/// per node, whether its component is *cyclic* (more than one node, or a
+/// self-loop) — cyclic components require fixpoint iteration, acyclic ones
+/// evaluate in one pass (section 4, step 3).
+struct SccDecomposition {
+  /// component_of[node] = component id.
+  std::vector<int> component_of;
+  /// components[c] = the nodes of component c.
+  std::vector<std::vector<int>> components;
+  /// Component ids in topological order of the condensation: every edge of
+  /// the original graph goes from a component appearing *no later* than the
+  /// component of its head, i.e. dependencies first.
+  std::vector<int> topological_order;
+  /// cyclic[c] is true when component c contains a cycle.
+  std::vector<bool> cyclic;
+
+  int component_count() const { return static_cast<int>(components.size()); }
+};
+
+/// Computes the SCC decomposition with Tarjan's algorithm (iterative, safe
+/// for deep graphs). Edges are interpreted as "depends on": an edge u -> v
+/// means u needs v, so v's component precedes u's in `topological_order`.
+SccDecomposition ComputeScc(const Digraph& graph);
+
+}  // namespace datacon
+
+#endif  // DATACON_GRAPH_SCC_H_

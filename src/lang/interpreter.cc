@@ -1,0 +1,92 @@
+#include "lang/interpreter.h"
+
+#include "ast/printer.h"
+#include "lang/parser.h"
+
+namespace datacon {
+
+Status Interpreter::Execute(std::string_view source) {
+  SymbolSeed seed;
+  seed.scalar_types = scalar_aliases_;
+  for (const auto& [name, schema] : db_->catalog().relation_types()) {
+    (void)schema;
+    seed.relation_types.insert(name);
+  }
+  for (const auto& [name, type] : db_->catalog().relation_type_names()) {
+    (void)type;
+    seed.relation_names.insert(name);
+  }
+  DATACON_ASSIGN_OR_RETURN(Script script, ParseScript(source, &seed));
+  // Consecutive constructor declarations form one definition group, so
+  // mutually recursive constructors (section 3.1) can reference each other
+  // forward — exactly as the paper writes them down.
+  for (size_t i = 0; i < script.stmts.size();) {
+    if (std::holds_alternative<ConstructorStmt>(script.stmts[i])) {
+      std::vector<ConstructorDeclPtr> group;
+      while (i < script.stmts.size() &&
+             std::holds_alternative<ConstructorStmt>(script.stmts[i])) {
+        group.push_back(std::get<ConstructorStmt>(script.stmts[i]).decl);
+        ++i;
+      }
+      DATACON_RETURN_IF_ERROR(db_->DefineConstructorGroup(group));
+      continue;
+    }
+    DATACON_RETURN_IF_ERROR(Run(script.stmts[i]));
+    ++i;
+  }
+  return Status::OK();
+}
+
+Result<Relation> Interpreter::EvalRelationExpr(const RelationExpr& value) {
+  if (value.range != nullptr) return db_->EvalRange(value.range);
+  return db_->EvalQuery(value.expr);
+}
+
+Status Interpreter::Run(const ScriptStmt& stmt) {
+  if (const auto* type_decl = std::get_if<TypeDeclStmt>(&stmt)) {
+    if (type_decl->is_relation) {
+      return db_->DefineRelationType(type_decl->name, type_decl->schema);
+    }
+    scalar_aliases_[type_decl->name] = type_decl->scalar;
+    return Status::OK();
+  }
+  if (const auto* var_decl = std::get_if<VarDeclStmt>(&stmt)) {
+    return db_->CreateRelation(var_decl->name, var_decl->type_name);
+  }
+  if (const auto* selector = std::get_if<SelectorStmt>(&stmt)) {
+    return db_->DefineSelector(selector->decl);
+  }
+  if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
+    return db_->DefineConstructor(ctor->decl);
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    for (const Tuple& t : insert->tuples) {
+      DATACON_RETURN_IF_ERROR(db_->Insert(insert->relation, t));
+    }
+    return Status::OK();
+  }
+  if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+    DATACON_ASSIGN_OR_RETURN(Relation value, EvalRelationExpr(assign->value));
+    if (assign->selector.has_value()) {
+      return db_->AssignThroughSelector(assign->relation, *assign->selector,
+                                        assign->selector_args, value);
+    }
+    return db_->Assign(assign->relation, value);
+  }
+  if (const auto* query = std::get_if<QueryStmt>(&stmt)) {
+    DATACON_ASSIGN_OR_RETURN(Relation value, EvalRelationExpr(query->value));
+    std::string text = query->value.range != nullptr
+                           ? ToString(*query->value.range)
+                           : ToString(*query->value.expr);
+    results_.push_back(QueryResult{std::move(text), std::move(value)});
+    return Status::OK();
+  }
+  if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+    DATACON_ASSIGN_OR_RETURN(std::string text, db_->Explain(explain->range));
+    results_.push_back(QueryResult{std::move(text), Relation()});
+    return Status::OK();
+  }
+  return Status::Internal("unhandled script statement");
+}
+
+}  // namespace datacon

@@ -1,0 +1,50 @@
+#ifndef DATACON_LANG_INTERPRETER_H_
+#define DATACON_LANG_INTERPRETER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "lang/script.h"
+
+namespace datacon {
+
+/// Executes DBPL-flavoured source against a Database: declarations define
+/// schema objects, INSERT/assignment statements modify relation variables,
+/// QUERY/EXPLAIN statements append to `results()`. Symbols accumulate
+/// across Execute calls, so the interpreter doubles as a REPL backend.
+class Interpreter {
+ public:
+  /// One QUERY or EXPLAIN outcome, in statement order.
+  struct QueryResult {
+    /// The printed query (or the EXPLAIN text).
+    std::string text;
+    /// The result relation (empty for EXPLAIN).
+    Relation relation;
+  };
+
+  /// `db` must outlive the interpreter.
+  explicit Interpreter(Database* db) : db_(db) {}
+
+  /// Parses and executes `source`. On error, statements before the failing
+  /// one remain applied (the REPL contract).
+  Status Execute(std::string_view source);
+
+  const std::vector<QueryResult>& results() const { return results_; }
+  void ClearResults() { results_.clear(); }
+
+ private:
+  Status Run(const ScriptStmt& stmt);
+  Result<Relation> EvalRelationExpr(const RelationExpr& value);
+
+  Database* db_;
+  std::vector<QueryResult> results_;
+  /// Scalar aliases live here; relation types/variables live in the catalog.
+  std::map<std::string, ValueType> scalar_aliases_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_LANG_INTERPRETER_H_

@@ -1,0 +1,213 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <set>
+
+namespace datacon {
+
+bool IsKeyword(std::string_view word) {
+  static const std::set<std::string_view> kKeywords = {
+      "TYPE",   "VAR",      "RELATION",    "KEY",   "OF",      "RECORD",
+      "END",    "SELECTOR", "CONSTRUCTOR", "FOR",   "BEGIN",   "EACH",
+      "IN",     "SOME",     "ALL",         "AND",   "OR",      "NOT",
+      "TRUE",   "FALSE",    "INTEGER",     "CARDINAL", "STRING", "BOOLEAN",
+      "DIV",    "MOD",      "QUERY",       "INSERT", "INTO",   "EXPLAIN",
+  };
+  return kKeywords.count(word) > 0;
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      DATACON_RETURN_IF_ERROR(SkipWhitespaceAndComments());
+      if (AtEnd()) {
+        tokens.push_back(Make(TokenKind::kEof, ""));
+        return tokens;
+      }
+      DATACON_ASSIGN_OR_RETURN(Token token, Next());
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= source_.size(); }
+  char Peek() const { return source_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < source_.size() ? source_[pos_ + offset] : '\0';
+  }
+  char Advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  Token Make(TokenKind kind, std::string text) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = token_line_;
+    t.column = token_column_;
+    return t;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(column_));
+  }
+
+  Status SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+        continue;
+      }
+      if (c == '(' && PeekAt(1) == '*') {
+        Advance();
+        Advance();
+        int depth = 1;
+        while (depth > 0) {
+          if (AtEnd()) return Error("unterminated comment");
+          if (Peek() == '(' && PeekAt(1) == '*') {
+            Advance();
+            Advance();
+            ++depth;
+          } else if (Peek() == '*' && PeekAt(1) == ')') {
+            Advance();
+            Advance();
+            --depth;
+          } else {
+            Advance();
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<Token> Next() {
+    token_line_ = line_;
+    token_column_ = column_;
+    char c = Peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        word.push_back(Advance());
+      }
+      if (IsKeyword(word)) return Make(TokenKind::kKeyword, std::move(word));
+      return Make(TokenKind::kIdent, std::move(word));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+      int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(digits.data(), digits.data() + digits.size(), value);
+      if (ec != std::errc() || ptr != digits.data() + digits.size()) {
+        return Error("integer literal '" + digits + "' out of range");
+      }
+      Token t = Make(TokenKind::kInt, digits);
+      t.int_value = value;
+      return t;
+    }
+
+    if (c == '"') {
+      Advance();
+      std::string text;
+      while (true) {
+        if (AtEnd()) return Error("unterminated string literal");
+        char next = Advance();
+        if (next == '"') break;
+        if (next == '\n') return Error("newline in string literal");
+        text.push_back(next);
+      }
+      return Make(TokenKind::kString, std::move(text));
+    }
+
+    Advance();
+    switch (c) {
+      case '(':
+        return Make(TokenKind::kLParen, "(");
+      case ')':
+        return Make(TokenKind::kRParen, ")");
+      case '[':
+        return Make(TokenKind::kLBracket, "[");
+      case ']':
+        return Make(TokenKind::kRBracket, "]");
+      case '{':
+        return Make(TokenKind::kLBrace, "{");
+      case '}':
+        return Make(TokenKind::kRBrace, "}");
+      case '<':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kLessEq, "<=");
+        }
+        return Make(TokenKind::kLess, "<");
+      case '>':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kGreaterEq, ">=");
+        }
+        return Make(TokenKind::kGreater, ">");
+      case '=':
+        return Make(TokenKind::kEq, "=");
+      case '#':
+        return Make(TokenKind::kHash, "#");
+      case ',':
+        return Make(TokenKind::kComma, ",");
+      case ';':
+        return Make(TokenKind::kSemicolon, ";");
+      case ':':
+        if (!AtEnd() && Peek() == '=') {
+          Advance();
+          return Make(TokenKind::kAssign, ":=");
+        }
+        return Make(TokenKind::kColon, ":");
+      case '.':
+        return Make(TokenKind::kDot, ".");
+      case '+':
+        return Make(TokenKind::kPlus, "+");
+      case '-':
+        return Make(TokenKind::kMinus, "-");
+      case '*':
+        return Make(TokenKind::kStar, "*");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace datacon

@@ -1,0 +1,69 @@
+#ifndef DATACON_LANG_LEXER_H_
+#define DATACON_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace datacon {
+
+/// Token classes of the DBPL-flavoured surface language.
+enum class TokenKind {
+  kIdent,       // Infront, ahead, r
+  kKeyword,     // TYPE, EACH, SOME, ... (text holds the keyword)
+  kInt,         // 42
+  kString,      // "table"
+  kLParen,      // (
+  kRParen,      // )
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLBrace,      // {
+  kRBrace,      // }
+  kLess,        // <
+  kGreater,     // >
+  kLessEq,      // <=
+  kGreaterEq,   // >=
+  kEq,          // =
+  kHash,        // #   (DBPL inequality)
+  kComma,       // ,
+  kSemicolon,   // ;
+  kColon,       // :
+  kDot,         // .
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kAssign,      // :=
+  kEof,
+};
+
+/// One lexical token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int64_t int_value = 0;
+  int line = 1;
+  int column = 1;
+
+  /// True for a keyword token spelling exactly `kw`.
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+};
+
+/// True iff `word` is one of the reserved keywords (TYPE, VAR, RELATION,
+/// KEY, OF, RECORD, END, SELECTOR, CONSTRUCTOR, FOR, BEGIN, EACH, IN, SOME,
+/// ALL, AND, OR, NOT, TRUE, FALSE, INTEGER, CARDINAL, STRING, BOOLEAN, DIV,
+/// MOD, QUERY, INSERT, INTO, EXPLAIN).
+bool IsKeyword(std::string_view word);
+
+/// Tokenizes `source`. Comments run `(*` ... `*)` and may nest. The final
+/// token is always kEof. Fails with kParseError on malformed input
+/// (unterminated string or comment, stray characters).
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace datacon
+
+#endif  // DATACON_LANG_LEXER_H_

@@ -1,0 +1,682 @@
+#include "lang/parser.h"
+
+#include <memory>
+
+#include "ast/builder.h"
+#include "common/check.h"
+#include "lang/lexer.h"
+
+namespace datacon {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const SymbolSeed* seed)
+      : tokens_(std::move(tokens)) {
+    if (seed != nullptr) symbols_ = *seed;
+  }
+
+  Result<Script> ParseProgram() {
+    Script script;
+    while (!Check(TokenKind::kEof)) {
+      DATACON_ASSIGN_OR_RETURN(ScriptStmt stmt, ParseStatement());
+      script.stmts.push_back(std::move(stmt));
+    }
+    return script;
+  }
+
+ private:
+  // --- Token helpers ---
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t offset) const {
+    size_t i = pos_ + offset;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckKeyword(std::string_view kw) const { return Peek().IsKeyword(kw); }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(message + " at line " + std::to_string(t.line) +
+                              ", column " + std::to_string(t.column) +
+                              " (near '" + t.text + "')");
+  }
+
+  Result<Token> Expect(TokenKind kind, const std::string& what) {
+    if (!Check(kind)) return Error("expected " + what);
+    return Advance();
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!MatchKeyword(kw)) return Error("expected '" + std::string(kw) + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent(const std::string& what) {
+    if (!Check(TokenKind::kIdent)) return Error("expected " + what);
+    return Advance().text;
+  }
+
+  // --- Scalar types ---
+
+  Result<ValueType> ParseScalarTypeName() {
+    if (MatchKeyword("INTEGER") || MatchKeyword("CARDINAL")) {
+      return ValueType::kInt;
+    }
+    if (MatchKeyword("STRING")) return ValueType::kString;
+    if (MatchKeyword("BOOLEAN")) return ValueType::kBool;
+    if (Check(TokenKind::kIdent)) {
+      auto it = symbols_.scalar_types.find(Peek().text);
+      if (it != symbols_.scalar_types.end()) {
+        Advance();
+        return it->second;
+      }
+    }
+    return Error("expected a scalar type name");
+  }
+
+  bool AtScalarTypeName() const {
+    if (CheckKeyword("INTEGER") || CheckKeyword("CARDINAL") ||
+        CheckKeyword("STRING") || CheckKeyword("BOOLEAN")) {
+      return true;
+    }
+    return Check(TokenKind::kIdent) &&
+           symbols_.scalar_types.count(Peek().text) > 0;
+  }
+
+  // --- Statements ---
+
+  Result<ScriptStmt> ParseStatement() {
+    if (CheckKeyword("TYPE")) return ParseTypeDecl();
+    if (CheckKeyword("VAR")) return ParseVarDecl();
+    if (CheckKeyword("SELECTOR")) return ParseSelectorDecl();
+    if (CheckKeyword("CONSTRUCTOR")) return ParseConstructorDecl();
+    if (CheckKeyword("INSERT")) return ParseInsert();
+    if (CheckKeyword("QUERY")) return ParseQuery();
+    if (CheckKeyword("EXPLAIN")) return ParseExplain();
+    if (Check(TokenKind::kIdent)) return ParseAssign();
+    return Error("expected a declaration or statement");
+  }
+
+  Result<ScriptStmt> ParseTypeDecl() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("TYPE"));
+    DATACON_ASSIGN_OR_RETURN(std::string name, ExpectIdent("type name"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+
+    TypeDeclStmt stmt;
+    stmt.name = name;
+    if (MatchKeyword("RELATION")) {
+      stmt.is_relation = true;
+      std::vector<std::string> key_names;
+      if (MatchKeyword("KEY")) {
+        DATACON_RETURN_IF_ERROR(Expect(TokenKind::kLess, "'<'").status());
+        do {
+          DATACON_ASSIGN_OR_RETURN(std::string key, ExpectIdent("key field"));
+          key_names.push_back(std::move(key));
+        } while (Match(TokenKind::kComma));
+        DATACON_RETURN_IF_ERROR(Expect(TokenKind::kGreater, "'>'").status());
+      }
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("RECORD"));
+      std::vector<Field> fields;
+      while (!CheckKeyword("END")) {
+        std::vector<std::string> group;
+        do {
+          DATACON_ASSIGN_OR_RETURN(std::string fname, ExpectIdent("field name"));
+          group.push_back(std::move(fname));
+        } while (Match(TokenKind::kComma));
+        DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+        DATACON_ASSIGN_OR_RETURN(ValueType type, ParseScalarTypeName());
+        for (std::string& fname : group) {
+          fields.push_back(Field{std::move(fname), type});
+        }
+        if (!Match(TokenKind::kSemicolon)) break;
+      }
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("END"));
+      if (fields.empty()) {
+        return Error("a record type needs at least one field");
+      }
+      std::vector<int> key_indices;
+      for (const std::string& key : key_names) {
+        bool found = false;
+        for (size_t i = 0; i < fields.size(); ++i) {
+          if (fields[i].name == key) {
+            key_indices.push_back(static_cast<int>(i));
+            found = true;
+            break;
+          }
+        }
+        if (!found) return Error("key field '" + key + "' is not declared");
+      }
+      stmt.schema = Schema(std::move(fields), std::move(key_indices));
+      symbols_.relation_types.insert(name);
+    } else {
+      DATACON_ASSIGN_OR_RETURN(stmt.scalar, ParseScalarTypeName());
+      symbols_.scalar_types[name] = stmt.scalar;
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseVarDecl() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("VAR"));
+    VarDeclStmt stmt;
+    DATACON_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("relation variable name"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+    DATACON_ASSIGN_OR_RETURN(stmt.type_name, ExpectIdent("relation type name"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    symbols_.relation_names.insert(stmt.name);
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseSelectorDecl() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("SELECTOR"));
+    DATACON_ASSIGN_OR_RETURN(std::string name, ExpectIdent("selector name"));
+    std::vector<FormalScalar> params;
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          DATACON_ASSIGN_OR_RETURN(std::string pname,
+                                   ExpectIdent("parameter name"));
+          DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+          DATACON_ASSIGN_OR_RETURN(ValueType type, ParseScalarTypeName());
+          params.push_back(FormalScalar{std::move(pname), type});
+        } while (Match(TokenKind::kSemicolon) || Match(TokenKind::kComma));
+      }
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+    }
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+    DATACON_ASSIGN_OR_RETURN(std::string base_name,
+                             ExpectIdent("base relation formal"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+    DATACON_ASSIGN_OR_RETURN(std::string base_type,
+                             ExpectIdent("base relation type"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("BEGIN"));
+
+    // The body binds one variable over the base formal.
+    formal_relations_.insert(base_name);
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("EACH"));
+    DATACON_ASSIGN_OR_RETURN(std::string var, ExpectIdent("element variable"));
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("IN"));
+    DATACON_ASSIGN_OR_RETURN(std::string range_name,
+                             ExpectIdent("base relation"));
+    if (range_name != base_name) {
+      return Error("selector body must range over its base formal '" +
+                   base_name + "'");
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+    DATACON_ASSIGN_OR_RETURN(PredPtr pred, ParsePred());
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("END"));
+    DATACON_ASSIGN_OR_RETURN(std::string end_name, ExpectIdent("selector name"));
+    if (end_name != name) {
+      return Error("END name '" + end_name + "' does not match '" + name + "'");
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    formal_relations_.erase(base_name);
+
+    SelectorStmt stmt;
+    stmt.decl = std::make_shared<SelectorDecl>(
+        name, FormalRelation{base_name, base_type}, std::move(params),
+        std::move(var), std::move(pred));
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseConstructorDecl() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("CONSTRUCTOR"));
+    DATACON_ASSIGN_OR_RETURN(std::string name, ExpectIdent("constructor name"));
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+    DATACON_ASSIGN_OR_RETURN(std::string base_name,
+                             ExpectIdent("base relation formal"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+    DATACON_ASSIGN_OR_RETURN(std::string base_type,
+                             ExpectIdent("base relation type"));
+
+    std::vector<FormalRelation> rel_params;
+    std::vector<FormalScalar> scalar_params;
+    if (Match(TokenKind::kLParen)) {
+      if (!Check(TokenKind::kRParen)) {
+        do {
+          DATACON_ASSIGN_OR_RETURN(std::string pname,
+                                   ExpectIdent("parameter name"));
+          DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+          if (AtScalarTypeName()) {
+            DATACON_ASSIGN_OR_RETURN(ValueType type, ParseScalarTypeName());
+            scalar_params.push_back(FormalScalar{std::move(pname), type});
+          } else {
+            DATACON_ASSIGN_OR_RETURN(std::string tname,
+                                     ExpectIdent("relation type name"));
+            rel_params.push_back(FormalRelation{std::move(pname), tname});
+          }
+        } while (Match(TokenKind::kSemicolon) || Match(TokenKind::kComma));
+      }
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+    DATACON_ASSIGN_OR_RETURN(std::string result_type,
+                             ExpectIdent("result type name"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("BEGIN"));
+
+    formal_relations_.insert(base_name);
+    for (const FormalRelation& r : rel_params) formal_relations_.insert(r.name);
+
+    std::vector<BranchPtr> branches;
+    do {
+      DATACON_ASSIGN_OR_RETURN(BranchPtr branch, ParseBranch());
+      branches.push_back(std::move(branch));
+    } while (Match(TokenKind::kComma));
+
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("END"));
+    DATACON_ASSIGN_OR_RETURN(std::string end_name,
+                             ExpectIdent("constructor name"));
+    if (end_name != name) {
+      return Error("END name '" + end_name + "' does not match '" + name + "'");
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+
+    formal_relations_.erase(base_name);
+    for (const FormalRelation& r : rel_params) formal_relations_.erase(r.name);
+
+    ConstructorStmt stmt;
+    stmt.decl = std::make_shared<ConstructorDecl>(
+        name, FormalRelation{base_name, base_type}, std::move(rel_params),
+        std::move(scalar_params), std::move(result_type),
+        std::make_shared<CalcExpr>(std::move(branches)));
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseInsert() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    DATACON_ASSIGN_OR_RETURN(stmt.relation, ExpectIdent("relation name"));
+    do {
+      DATACON_ASSIGN_OR_RETURN(Tuple t, ParseTupleLiteral());
+      stmt.tuples.push_back(std::move(t));
+    } while (Match(TokenKind::kComma));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseQuery() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("QUERY"));
+    QueryStmt stmt;
+    DATACON_ASSIGN_OR_RETURN(stmt.value, ParseRelationExpr());
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseExplain() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
+    ExplainStmt stmt;
+    DATACON_ASSIGN_OR_RETURN(stmt.range, ParseRange());
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseAssign() {
+    AssignStmt stmt;
+    DATACON_ASSIGN_OR_RETURN(stmt.relation, ExpectIdent("relation name"));
+    if (Match(TokenKind::kLBracket)) {
+      DATACON_ASSIGN_OR_RETURN(std::string sel, ExpectIdent("selector name"));
+      stmt.selector = std::move(sel);
+      if (Match(TokenKind::kLParen)) {
+        if (!Check(TokenKind::kRParen)) {
+          do {
+            DATACON_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+            stmt.selector_args.push_back(std::move(v));
+          } while (Match(TokenKind::kComma));
+        }
+        DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+      }
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'").status());
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "':='").status());
+    DATACON_ASSIGN_OR_RETURN(stmt.value, ParseRelationExpr());
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  // --- Expressions ---
+
+  Result<RelationExpr> ParseRelationExpr() {
+    RelationExpr out;
+    if (Match(TokenKind::kLBrace)) {
+      std::vector<BranchPtr> branches;
+      do {
+        DATACON_ASSIGN_OR_RETURN(BranchPtr branch, ParseBranch());
+        branches.push_back(std::move(branch));
+      } while (Match(TokenKind::kComma));
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'").status());
+      out.expr = std::make_shared<CalcExpr>(std::move(branches));
+      return out;
+    }
+    DATACON_ASSIGN_OR_RETURN(out.range, ParseRange());
+    return out;
+  }
+
+  Result<BranchPtr> ParseBranch() {
+    std::optional<std::vector<TermPtr>> targets;
+    // `<t1, ..., tk> OF` prefix?
+    if (Check(TokenKind::kLess)) {
+      size_t save = pos_;
+      Result<std::vector<TermPtr>> terms = ParseAngleTermList();
+      if (terms.ok() && MatchKeyword("OF")) {
+        targets = std::move(terms).value();
+      } else {
+        pos_ = save;
+        return Error("expected '<targets> OF' before branch bindings");
+      }
+    }
+    std::vector<Binding> bindings;
+    do {
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("EACH"));
+      DATACON_ASSIGN_OR_RETURN(std::string var, ExpectIdent("tuple variable"));
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      DATACON_ASSIGN_OR_RETURN(RangePtr range, ParseRange());
+      bindings.push_back(Binding{std::move(var), std::move(range)});
+      // A comma followed by EACH continues the bindings; a comma followed
+      // by anything else separates branches (handled by the caller).
+      if (Check(TokenKind::kComma) && PeekAt(1).IsKeyword("EACH")) {
+        Advance();
+        continue;
+      }
+      break;
+    } while (true);
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+    DATACON_ASSIGN_OR_RETURN(PredPtr pred, ParsePred());
+    return BranchPtr(std::make_shared<Branch>(
+        std::move(bindings), std::move(pred), std::move(targets)));
+  }
+
+  Result<std::vector<TermPtr>> ParseAngleTermList() {
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kLess, "'<'").status());
+    std::vector<TermPtr> terms;
+    do {
+      DATACON_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+      terms.push_back(std::move(t));
+    } while (Match(TokenKind::kComma));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kGreater, "'>'").status());
+    return terms;
+  }
+
+  bool IsRelationName(const std::string& name) const {
+    return formal_relations_.count(name) > 0 ||
+           symbols_.relation_names.count(name) > 0;
+  }
+
+  Result<RangePtr> ParseRange() {
+    DATACON_ASSIGN_OR_RETURN(std::string base, ExpectIdent("relation name"));
+    std::vector<RangeApp> apps;
+    while (true) {
+      if (Match(TokenKind::kLBracket)) {
+        RangeApp app;
+        app.kind = RangeApp::Kind::kSelector;
+        DATACON_ASSIGN_OR_RETURN(app.name, ExpectIdent("selector name"));
+        if (Match(TokenKind::kLParen)) {
+          if (!Check(TokenKind::kRParen)) {
+            do {
+              DATACON_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+              app.term_args.push_back(std::move(t));
+            } while (Match(TokenKind::kComma));
+          }
+          DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+        }
+        DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'").status());
+        apps.push_back(std::move(app));
+        continue;
+      }
+      if (Match(TokenKind::kLBrace)) {
+        RangeApp app;
+        app.kind = RangeApp::Kind::kConstructor;
+        DATACON_ASSIGN_OR_RETURN(app.name, ExpectIdent("constructor name"));
+        if (Match(TokenKind::kLParen)) {
+          if (!Check(TokenKind::kRParen)) {
+            do {
+              // A relation name (formal or variable) is a range argument;
+              // anything else is a scalar term argument.
+              if (Check(TokenKind::kIdent) && IsRelationName(Peek().text)) {
+                DATACON_ASSIGN_OR_RETURN(RangePtr r, ParseRange());
+                app.range_args.push_back(std::move(r));
+              } else {
+                DATACON_ASSIGN_OR_RETURN(TermPtr t, ParseTerm());
+                app.term_args.push_back(std::move(t));
+              }
+            } while (Match(TokenKind::kComma));
+          }
+          DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+        }
+        DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRBrace, "'}'").status());
+        apps.push_back(std::move(app));
+        continue;
+      }
+      break;
+    }
+    return RangePtr(std::make_shared<Range>(std::move(base), std::move(apps)));
+  }
+
+  // --- Predicates (OR of ANDs of factors) ---
+
+  Result<PredPtr> ParsePred() {
+    DATACON_ASSIGN_OR_RETURN(PredPtr first, ParseAnd());
+    if (!CheckKeyword("OR")) return first;
+    std::vector<PredPtr> operands = {std::move(first)};
+    while (MatchKeyword("OR")) {
+      DATACON_ASSIGN_OR_RETURN(PredPtr next, ParseAnd());
+      operands.push_back(std::move(next));
+    }
+    return build::Or(std::move(operands));
+  }
+
+  Result<PredPtr> ParseAnd() {
+    DATACON_ASSIGN_OR_RETURN(PredPtr first, ParseFactor());
+    if (!CheckKeyword("AND")) return first;
+    std::vector<PredPtr> operands = {std::move(first)};
+    while (MatchKeyword("AND")) {
+      DATACON_ASSIGN_OR_RETURN(PredPtr next, ParseFactor());
+      operands.push_back(std::move(next));
+    }
+    return build::And(std::move(operands));
+  }
+
+  bool AtCompareOp() const {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+      case TokenKind::kHash:
+      case TokenKind::kLess:
+      case TokenKind::kLessEq:
+      case TokenKind::kGreater:
+      case TokenKind::kGreaterEq:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    switch (Advance().kind) {
+      case TokenKind::kEq:
+        return CompareOp::kEq;
+      case TokenKind::kHash:
+        return CompareOp::kNe;
+      case TokenKind::kLess:
+        return CompareOp::kLt;
+      case TokenKind::kLessEq:
+        return CompareOp::kLe;
+      case TokenKind::kGreater:
+        return CompareOp::kGt;
+      case TokenKind::kGreaterEq:
+        return CompareOp::kGe;
+      default:
+        return Error("expected a comparison operator");
+    }
+  }
+
+  Result<PredPtr> ParseFactor() {
+    if (MatchKeyword("NOT")) {
+      DATACON_ASSIGN_OR_RETURN(PredPtr operand, ParseFactor());
+      return build::Not(std::move(operand));
+    }
+    if (CheckKeyword("SOME") || CheckKeyword("ALL")) {
+      Quantifier q =
+          Peek().IsKeyword("SOME") ? Quantifier::kSome : Quantifier::kAll;
+      Advance();
+      DATACON_ASSIGN_OR_RETURN(std::string var, ExpectIdent("quantified variable"));
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      DATACON_ASSIGN_OR_RETURN(RangePtr range, ParseRange());
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('").status());
+      DATACON_ASSIGN_OR_RETURN(PredPtr body, ParsePred());
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+      return PredPtr(std::make_shared<QuantPred>(
+          q, std::move(var), std::move(range), std::move(body)));
+    }
+    // `<t1, ..., tk> IN range` — membership.
+    if (Check(TokenKind::kLess)) {
+      DATACON_ASSIGN_OR_RETURN(std::vector<TermPtr> tuple, ParseAngleTermList());
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("IN"));
+      DATACON_ASSIGN_OR_RETURN(RangePtr range, ParseRange());
+      return build::In(std::move(tuple), std::move(range));
+    }
+    // TRUE/FALSE as predicates — unless part of a comparison.
+    if (CheckKeyword("TRUE") || CheckKeyword("FALSE")) {
+      bool value = Peek().IsKeyword("TRUE");
+      if (!PeekAt(1).IsKeyword("AND") && !PeekAt(1).IsKeyword("OR") &&
+          PeekAt(1).kind != TokenKind::kEq &&
+          PeekAt(1).kind != TokenKind::kHash) {
+        Advance();
+        return value ? build::True() : build::False();
+      }
+      if (PeekAt(1).IsKeyword("AND") || PeekAt(1).IsKeyword("OR")) {
+        Advance();
+        return value ? build::True() : build::False();
+      }
+    }
+    // Parenthesized predicate vs. parenthesized term: try the predicate
+    // first; backtrack when the closing paren is followed by a comparison
+    // or arithmetic operator.
+    if (Check(TokenKind::kLParen)) {
+      size_t save = pos_;
+      Advance();
+      Result<PredPtr> inner = ParsePred();
+      if (inner.ok() && Match(TokenKind::kRParen) && !AtCompareOp() &&
+          !Check(TokenKind::kPlus) && !Check(TokenKind::kMinus) &&
+          !Check(TokenKind::kStar) && !CheckKeyword("DIV") &&
+          !CheckKeyword("MOD")) {
+        return std::move(inner).value();
+      }
+      pos_ = save;
+    }
+    // Comparison: term op term.
+    DATACON_ASSIGN_OR_RETURN(TermPtr lhs, ParseTerm());
+    if (!AtCompareOp()) return Error("expected a comparison operator");
+    DATACON_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+    DATACON_ASSIGN_OR_RETURN(TermPtr rhs, ParseTerm());
+    return build::Cmp(op, std::move(lhs), std::move(rhs));
+  }
+
+  // --- Terms (arithmetic with DBPL precedence) ---
+
+  Result<TermPtr> ParseTerm() {
+    DATACON_ASSIGN_OR_RETURN(TermPtr lhs, ParseMulTerm());
+    while (Check(TokenKind::kPlus) || Check(TokenKind::kMinus)) {
+      ArithOp op = Match(TokenKind::kPlus) ? ArithOp::kAdd
+                                           : (Advance(), ArithOp::kSub);
+      DATACON_ASSIGN_OR_RETURN(TermPtr rhs, ParseMulTerm());
+      lhs = build::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> ParseMulTerm() {
+    DATACON_ASSIGN_OR_RETURN(TermPtr lhs, ParseAtom());
+    while (true) {
+      ArithOp op;
+      if (Match(TokenKind::kStar)) {
+        op = ArithOp::kMul;
+      } else if (MatchKeyword("DIV")) {
+        op = ArithOp::kDiv;
+      } else if (MatchKeyword("MOD")) {
+        op = ArithOp::kMod;
+      } else {
+        break;
+      }
+      DATACON_ASSIGN_OR_RETURN(TermPtr rhs, ParseAtom());
+      lhs = build::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<TermPtr> ParseAtom() {
+    if (Check(TokenKind::kInt)) {
+      return build::Int(Advance().int_value);
+    }
+    if (Check(TokenKind::kString)) {
+      return build::Str(Advance().text);
+    }
+    if (MatchKeyword("TRUE")) return build::BoolLit(true);
+    if (MatchKeyword("FALSE")) return build::BoolLit(false);
+    if (Match(TokenKind::kLParen)) {
+      DATACON_ASSIGN_OR_RETURN(TermPtr inner, ParseTerm());
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
+      return inner;
+    }
+    if (Check(TokenKind::kIdent)) {
+      std::string name = Advance().text;
+      if (Match(TokenKind::kDot)) {
+        DATACON_ASSIGN_OR_RETURN(std::string field, ExpectIdent("field name"));
+        return build::FieldRef(std::move(name), std::move(field));
+      }
+      return build::Param(std::move(name));
+    }
+    return Error("expected a term");
+  }
+
+  Result<Value> ParseLiteralValue() {
+    if (Check(TokenKind::kInt)) return Value::Int(Advance().int_value);
+    if (Check(TokenKind::kString)) return Value::String(Advance().text);
+    if (MatchKeyword("TRUE")) return Value::Bool(true);
+    if (MatchKeyword("FALSE")) return Value::Bool(false);
+    if (Match(TokenKind::kMinus)) {
+      if (Check(TokenKind::kInt)) return Value::Int(-Advance().int_value);
+      return Error("expected an integer after '-'");
+    }
+    return Error("expected a literal value");
+  }
+
+  Result<Tuple> ParseTupleLiteral() {
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kLess, "'<'").status());
+    std::vector<Value> values;
+    do {
+      DATACON_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      values.push_back(std::move(v));
+    } while (Match(TokenKind::kComma));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kGreater, "'>'").status());
+    return Tuple(std::move(values));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SymbolSeed symbols_;
+  std::set<std::string> formal_relations_;
+};
+
+}  // namespace
+
+Result<Script> ParseScript(std::string_view source, const SymbolSeed* seed) {
+  DATACON_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(source));
+  return Parser(std::move(tokens), seed).ParseProgram();
+}
+
+}  // namespace datacon

@@ -1,0 +1,23 @@
+#ifndef DATACON_LANG_PARSER_H_
+#define DATACON_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/script.h"
+
+namespace datacon {
+
+/// Recursive-descent parser for the DBPL-flavoured surface language (the
+/// grammar is documented in DESIGN.md §4.5). The programs of the paper —
+/// `ahead`, `ahead_2`, `hidden_by`, the mutually recursive `ahead`/`above`,
+/// `nonsense`, `strange` — parse verbatim modulo record-syntax details.
+///
+/// `seed` supplies names declared by earlier fragments (REPL use); within a
+/// single source string, declarations are visible to later statements.
+Result<Script> ParseScript(std::string_view source,
+                           const SymbolSeed* seed = nullptr);
+
+}  // namespace datacon
+
+#endif  // DATACON_LANG_PARSER_H_

@@ -1,0 +1,94 @@
+#ifndef DATACON_LANG_SCRIPT_H_
+#define DATACON_LANG_SCRIPT_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/range.h"
+#include "storage/tuple.h"
+#include "types/schema.h"
+
+namespace datacon {
+
+/// A relational expression in statement position: either a range
+/// (`Infront {ahead}`) or a full calculus expression (`{EACH r IN ...}`).
+/// Exactly one member is set.
+struct RelationExpr {
+  RangePtr range;
+  CalcExprPtr expr;
+};
+
+/// `TYPE name = RELATION ... OF RECORD ... END;` or a scalar alias
+/// `TYPE parttype = STRING;`.
+struct TypeDeclStmt {
+  std::string name;
+  bool is_relation = false;
+  Schema schema;                        // when is_relation
+  ValueType scalar = ValueType::kInt;   // otherwise
+};
+
+/// `VAR name: reltype;`
+struct VarDeclStmt {
+  std::string name;
+  std::string type_name;
+};
+
+struct SelectorStmt {
+  SelectorDeclPtr decl;
+};
+
+struct ConstructorStmt {
+  ConstructorDeclPtr decl;
+};
+
+/// `INSERT INTO Infront <"vase", "table">, <"table", "chair">;`
+struct InsertStmt {
+  std::string relation;
+  std::vector<Tuple> tuples;
+};
+
+/// `Ahead := Infront {ahead};` or `Infront [refint] := {...};`
+struct AssignStmt {
+  std::string relation;
+  std::optional<std::string> selector;
+  std::vector<Value> selector_args;
+  RelationExpr value;
+};
+
+/// `QUERY Infront {ahead};`
+struct QueryStmt {
+  RelationExpr value;
+};
+
+/// `EXPLAIN Infront {ahead};`
+struct ExplainStmt {
+  RangePtr range;
+};
+
+using ScriptStmt =
+    std::variant<TypeDeclStmt, VarDeclStmt, SelectorStmt, ConstructorStmt,
+                 InsertStmt, AssignStmt, QueryStmt, ExplainStmt>;
+
+/// A parsed program: the statement sequence in source order.
+struct Script {
+  std::vector<ScriptStmt> stmts;
+};
+
+/// Names the parser must already know when a source fragment is parsed
+/// incrementally (REPL use): scalar type aliases, declared relation type
+/// names, and declared relation variables.
+struct SymbolSeed {
+  std::map<std::string, ValueType> scalar_types;
+  std::set<std::string> relation_types;
+  std::set<std::string> relation_names;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_LANG_SCRIPT_H_

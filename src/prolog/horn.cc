@@ -1,0 +1,52 @@
+#include "prolog/horn.h"
+
+namespace datacon {
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Clause::ToString() const {
+  std::string out = head.ToString();
+  if (body.empty() && builtins.empty()) return out + ".";
+  out += " :- ";
+  bool first = true;
+  for (const Atom& a : body) {
+    if (!first) out += ", ";
+    first = false;
+    out += a.ToString();
+  }
+  for (const BuiltinComparison& b : builtins) {
+    if (!first) out += ", ";
+    first = false;
+    out += b.lhs.ToString() + " " + CompareOpName(b.op) + " " +
+           b.rhs.ToString();
+  }
+  return out + ".";
+}
+
+std::vector<const Clause*> HornProgram::ClausesFor(
+    const std::string& predicate) const {
+  std::vector<const Clause*> out;
+  for (const Clause& c : clauses) {
+    if (c.head.predicate == predicate) out.push_back(&c);
+  }
+  return out;
+}
+
+std::string HornProgram::ToString() const {
+  std::string out;
+  for (const Clause& c : clauses) {
+    out += c.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace datacon

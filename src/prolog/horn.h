@@ -1,0 +1,75 @@
+#ifndef DATACON_PROLOG_HORN_H_
+#define DATACON_PROLOG_HORN_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/pred.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// A term of the Horn-clause fragment: a logic variable or a constant.
+/// Function symbols are deliberately absent — section 3.4 compares
+/// constructors against *function-free* PROLOG (i.e. Datalog).
+struct PrologTerm {
+  enum class Kind { kVar, kConst };
+  Kind kind;
+  std::string var;  // when kVar
+  Value constant;   // when kConst
+
+  static PrologTerm MakeVar(std::string name) {
+    return PrologTerm{Kind::kVar, std::move(name), Value()};
+  }
+  static PrologTerm MakeConst(Value v) {
+    return PrologTerm{Kind::kConst, "", std::move(v)};
+  }
+
+  std::string ToString() const {
+    return kind == Kind::kVar ? var : constant.ToString();
+  }
+};
+
+/// `predicate(arg1, ..., argk)`. Extensional predicates name base relations
+/// of the catalog; intensional predicates name instantiated constructor
+/// applications.
+struct Atom {
+  std::string predicate;
+  std::vector<PrologTerm> args;
+
+  std::string ToString() const;
+};
+
+/// A comparison evaluated once both sides are ground (translated from
+/// non-equality comparisons; equalities are compiled away by unification
+/// at translation time).
+struct BuiltinComparison {
+  CompareOp op;
+  PrologTerm lhs;
+  PrologTerm rhs;
+};
+
+/// `head :- body1, ..., bodyn, builtins.` A fact is a clause with an empty
+/// body and ground head.
+struct Clause {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<BuiltinComparison> builtins;
+
+  std::string ToString() const;
+};
+
+/// The intensional program: clauses grouped by head predicate. Extensional
+/// facts stay in the catalog's relations and are resolved by the engine.
+struct HornProgram {
+  std::vector<Clause> clauses;
+
+  /// All clauses whose head predicate is `predicate`.
+  std::vector<const Clause*> ClausesFor(const std::string& predicate) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_PROLOG_HORN_H_

@@ -1,0 +1,106 @@
+#ifndef DATACON_PROLOG_SLD_H_
+#define DATACON_PROLOG_SLD_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "prolog/horn.h"
+#include "storage/relation.h"
+
+namespace datacon {
+
+/// Options of the proof-oriented engine.
+struct SldOptions {
+  /// With tabling (OLDT-style): recursive subgoals whose predicate is
+  /// already on the resolution stack consume the answer table instead of
+  /// recursing, and top-level resolution passes repeat until the tables
+  /// saturate — sound and complete on cyclic data, still strictly
+  /// tuple-at-a-time. Without tabling: textbook depth-first SLD, which
+  /// diverges on cyclic data (bounded by max_depth / max_steps).
+  bool tabling = true;
+  /// Maximum intensional resolution depth (pure SLD only; tabling bounds
+  /// depth by construction). Exceeding it yields kDivergence.
+  size_t max_depth = 4096;
+  /// Optional budget on resolution steps; 0 = unbounded. Exceeding it
+  /// yields kDivergence.
+  size_t max_steps = 0;
+};
+
+/// Work counters, used by the benchmarks to report proof effort.
+struct SldStats {
+  /// Clause-resolution attempts.
+  size_t resolution_steps = 0;
+  /// Extensional tuples scanned during unification attempts.
+  size_t facts_scanned = 0;
+  /// Saturation passes (tabling mode).
+  size_t passes = 0;
+};
+
+/// Depth-first SLD resolution over a Horn program, with extensional
+/// predicates backed by the catalog's relations. This is the paper's
+/// comparison point: tuple-oriented theorem proving, versus the
+/// set-oriented constructive evaluation of the DataCon core (section 4's
+/// closing remark).
+class SldEngine {
+ public:
+  /// `program` and `catalog` must outlive the engine.
+  SldEngine(const HornProgram* program, const Catalog* catalog,
+            SldOptions options)
+      : program_(program), catalog_(catalog), options_(options) {}
+
+  /// Enumerates every answer of `?- predicate(a1, ..., ak)` where
+  /// `bound_args[i]`, if set, fixes argument i (the single-source query
+  /// form). The answers are returned as a relation over `result_schema`.
+  Result<Relation> Solve(const std::string& predicate,
+                         const std::vector<std::optional<Value>>& bound_args,
+                         const Schema& result_schema);
+
+  const SldStats& stats() const { return stats_; }
+
+ private:
+  PrologTerm Deref(PrologTerm t) const;
+  void Bind(const std::string& var, PrologTerm term);
+  void UndoTo(size_t mark);
+  bool Unify(const PrologTerm& a, const PrologTerm& b);
+
+  /// Instantiates `clause` with fresh variable names.
+  Clause Rename(const Clause& clause);
+
+  using Continuation = std::function<Status()>;
+
+  Status SolveAtom(const Atom& goal, size_t depth, const Continuation& next);
+  Status SolveAtoms(const std::vector<Atom>& atoms, size_t index, size_t depth,
+                    const Continuation& next);
+  Result<bool> CheckBuiltins(const std::vector<BuiltinComparison>& builtins);
+
+  const HornProgram* program_;
+  const Catalog* catalog_;
+  SldOptions options_;
+
+  std::map<std::string, PrologTerm> bindings_;
+  std::vector<std::string> trail_;
+  std::set<std::string> ancestors_;
+  /// Answer tables, per intensional predicate (tabling mode).
+  std::map<std::string, std::vector<std::vector<Value>>> tables_;
+  std::map<std::string, std::set<std::vector<Value>>> table_index_;
+  size_t rename_counter_ = 0;
+  SldStats stats_;
+};
+
+/// Convenience wrapper: evaluates a constructed range top-down. `range`
+/// must end in a constructor application (no trailing selectors);
+/// `bound_args` optionally fixes result attributes (single-source form).
+Result<Relation> EvaluateRangeTopDown(
+    const Catalog& catalog, const RangePtr& range, const SldOptions& options,
+    const std::vector<std::optional<Value>>& bound_args = {},
+    SldStats* stats = nullptr);
+
+}  // namespace datacon
+
+#endif  // DATACON_PROLOG_SLD_H_

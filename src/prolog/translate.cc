@@ -1,0 +1,277 @@
+#include "prolog/translate.h"
+
+#include <map>
+#include <optional>
+
+#include "ast/printer.h"
+#include "common/check.h"
+
+namespace datacon {
+
+namespace {
+
+/// Union-find over logic variable names, with at most one constant per
+/// class. Translation-time unification: equality conjuncts merge classes;
+/// a literal binds the class to a constant; conflicting constants make the
+/// clause unsatisfiable (it is simply dropped).
+class VarUnifier {
+ public:
+  std::string Find(const std::string& name) {
+    auto it = parent_.find(name);
+    if (it == parent_.end()) {
+      parent_[name] = name;
+      return name;
+    }
+    if (it->second == name) return name;
+    std::string root = Find(it->second);
+    parent_[name] = root;
+    return root;
+  }
+
+  /// Merges the classes of `a` and `b`; returns false when their constants
+  /// conflict (clause unsatisfiable).
+  bool Merge(const std::string& a, const std::string& b) {
+    std::string ra = Find(a), rb = Find(b);
+    if (ra == rb) return true;
+    auto ca = constants_.find(ra);
+    auto cb = constants_.find(rb);
+    if (ca != constants_.end() && cb != constants_.end() &&
+        !(ca->second == cb->second)) {
+      return false;
+    }
+    parent_[rb] = ra;
+    if (ca == constants_.end() && cb != constants_.end()) {
+      constants_[ra] = cb->second;
+    }
+    return true;
+  }
+
+  /// Binds the class of `name` to constant `v`; returns false on conflict.
+  bool BindConst(const std::string& name, const Value& v) {
+    std::string root = Find(name);
+    auto it = constants_.find(root);
+    if (it != constants_.end()) return it->second == v;
+    constants_[root] = v;
+    return true;
+  }
+
+  /// The final Horn term for variable `name`.
+  PrologTerm Resolve(const std::string& name) {
+    std::string root = Find(name);
+    auto it = constants_.find(root);
+    if (it != constants_.end()) return PrologTerm::MakeConst(it->second);
+    return PrologTerm::MakeVar(root);
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+  std::map<std::string, Value> constants_;
+};
+
+std::string VarName(const std::string& var, const std::string& field) {
+  return "V_" + var + "_" + field;
+}
+
+/// Translator for one branch; accumulates atoms/builtins, then resolves
+/// variable classes.
+class BranchTranslator {
+ public:
+  BranchTranslator(const ApplicationGraph* graph, const Catalog* catalog)
+      : graph_(graph), catalog_(catalog) {}
+
+  /// Adds `EACH v IN range` as a body atom; returns the range's schema.
+  Result<const Schema*> AddBindingAtom(const std::string& var,
+                                       const Range& range) {
+    RangeSplit split = SplitAtLastConstructor(range);
+    if (!split.trailing_selectors.empty()) {
+      return Status::Unsupported(
+          "selector applications have no Horn-clause counterpart: " +
+          ToString(range));
+    }
+    Atom atom;
+    const Schema* schema = nullptr;
+    if (split.ctor_head.has_value()) {
+      DATACON_ASSIGN_OR_RETURN(int node, graph_->FindNode(**split.ctor_head));
+      atom.predicate = graph_->nodes()[static_cast<size_t>(node)].key;
+      schema = &graph_->nodes()[static_cast<size_t>(node)].result_schema;
+    } else {
+      atom.predicate = split.base_relation;
+      DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                               catalog_->LookupRelation(split.base_relation));
+      schema = &rel->schema();
+    }
+    for (const Field& f : schema->fields()) {
+      atom.args.push_back(PrologTerm::MakeVar(VarName(var, f.name)));
+    }
+    atoms_.push_back(std::move(atom));
+    var_schemas_[var] = schema;
+    return schema;
+  }
+
+  /// Translates a term into (variable-name, constant) form.
+  Result<PrologTerm> TranslateTerm(const Term& term) {
+    switch (term.kind()) {
+      case Term::Kind::kFieldRef: {
+        const auto& t = static_cast<const FieldRefTerm&>(term);
+        return PrologTerm::MakeVar(VarName(t.var(), t.field()));
+      }
+      case Term::Kind::kLiteral:
+        return PrologTerm::MakeConst(
+            static_cast<const LiteralTerm&>(term).value());
+      case Term::Kind::kParamRef:
+      case Term::Kind::kArith:
+        return Status::Unsupported(
+            "term has no function-free Horn counterpart: " + ToString(term));
+    }
+    DATACON_UNREACHABLE("term kind");
+  }
+
+  /// Folds one equality side pair into the unifier.
+  Status AddEquality(const PrologTerm& a, const PrologTerm& b) {
+    if (a.kind == PrologTerm::Kind::kVar && b.kind == PrologTerm::Kind::kVar) {
+      if (!unifier_.Merge(a.var, b.var)) unsatisfiable_ = true;
+    } else if (a.kind == PrologTerm::Kind::kVar) {
+      if (!unifier_.BindConst(a.var, b.constant)) unsatisfiable_ = true;
+    } else if (b.kind == PrologTerm::Kind::kVar) {
+      if (!unifier_.BindConst(b.var, a.constant)) unsatisfiable_ = true;
+    } else if (!(a.constant == b.constant)) {
+      unsatisfiable_ = true;
+    }
+    return Status::OK();
+  }
+
+  Status AddPred(const Pred& pred) {
+    switch (pred.kind()) {
+      case Pred::Kind::kBool:
+        if (!static_cast<const BoolPred&>(pred).value()) unsatisfiable_ = true;
+        return Status::OK();
+      case Pred::Kind::kAnd:
+        for (const PredPtr& op :
+             static_cast<const AndPred&>(pred).operands()) {
+          DATACON_RETURN_IF_ERROR(AddPred(*op));
+        }
+        return Status::OK();
+      case Pred::Kind::kCompare: {
+        const auto& p = static_cast<const ComparePred&>(pred);
+        DATACON_ASSIGN_OR_RETURN(PrologTerm lhs, TranslateTerm(*p.lhs()));
+        DATACON_ASSIGN_OR_RETURN(PrologTerm rhs, TranslateTerm(*p.rhs()));
+        if (p.op() == CompareOp::kEq) return AddEquality(lhs, rhs);
+        builtins_.push_back(BuiltinComparison{p.op(), lhs, rhs});
+        return Status::OK();
+      }
+      case Pred::Kind::kQuant: {
+        const auto& p = static_cast<const QuantPred&>(pred);
+        if (p.quantifier() == Quantifier::kAll) {
+          return Status::Unsupported(
+              "universal quantification is outside the Horn fragment");
+        }
+        // Existential quantification is just another body atom.
+        DATACON_RETURN_IF_ERROR(
+            AddBindingAtom(p.var(), *p.range()).status());
+        return AddPred(*p.body());
+      }
+      case Pred::Kind::kIn: {
+        const auto& p = static_cast<const InPred&>(pred);
+        RangeSplit split = SplitAtLastConstructor(*p.range());
+        if (!split.trailing_selectors.empty()) {
+          return Status::Unsupported(
+              "selector applications have no Horn-clause counterpart");
+        }
+        Atom atom;
+        if (split.ctor_head.has_value()) {
+          DATACON_ASSIGN_OR_RETURN(int node,
+                                   graph_->FindNode(**split.ctor_head));
+          atom.predicate = graph_->nodes()[static_cast<size_t>(node)].key;
+        } else {
+          atom.predicate = split.base_relation;
+        }
+        for (const TermPtr& t : p.tuple()) {
+          DATACON_ASSIGN_OR_RETURN(PrologTerm term, TranslateTerm(*t));
+          atom.args.push_back(std::move(term));
+        }
+        atoms_.push_back(std::move(atom));
+        return Status::OK();
+      }
+      case Pred::Kind::kNot:
+        return Status::Unsupported(
+            "negation is outside the positive Horn fragment (section 3.4)");
+      case Pred::Kind::kOr:
+        return Status::Unsupported(
+            "disjunction within a branch predicate is outside the Horn "
+            "fragment; split the branch instead");
+    }
+    DATACON_UNREACHABLE("pred kind");
+  }
+
+  /// Finishes the clause for `head_predicate` with the given target terms
+  /// (nullopt => identity over the branch's single binding variable).
+  Result<std::optional<Clause>> Finish(
+      const std::string& head_predicate, const Branch& branch,
+      const Schema& result_schema) {
+    Clause clause;
+    clause.head.predicate = head_predicate;
+    if (branch.targets().has_value()) {
+      for (const TermPtr& t : *branch.targets()) {
+        DATACON_ASSIGN_OR_RETURN(PrologTerm term, TranslateTerm(*t));
+        clause.head.args.push_back(std::move(term));
+      }
+    } else {
+      const std::string& var = branch.bindings()[0].var;
+      const Schema* schema = var_schemas_.at(var);
+      (void)result_schema;
+      for (const Field& f : schema->fields()) {
+        clause.head.args.push_back(
+            PrologTerm::MakeVar(VarName(var, f.name)));
+      }
+    }
+    if (unsatisfiable_) return std::optional<Clause>();
+
+    auto resolve = [&](PrologTerm& t) {
+      if (t.kind == PrologTerm::Kind::kVar) t = unifier_.Resolve(t.var);
+    };
+    for (PrologTerm& t : clause.head.args) resolve(t);
+    for (Atom& a : atoms_) {
+      for (PrologTerm& t : a.args) resolve(t);
+    }
+    for (BuiltinComparison& b : builtins_) {
+      resolve(b.lhs);
+      resolve(b.rhs);
+    }
+    clause.body = std::move(atoms_);
+    clause.builtins = std::move(builtins_);
+    return std::optional<Clause>(std::move(clause));
+  }
+
+ private:
+  const ApplicationGraph* graph_;
+  const Catalog* catalog_;
+  std::vector<Atom> atoms_;
+  std::vector<BuiltinComparison> builtins_;
+  std::map<std::string, const Schema*> var_schemas_;
+  VarUnifier unifier_;
+  bool unsatisfiable_ = false;
+};
+
+}  // namespace
+
+Result<HornProgram> TranslateApplicationGraph(const ApplicationGraph& graph,
+                                              const Catalog& catalog) {
+  HornProgram program;
+  for (const ApplicationGraph::Node& node : graph.nodes()) {
+    for (const BranchPtr& branch : node.body->branches()) {
+      BranchTranslator translator(&graph, &catalog);
+      for (const Binding& b : branch->bindings()) {
+        DATACON_RETURN_IF_ERROR(
+            translator.AddBindingAtom(b.var, *b.range).status());
+      }
+      DATACON_RETURN_IF_ERROR(translator.AddPred(*branch->pred()));
+      DATACON_ASSIGN_OR_RETURN(
+          std::optional<Clause> clause,
+          translator.Finish(node.key, *branch, node.result_schema));
+      if (clause.has_value()) program.clauses.push_back(std::move(*clause));
+    }
+  }
+  return program;
+}
+
+}  // namespace datacon

@@ -1,0 +1,29 @@
+#ifndef DATACON_PROLOG_TRANSLATE_H_
+#define DATACON_PROLOG_TRANSLATE_H_
+
+#include "common/result.h"
+#include "core/catalog.h"
+#include "core/instantiate.h"
+#include "prolog/horn.h"
+
+namespace datacon {
+
+/// Translates an instantiated constructor-application system into Horn
+/// clauses — the constructive direction of the section 3.4 lemma ("the
+/// constructor mechanism is as powerful as function-free PROLOG without
+/// cut, fail, and negation"), used to feed the proof-oriented baseline.
+///
+/// Predicate names: application nodes use their canonical key; base
+/// relations use their catalog name. Each constructive branch becomes one
+/// clause: bindings become body atoms, equality conjuncts are compiled
+/// into shared variables/constants (unification at translation time),
+/// other comparisons become builtins, SOME quantifiers over plain or
+/// constructed ranges become additional body atoms, membership predicates
+/// likewise. NOT, ALL, OR, and arithmetic are outside the Horn fragment
+/// and yield kUnsupported — exactly the boundary the paper draws.
+Result<HornProgram> TranslateApplicationGraph(const ApplicationGraph& graph,
+                                              const Catalog& catalog);
+
+}  // namespace datacon
+
+#endif  // DATACON_PROLOG_TRANSLATE_H_

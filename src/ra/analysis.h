@@ -1,0 +1,34 @@
+#ifndef DATACON_RA_ANALYSIS_H_
+#define DATACON_RA_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/pred.h"
+#include "ast/term.h"
+
+namespace datacon {
+
+/// Adds the tuple variables occurring free in `term` to `out`.
+void CollectFreeVars(const Term& term, std::set<std::string>* out);
+
+/// Adds the tuple variables occurring free in `pred` to `out`. Quantifier
+/// variables are bound in their body and therefore excluded.
+void CollectFreeVars(const Pred& pred, std::set<std::string>* out);
+
+/// The free tuple variables of `pred`.
+std::set<std::string> FreeVars(const Pred& pred);
+
+/// Splits `pred` into its top-level conjuncts: an AndPred flattens
+/// (recursively through nested ANDs); anything else is a single conjunct.
+/// A literal TRUE produces no conjuncts.
+std::vector<PredPtr> FlattenConjuncts(const PredPtr& pred);
+
+/// Rebuilds a predicate from conjuncts: empty -> TRUE, singleton -> itself,
+/// otherwise an AndPred.
+PredPtr ConjunctsToPred(std::vector<PredPtr> conjuncts);
+
+}  // namespace datacon
+
+#endif  // DATACON_RA_ANALYSIS_H_

@@ -1,0 +1,113 @@
+#include "ra/branch_exec.h"
+
+#include <functional>
+#include <memory>
+
+#include "ast/printer.h"
+#include "common/check.h"
+#include "ra/branch_plan.h"
+#include "storage/index.h"
+
+namespace datacon {
+
+Status ExecuteBranch(const Branch& branch,
+                     const std::vector<ResolvedBinding>& bindings,
+                     const Evaluator& eval, const Environment& base_env,
+                     Relation* out, BranchExecStats* stats,
+                     const BranchExecOptions& options) {
+  const size_t n = bindings.size();
+  if (n != branch.bindings().size()) {
+    return Status::Internal("resolved bindings do not match branch arity");
+  }
+  if (!branch.targets().has_value() && n != 1) {
+    return Status::TypeError(
+        "a branch without a target list must bind exactly one variable: " +
+        ToString(branch));
+  }
+
+  std::vector<BindingSchema> schemas;
+  schemas.reserve(n);
+  for (const ResolvedBinding& b : bindings) {
+    schemas.push_back(BindingSchema{b.var, &b.relation->schema()});
+  }
+  DATACON_ASSIGN_OR_RETURN(std::vector<BranchLevelPlan> levels,
+                           PlanBranchLevels(branch, schemas, options));
+
+  // Build hash indexes for inner levels with key equalities.
+  std::vector<std::unique_ptr<HashIndex>> indexes(n);
+  for (size_t i = 1; i < n; ++i) {
+    if (levels[i].keys.empty()) continue;
+    std::vector<int> cols;
+    cols.reserve(levels[i].keys.size());
+    for (const BranchLevelPlan::KeyEquality& k : levels[i].keys) {
+      cols.push_back(k.inner_field_index);
+    }
+    indexes[i] = std::make_unique<HashIndex>(*bindings[i].relation, cols);
+  }
+
+  Environment env = base_env;
+  BranchExecStats local_stats;
+
+  // Recursive descent over the levels. Kept as an explicit recursive
+  // function: depth equals the number of bindings, which is tiny.
+  std::function<Status(size_t)> descend = [&](size_t level) -> Status {
+    if (level == n) {
+      ++local_stats.env_count;
+      Tuple result;
+      if (branch.targets().has_value()) {
+        std::vector<Value> values;
+        values.reserve(branch.targets()->size());
+        for (const TermPtr& t : *branch.targets()) {
+          DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*t, env));
+          values.push_back(std::move(v));
+        }
+        result = Tuple(std::move(values));
+      } else {
+        result = *env.Lookup(bindings[0].var)->tuple;
+      }
+      DATACON_ASSIGN_OR_RETURN(bool grew, out->Insert(result));
+      if (grew) ++local_stats.inserted;
+      return Status::OK();
+    }
+
+    const Relation& rel = *bindings[level].relation;
+    const std::string& var = bindings[level].var;
+    const BranchLevelPlan& lv = levels[level];
+
+    auto try_tuple = [&](const Tuple& t) -> Status {
+      env.Bind(var, &t, &rel.schema());
+      for (const PredPtr& f : lv.filters) {
+        DATACON_ASSIGN_OR_RETURN(bool ok, eval.EvalPred(*f, env));
+        if (!ok) return Status::OK();
+      }
+      return descend(level + 1);
+    };
+
+    if (indexes[level] != nullptr) {
+      // Hash-join probe: evaluate the outer sides of the key equalities,
+      // fetch exactly the matching tuples.
+      std::vector<Value> key_values;
+      key_values.reserve(lv.keys.size());
+      for (const BranchLevelPlan::KeyEquality& k : lv.keys) {
+        DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*k.outer, env));
+        key_values.push_back(std::move(v));
+      }
+      for (const Tuple* t :
+           indexes[level]->Probe(Tuple(std::move(key_values)))) {
+        DATACON_RETURN_IF_ERROR(try_tuple(*t));
+      }
+    } else {
+      for (const Tuple& t : rel.tuples()) {
+        DATACON_RETURN_IF_ERROR(try_tuple(t));
+      }
+    }
+    env.Unbind(var);
+    return Status::OK();
+  };
+
+  DATACON_RETURN_IF_ERROR(descend(0));
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+}  // namespace datacon

@@ -1,0 +1,52 @@
+#ifndef DATACON_RA_BRANCH_EXEC_H_
+#define DATACON_RA_BRANCH_EXEC_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/branch.h"
+#include "common/status.h"
+#include "ra/branch_plan.h"
+#include "ra/env.h"
+#include "ra/eval.h"
+#include "storage/relation.h"
+
+namespace datacon {
+
+/// A branch binding whose range has already been materialized by the core
+/// engine (selectors applied, constructed relations resolved to the current
+/// fixpoint approximation or, in semi-naive rounds, to a delta).
+struct ResolvedBinding {
+  std::string var;
+  const Relation* relation;
+};
+
+/// Statistics of one branch execution, reported to benchmarks and EXPLAIN.
+struct BranchExecStats {
+  /// Environments reaching the innermost level (tuples considered).
+  size_t env_count = 0;
+  /// Tuples inserted into the output (new, after deduplication).
+  size_t inserted = 0;
+};
+
+/// Executes one constructive branch:
+///
+///   [<targets> OF] EACH v1 IN R1, ..., EACH vn IN Rn : pred
+///
+/// as a left-deep pipeline of scans and hash joins. Top-level equi-join
+/// conjuncts (`vi.f = <expr over earlier variables>`) become hash-index
+/// probes; every other conjunct is evaluated as a filter at the earliest
+/// level where its variables are bound. Result tuples are appended to `out`
+/// with set semantics (and key enforcement, if `out` declares a key).
+///
+/// `eval` carries the resolver used for quantifier/membership ranges inside
+/// the predicate; `base_env` carries scalar parameter bindings.
+Status ExecuteBranch(const Branch& branch,
+                     const std::vector<ResolvedBinding>& bindings,
+                     const Evaluator& eval, const Environment& base_env,
+                     Relation* out, BranchExecStats* stats = nullptr,
+                     const BranchExecOptions& options = {});
+
+}  // namespace datacon
+
+#endif  // DATACON_RA_BRANCH_EXEC_H_

@@ -1,0 +1,124 @@
+#include "ra/branch_plan.h"
+
+#include <set>
+
+#include "ast/printer.h"
+#include "ra/analysis.h"
+
+namespace datacon {
+
+namespace {
+
+const FieldRefTerm* AsFieldRefOf(const Term& term, const std::string& var) {
+  if (term.kind() != Term::Kind::kFieldRef) return nullptr;
+  const auto& f = static_cast<const FieldRefTerm&>(term);
+  return f.var() == var ? &f : nullptr;
+}
+
+}  // namespace
+
+Result<std::vector<BranchLevelPlan>> PlanBranchLevels(
+    const Branch& branch, const std::vector<BindingSchema>& bindings,
+    const BranchExecOptions& options) {
+  const size_t n = bindings.size();
+  std::vector<BranchLevelPlan> levels(n);
+  std::set<std::string> bound;
+
+  std::vector<PredPtr> conjuncts = FlattenConjuncts(branch.pred());
+  std::vector<bool> assigned(conjuncts.size(), false);
+
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& var = bindings[i].var;
+    const Schema& schema = *bindings[i].schema;
+    for (size_t c = 0; c < conjuncts.size(); ++c) {
+      if (assigned[c]) continue;
+      std::set<std::string> fv = FreeVars(*conjuncts[c]);
+      bool ready = true;
+      for (const std::string& v : fv) {
+        if (v != var && bound.count(v) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      assigned[c] = true;
+      // Probe-able only at inner levels: at level 0 an index build would
+      // cost as much as the scan it replaces.
+      bool probed = false;
+      if (options.use_hash_joins && i > 0 &&
+          conjuncts[c]->kind() == Pred::Kind::kCompare) {
+        const auto& cmp = static_cast<const ComparePred&>(*conjuncts[c]);
+        if (cmp.op() == CompareOp::kEq) {
+          for (bool flip : {false, true}) {
+            const TermPtr& a = flip ? cmp.rhs() : cmp.lhs();
+            const TermPtr& b = flip ? cmp.lhs() : cmp.rhs();
+            const FieldRefTerm* inner = AsFieldRefOf(*a, var);
+            if (inner == nullptr) continue;
+            std::set<std::string> outer_vars;
+            CollectFreeVars(*b, &outer_vars);
+            if (outer_vars.count(var) > 0) continue;
+            std::optional<int> idx = schema.FieldIndex(inner->field());
+            if (!idx.has_value()) {
+              return Status::NotFound("no field '" + inner->field() +
+                                      "' in range of '" + var + "'");
+            }
+            levels[i].keys.push_back(
+                BranchLevelPlan::KeyEquality{*idx, b});
+            probed = true;
+            break;
+          }
+        }
+      }
+      if (!probed) levels[i].filters.push_back(conjuncts[c]);
+    }
+    bound.insert(var);
+  }
+  for (size_t c = 0; c < conjuncts.size(); ++c) {
+    if (!assigned[c]) {
+      return Status::Internal("conjunct references unbound variable: " +
+                              ToString(*conjuncts[c]));
+    }
+  }
+  return levels;
+}
+
+Result<std::string> ExplainBranchPlan(const Branch& branch,
+                                      const std::vector<BindingSchema>& bindings,
+                                      const BranchExecOptions& options) {
+  DATACON_ASSIGN_OR_RETURN(std::vector<BranchLevelPlan> levels,
+                           PlanBranchLevels(branch, bindings, options));
+  std::string out;
+  for (size_t i = 0; i < bindings.size(); ++i) {
+    if (i > 0) out += " -> ";
+    const Binding& b = branch.bindings()[i];
+    const BranchLevelPlan& level = levels[i];
+    if (!level.keys.empty()) {
+      out += "probe(" + b.var + " IN " + ToString(*b.range) + " on ";
+      for (size_t k = 0; k < level.keys.size(); ++k) {
+        if (k > 0) out += ", ";
+        out += bindings[i].schema->field(level.keys[k].inner_field_index).name +
+               " = " + ToString(*level.keys[k].outer);
+      }
+      out += ")";
+    } else {
+      out += "scan(" + b.var + " IN " + ToString(*b.range) + ")";
+    }
+    for (const PredPtr& f : level.filters) {
+      out += " -> filter(" + ToString(*f) + ")";
+    }
+  }
+  out += " -> project";
+  if (branch.targets().has_value()) {
+    out += "<";
+    for (size_t i = 0; i < branch.targets()->size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToString(*(*branch.targets())[i]);
+    }
+    out += ">";
+  } else {
+    out += "<" + branch.bindings()[0].var + ">";
+  }
+  return out;
+}
+
+}  // namespace datacon

@@ -1,0 +1,59 @@
+#ifndef DATACON_RA_BRANCH_PLAN_H_
+#define DATACON_RA_BRANCH_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/branch.h"
+#include "common/result.h"
+#include "types/schema.h"
+
+namespace datacon {
+
+/// Per-binding compiled form of a branch: which equality conjuncts become
+/// hash-probe keys at this binding's level and which conjuncts run as
+/// filters once the level's variable is bound.
+struct BranchLevelPlan {
+  /// One hash-key component: `inner_field_index` of this level's relation
+  /// equals `outer` (a term over earlier levels only).
+  struct KeyEquality {
+    int inner_field_index;
+    TermPtr outer;
+  };
+  std::vector<KeyEquality> keys;
+  std::vector<PredPtr> filters;
+};
+
+/// The schema each binding ranges over, in branch order.
+struct BindingSchema {
+  std::string var;
+  const Schema* schema;
+};
+
+/// Options controlling physical branch execution.
+struct BranchExecOptions {
+  /// When false, equality conjuncts are never turned into hash probes —
+  /// every join runs as a filtered nested loop. Exists for the ablation
+  /// benchmarks; always leave on in real use.
+  bool use_hash_joins = true;
+};
+
+/// Assigns every top-level conjunct of `branch` to the earliest level where
+/// its variables are bound, turning probe-able equalities (at inner levels,
+/// when `options.use_hash_joins`) into hash keys. Fails when a conjunct
+/// references a variable no binding provides.
+Result<std::vector<BranchLevelPlan>> PlanBranchLevels(
+    const Branch& branch, const std::vector<BindingSchema>& bindings,
+    const BranchExecOptions& options = {});
+
+/// Renders the physical plan of one branch, e.g.
+///   `scan(f IN g_E) -> probe(b IN g_E {g_tc} on dst = f.src) ->
+///    filter(...) -> project<f.src, b.dst>`.
+/// Used by Database::Explain.
+Result<std::string> ExplainBranchPlan(
+    const Branch& branch, const std::vector<BindingSchema>& bindings,
+    const BranchExecOptions& options = {});
+
+}  // namespace datacon
+
+#endif  // DATACON_RA_BRANCH_PLAN_H_

@@ -1,0 +1,59 @@
+#ifndef DATACON_RA_ENV_H_
+#define DATACON_RA_ENV_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "storage/tuple.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Evaluation environment: the tuple variables currently bound by enclosing
+/// `EACH`/quantifier binders, plus the scalar parameter values of the
+/// enclosing selector/constructor application.
+///
+/// Tuples are referenced, not copied — bindings are valid only while the
+/// underlying storage is alive and unmodified, which the executors
+/// guarantee by construction.
+class Environment {
+ public:
+  struct TupleBinding {
+    const Tuple* tuple;
+    const Schema* schema;
+  };
+
+  /// Binds tuple variable `var`; rebinding shadows the previous binding.
+  void Bind(const std::string& var, const Tuple* tuple, const Schema* schema) {
+    tuples_[var] = TupleBinding{tuple, schema};
+  }
+
+  /// Removes the binding of `var` (no-op if absent).
+  void Unbind(const std::string& var) { tuples_.erase(var); }
+
+  /// The binding of `var`, or nullptr when unbound.
+  const TupleBinding* Lookup(const std::string& var) const {
+    auto it = tuples_.find(var);
+    return it == tuples_.end() ? nullptr : &it->second;
+  }
+
+  /// Binds scalar parameter `name` to `value`.
+  void BindParam(const std::string& name, Value value) {
+    params_[name] = std::move(value);
+  }
+
+  /// The value of parameter `name`, or nullptr when unbound.
+  const Value* LookupParam(const std::string& name) const {
+    auto it = params_.find(name);
+    return it == params_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, TupleBinding> tuples_;
+  std::unordered_map<std::string, Value> params_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_RA_ENV_H_

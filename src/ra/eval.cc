@@ -1,0 +1,151 @@
+#include "ra/eval.h"
+
+#include "ast/printer.h"
+#include "common/check.h"
+
+namespace datacon {
+
+Result<Value> Evaluator::EvalTerm(const Term& term,
+                                  const Environment& env) const {
+  switch (term.kind()) {
+    case Term::Kind::kLiteral:
+      return static_cast<const LiteralTerm&>(term).value();
+    case Term::Kind::kParamRef: {
+      const auto& t = static_cast<const ParamRefTerm&>(term);
+      const Value* v = env.LookupParam(t.name());
+      if (v == nullptr) {
+        return Status::NotFound("unbound parameter '" + t.name() + "'");
+      }
+      return *v;
+    }
+    case Term::Kind::kFieldRef: {
+      const auto& t = static_cast<const FieldRefTerm&>(term);
+      const Environment::TupleBinding* b = env.Lookup(t.var());
+      if (b == nullptr) {
+        return Status::NotFound("unbound tuple variable '" + t.var() + "'");
+      }
+      std::optional<int> idx = b->schema->FieldIndex(t.field());
+      if (!idx.has_value()) {
+        return Status::NotFound("no field '" + t.field() + "' in " +
+                                b->schema->ToString());
+      }
+      return b->tuple->value(*idx);
+    }
+    case Term::Kind::kArith: {
+      const auto& t = static_cast<const ArithTerm&>(term);
+      DATACON_ASSIGN_OR_RETURN(Value lhs, EvalTerm(*t.lhs(), env));
+      DATACON_ASSIGN_OR_RETURN(Value rhs, EvalTerm(*t.rhs(), env));
+      if (lhs.type() != ValueType::kInt || rhs.type() != ValueType::kInt) {
+        return Status::TypeError("arithmetic over non-integers in " +
+                                 ToString(term));
+      }
+      int64_t a = lhs.AsInt(), b = rhs.AsInt();
+      switch (t.op()) {
+        case ArithOp::kAdd:
+          return Value::Int(a + b);
+        case ArithOp::kSub:
+          return Value::Int(a - b);
+        case ArithOp::kMul:
+          return Value::Int(a * b);
+        case ArithOp::kDiv:
+          if (b == 0) return Status::InvalidArgument("division by zero");
+          return Value::Int(a / b);
+        case ArithOp::kMod:
+          if (b == 0) return Status::InvalidArgument("MOD by zero");
+          return Value::Int(a % b);
+      }
+      DATACON_UNREACHABLE("arith op");
+    }
+  }
+  DATACON_UNREACHABLE("term kind");
+}
+
+Result<bool> Evaluator::EvalPred(const Pred& pred,
+                                 const Environment& env) const {
+  switch (pred.kind()) {
+    case Pred::Kind::kBool:
+      return static_cast<const BoolPred&>(pred).value();
+    case Pred::Kind::kCompare: {
+      const auto& p = static_cast<const ComparePred&>(pred);
+      DATACON_ASSIGN_OR_RETURN(Value lhs, EvalTerm(*p.lhs(), env));
+      DATACON_ASSIGN_OR_RETURN(Value rhs, EvalTerm(*p.rhs(), env));
+      if (lhs.type() != rhs.type()) {
+        return Status::TypeError("comparison across types in " +
+                                 ToString(pred));
+      }
+      int c = lhs.Compare(rhs);
+      switch (p.op()) {
+        case CompareOp::kEq:
+          return c == 0;
+        case CompareOp::kNe:
+          return c != 0;
+        case CompareOp::kLt:
+          return c < 0;
+        case CompareOp::kLe:
+          return c <= 0;
+        case CompareOp::kGt:
+          return c > 0;
+        case CompareOp::kGe:
+          return c >= 0;
+      }
+      DATACON_UNREACHABLE("compare op");
+    }
+    case Pred::Kind::kAnd: {
+      for (const PredPtr& op : static_cast<const AndPred&>(pred).operands()) {
+        DATACON_ASSIGN_OR_RETURN(bool v, EvalPred(*op, env));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Pred::Kind::kOr: {
+      for (const PredPtr& op : static_cast<const OrPred&>(pred).operands()) {
+        DATACON_ASSIGN_OR_RETURN(bool v, EvalPred(*op, env));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Pred::Kind::kNot: {
+      DATACON_ASSIGN_OR_RETURN(
+          bool v, EvalPred(*static_cast<const NotPred&>(pred).operand(), env));
+      return !v;
+    }
+    case Pred::Kind::kQuant: {
+      const auto& p = static_cast<const QuantPred&>(pred);
+      if (resolver_ == nullptr) {
+        return Status::Internal("quantifier range without a resolver: " +
+                                ToString(pred));
+      }
+      DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                               resolver_->Resolve(*p.range()));
+      // SOME: exists an element making the body true.
+      // ALL: every element makes the body true (vacuously true when empty).
+      Environment inner = env;
+      for (const Tuple& t : rel->tuples()) {
+        inner.Bind(p.var(), &t, &rel->schema());
+        DATACON_ASSIGN_OR_RETURN(bool v, EvalPred(*p.body(), inner));
+        if (p.quantifier() == Quantifier::kSome && v) return true;
+        if (p.quantifier() == Quantifier::kAll && !v) return false;
+      }
+      return p.quantifier() == Quantifier::kAll;
+    }
+    case Pred::Kind::kIn: {
+      const auto& p = static_cast<const InPred&>(pred);
+      if (resolver_ == nullptr) {
+        return Status::Internal("membership range without a resolver: " +
+                                ToString(pred));
+      }
+      DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                               resolver_->Resolve(*p.range()));
+      std::vector<Value> values;
+      values.reserve(p.tuple().size());
+      for (const TermPtr& t : p.tuple()) {
+        DATACON_ASSIGN_OR_RETURN(Value v, EvalTerm(*t, env));
+        values.push_back(std::move(v));
+      }
+      return rel->Contains(Tuple(std::move(values)));
+    }
+  }
+  DATACON_UNREACHABLE("pred kind");
+}
+
+}  // namespace datacon

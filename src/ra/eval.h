@@ -1,0 +1,37 @@
+#ifndef DATACON_RA_EVAL_H_
+#define DATACON_RA_EVAL_H_
+
+#include "ast/pred.h"
+#include "ast/term.h"
+#include "common/result.h"
+#include "ra/env.h"
+#include "ra/resolver.h"
+
+namespace datacon {
+
+/// Tree-walking evaluator for terms and predicates over an Environment.
+///
+/// Quantifiers (`SOME`/`ALL`) iterate the relation their range resolves to;
+/// membership tests build the probe tuple and use the relation's hash set.
+/// All failures (unbound names, type mismatches, division by zero) are
+/// reported as Status — for programs that passed semantic analysis the only
+/// reachable runtime failure is integer division by zero.
+class Evaluator {
+ public:
+  /// `resolver` must outlive the evaluator; it may be null for predicates
+  /// that contain no quantifier or membership ranges.
+  explicit Evaluator(const RelationResolver* resolver) : resolver_(resolver) {}
+
+  /// The scalar value of `term` under `env`.
+  Result<Value> EvalTerm(const Term& term, const Environment& env) const;
+
+  /// The truth value of `pred` under `env`.
+  Result<bool> EvalPred(const Pred& pred, const Environment& env) const;
+
+ private:
+  const RelationResolver* resolver_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_RA_EVAL_H_

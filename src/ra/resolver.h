@@ -1,0 +1,28 @@
+#ifndef DATACON_RA_RESOLVER_H_
+#define DATACON_RA_RESOLVER_H_
+
+#include "ast/range.h"
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace datacon {
+
+/// Maps range expressions to materialized relations at evaluation time.
+///
+/// The physical layer (`ra`) never interprets selectors or constructors
+/// itself; the core engine provides a resolver that has already materialized
+/// (or is in the middle of fixpoint-iterating) every range the expression
+/// can mention. Quantifier and membership ranges inside predicates resolve
+/// through the same interface.
+class RelationResolver {
+ public:
+  virtual ~RelationResolver() = default;
+
+  /// The relation `range` currently denotes. The pointer stays valid for the
+  /// duration of the evaluation step it was requested for.
+  virtual Result<const Relation*> Resolve(const Range& range) const = 0;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_RA_RESOLVER_H_

@@ -1,0 +1,190 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace datacon {
+
+namespace {
+
+/// Quotes a string field: always quoted, embedded quotes doubled.
+std::string QuoteField(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ValueToCsv(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kString:
+      return QuoteField(v.AsString());
+    case ValueType::kBool:
+      return v.AsBool() ? "TRUE" : "FALSE";
+  }
+  return "";
+}
+
+/// Splits one CSV line into raw cells honouring quoting. Returns an error
+/// on unterminated quotes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+      continue;
+    }
+    if (c == ',') {
+      cells.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    if (c == '\r') continue;
+    current.push_back(c);
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote in CSV line: " + line);
+  }
+  (void)was_quoted;
+  cells.push_back(std::move(current));
+  return cells;
+}
+
+Result<Value> ParseCell(const std::string& cell, ValueType type) {
+  switch (type) {
+    case ValueType::kInt: {
+      if (cell.empty()) return Status::ParseError("empty integer cell");
+      int64_t v = 0;
+      auto [ptr, ec] =
+          std::from_chars(cell.data(), cell.data() + cell.size(), v);
+      if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+        return Status::ParseError("malformed integer cell '" + cell + "'");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kString:
+      // Quotes were already stripped by the splitter.
+      return Value::String(cell);
+    case ValueType::kBool:
+      if (cell == "TRUE") return Value::Bool(true);
+      if (cell == "FALSE") return Value::Bool(false);
+      return Status::ParseError("malformed boolean cell '" + cell + "'");
+  }
+  return Status::Internal("unknown value type");
+}
+
+}  // namespace
+
+Status WriteCsv(const Relation& rel, std::ostream* out) {
+  const Schema& schema = rel.schema();
+  for (int i = 0; i < schema.arity(); ++i) {
+    if (i > 0) *out << ",";
+    *out << schema.field(i).name;
+  }
+  *out << "\n";
+  for (const Tuple& t : rel.SortedTuples()) {
+    for (int i = 0; i < t.arity(); ++i) {
+      if (i > 0) *out << ",";
+      *out << ValueToCsv(t.value(i));
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::InvalidArgument("CSV write failed");
+  return Status::OK();
+}
+
+Result<Relation> ReadCsv(std::istream* in, const Schema& schema) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::ParseError("CSV input has no header row");
+  }
+  DATACON_ASSIGN_OR_RETURN(std::vector<std::string> header,
+                           SplitCsvLine(line));
+  if (static_cast<int>(header.size()) != schema.arity()) {
+    return Status::ParseError("CSV header has " +
+                              std::to_string(header.size()) +
+                              " column(s), schema expects " +
+                              std::to_string(schema.arity()));
+  }
+  for (int i = 0; i < schema.arity(); ++i) {
+    if (header[static_cast<size_t>(i)] != schema.field(i).name) {
+      return Status::ParseError("CSV column '" +
+                                header[static_cast<size_t>(i)] +
+                                "' does not match schema field '" +
+                                schema.field(i).name + "'");
+    }
+  }
+
+  Relation rel(schema);
+  size_t line_number = 1;
+  while (std::getline(*in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    DATACON_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                             SplitCsvLine(line));
+    if (static_cast<int>(cells.size()) != schema.arity()) {
+      return Status::ParseError("CSV line " + std::to_string(line_number) +
+                                " has " + std::to_string(cells.size()) +
+                                " cell(s), expected " +
+                                std::to_string(schema.arity()));
+    }
+    std::vector<Value> values;
+    values.reserve(cells.size());
+    for (int i = 0; i < schema.arity(); ++i) {
+      Result<Value> v =
+          ParseCell(cells[static_cast<size_t>(i)], schema.field(i).type);
+      if (!v.ok()) {
+        return Status::ParseError("CSV line " + std::to_string(line_number) +
+                                  ": " + v.status().message());
+      }
+      values.push_back(std::move(v).value());
+    }
+    DATACON_ASSIGN_OR_RETURN(bool grew, rel.Insert(Tuple(std::move(values))));
+    (void)grew;
+  }
+  return rel;
+}
+
+Status SaveCsvFile(const Relation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(rel, &out);
+}
+
+Result<Relation> LoadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  return ReadCsv(&in, schema);
+}
+
+}  // namespace datacon

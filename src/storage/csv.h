@@ -1,0 +1,29 @@
+#ifndef DATACON_STORAGE_CSV_H_
+#define DATACON_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace datacon {
+
+/// Writes `rel` as CSV: a header row of field names, then one row per
+/// tuple in sorted order (deterministic output). Strings are quoted with
+/// doubled-quote escaping; integers print as digits; booleans as
+/// TRUE/FALSE.
+Status WriteCsv(const Relation& rel, std::ostream* out);
+
+/// Reads CSV produced by WriteCsv (or hand-written in the same dialect)
+/// into a relation over `schema`. The header row is validated against the
+/// schema's field names. Key constraints of `schema` apply during load.
+Result<Relation> ReadCsv(std::istream* in, const Schema& schema);
+
+/// Convenience file wrappers.
+Status SaveCsvFile(const Relation& rel, const std::string& path);
+Result<Relation> LoadCsvFile(const std::string& path, const Schema& schema);
+
+}  // namespace datacon
+
+#endif  // DATACON_STORAGE_CSV_H_

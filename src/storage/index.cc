@@ -1,0 +1,19 @@
+#include "storage/index.h"
+
+namespace datacon {
+
+HashIndex::HashIndex(const Relation& rel, std::vector<int> columns)
+    : columns_(std::move(columns)) {
+  buckets_.reserve(rel.size());
+  for (const Tuple& t : rel.tuples()) {
+    buckets_[t.Project(columns_)].push_back(&t);
+  }
+}
+
+const std::vector<const Tuple*>& HashIndex::Probe(const Tuple& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace datacon

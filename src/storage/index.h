@@ -1,0 +1,42 @@
+#ifndef DATACON_STORAGE_INDEX_H_
+#define DATACON_STORAGE_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace datacon {
+
+/// A transient hash index over a relation: maps the projection of each
+/// stored tuple onto `columns` to the list of matching tuples.
+///
+/// Built on demand by the join machinery (and by materialized physical
+/// access paths, section 4). The index holds pointers into the indexed
+/// relation's tuple set; it is valid as long as no tuple is erased from the
+/// relation (inserts do not invalidate unordered_set element pointers, but
+/// tuples inserted after construction are of course not indexed).
+class HashIndex {
+ public:
+  /// Builds an index of `rel` on the given column positions.
+  HashIndex(const Relation& rel, std::vector<int> columns);
+
+  /// The column positions this index covers.
+  const std::vector<int>& columns() const { return columns_; }
+
+  /// All indexed tuples whose projection equals `key` (empty if none).
+  const std::vector<const Tuple*>& Probe(const Tuple& key) const;
+
+  /// Number of distinct keys.
+  size_t key_count() const { return buckets_.size(); }
+
+ private:
+  std::vector<int> columns_;
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets_;
+  std::vector<const Tuple*> empty_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_STORAGE_INDEX_H_

@@ -1,0 +1,96 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+namespace datacon {
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  enforce_key_ = !schema_.KeyIsAllAttributes();
+  if (enforce_key_) key_positions_ = schema_.EffectiveKey();
+}
+
+Result<bool> Relation::Insert(const Tuple& t) {
+  if (t.arity() != schema_.arity()) {
+    return Status::TypeError("tuple arity " + std::to_string(t.arity()) +
+                             " does not match schema arity " +
+                             std::to_string(schema_.arity()));
+  }
+  for (int i = 0; i < t.arity(); ++i) {
+    if (t.value(i).type() != schema_.field(i).type) {
+      return Status::TypeError("field '" + schema_.field(i).name +
+                               "' expects " +
+                               std::string(ValueTypeName(schema_.field(i).type)) +
+                               ", got " + t.value(i).ToString());
+    }
+  }
+  if (tuples_.count(t) > 0) return false;
+  if (enforce_key_) {
+    Tuple key = t.Project(key_positions_);
+    auto it = key_to_tuple_.find(key);
+    if (it != key_to_tuple_.end()) {
+      // A distinct tuple with the same key is stored: the section 2.2 key
+      // constraint fails.
+      return Status::KeyViolation("key " + key.ToString() +
+                                  " already identifies " +
+                                  it->second.ToString() +
+                                  "; cannot insert " + t.ToString());
+    }
+    key_to_tuple_.emplace(std::move(key), t);
+  }
+  tuples_.insert(t);
+  return true;
+}
+
+Status Relation::InsertAll(const Relation& other) {
+  if (!schema_.UnionCompatible(other.schema_)) {
+    return Status::TypeError("InsertAll between incompatible schemas: " +
+                             schema_.ToString() + " vs " +
+                             other.schema_.ToString());
+  }
+  for (const Tuple& t : other.tuples_) {
+    DATACON_ASSIGN_OR_RETURN(bool grew, Insert(t));
+    (void)grew;
+  }
+  return Status::OK();
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = tuples_.find(t);
+  if (it == tuples_.end()) return false;
+  if (enforce_key_) key_to_tuple_.erase(t.Project(key_positions_));
+  tuples_.erase(it);
+  return true;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  key_to_tuple_.clear();
+}
+
+bool Relation::SameTuples(const Relation& other) const {
+  if (tuples_.size() != other.tuples_.size()) return false;
+  for (const Tuple& t : tuples_) {
+    if (other.tuples_.count(t) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& t : SortedTuples()) {
+    if (!first) out += ", ";
+    first = false;
+    out += t.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace datacon

@@ -1,0 +1,87 @@
+#ifndef DATACON_STORAGE_RELATION_H_
+#define DATACON_STORAGE_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+#include "types/schema.h"
+
+namespace datacon {
+
+/// An in-memory relation variable: a set of tuples over a Schema, with the
+/// paper's key constraint (section 2.2) enforced on every insertion.
+///
+/// Inserting a tuple that already exists is a no-op; inserting a tuple that
+/// agrees with a stored tuple on the key attributes but differs elsewhere
+/// fails with kKeyViolation — the runtime test the paper derives from the
+/// annotated set-type definition:
+///
+///   IF ALL x1,x2 IN rex (x1.key=x2.key ==> x1=x2) THEN rel:=rex ELSE <exc.>
+///
+/// Relations with an all-attribute key behave as plain sets (the default for
+/// derived relations produced by constructors).
+class Relation {
+ public:
+  /// An empty relation over an empty schema.
+  Relation() = default;
+
+  /// An empty relation over `schema`.
+  explicit Relation(Schema schema);
+
+  /// Number of stored tuples.
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  const Schema& schema() const { return schema_; }
+
+  /// The stored tuple set (unordered).
+  const std::unordered_set<Tuple, TupleHash>& tuples() const {
+    return tuples_;
+  }
+
+  /// True iff `t` is stored.
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+
+  /// Inserts `t`. Fails with kTypeError on arity mismatch and with
+  /// kKeyViolation when `t` collides with a differing tuple on the key.
+  /// Returns true when the relation grew, false when `t` was present.
+  Result<bool> Insert(const Tuple& t);
+
+  /// Inserts every tuple of `other` (union-compatible schema required).
+  Status InsertAll(const Relation& other);
+
+  /// Removes `t`; returns true when something was removed.
+  bool Erase(const Tuple& t);
+
+  /// Removes all tuples, keeping the schema.
+  void Clear();
+
+  /// Set equality over the stored tuples (schemas must be union-compatible;
+  /// key declarations are not compared).
+  bool SameTuples(const Relation& other) const;
+
+  /// Stored tuples in lexicographic order — deterministic output for tests,
+  /// examples, and golden files.
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Renders the relation as `{<...>, <...>}` in sorted order.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::unordered_set<Tuple, TupleHash> tuples_;
+  /// Key projection -> stored tuple, maintained only when the key is a
+  /// proper subset of the attributes.
+  std::unordered_map<Tuple, Tuple, TupleHash> key_to_tuple_;
+  bool enforce_key_ = false;
+  std::vector<int> key_positions_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_STORAGE_RELATION_H_

@@ -1,0 +1,28 @@
+#include "storage/tuple.h"
+
+namespace datacon {
+
+Tuple Tuple::Project(const std::vector<int>& indices) const {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(values_[static_cast<size_t>(i)]);
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out = values_;
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "<";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace datacon

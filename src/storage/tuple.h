@@ -1,0 +1,67 @@
+#ifndef DATACON_STORAGE_TUPLE_H_
+#define DATACON_STORAGE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// An element of a relation: an ordered list of scalar values, positionally
+/// matched against a Schema. Tuples are value types — hashable, comparable,
+/// and cheap to move.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  int arity() const { return static_cast<int>(values_.size()); }
+  const Value& value(int i) const { return values_[static_cast<size_t>(i)]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// The sub-tuple at the given positions, in the given order.
+  Tuple Project(const std::vector<int>& indices) const;
+
+  /// This tuple followed by all values of `other`.
+  Tuple Concat(const Tuple& other) const;
+
+  /// Renders e.g. `<"vase", "table">`.
+  std::string ToString() const;
+
+  size_t Hash() const {
+    size_t seed = values_.size();
+    for (const Value& v : values_) HashCombine(seed, v.Hash());
+    return seed;
+  }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  /// Lexicographic order; used only to produce deterministic output.
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace datacon
+
+namespace std {
+template <>
+struct hash<datacon::Tuple> {
+  size_t operator()(const datacon::Tuple& t) const { return t.Hash(); }
+};
+}  // namespace std
+
+#endif  // DATACON_STORAGE_TUPLE_H_

@@ -1,0 +1,81 @@
+#include "types/schema.h"
+
+#include <set>
+
+namespace datacon {
+
+Status Schema::Validate() const {
+  std::set<std::string> names;
+  for (const Field& f : fields_) {
+    if (f.name.empty()) {
+      return Status::InvalidArgument("schema has a field with empty name");
+    }
+    if (!names.insert(f.name).second) {
+      return Status::InvalidArgument("duplicate field name '" + f.name + "'");
+    }
+  }
+  std::set<int> seen;
+  for (int k : key_indices_) {
+    if (k < 0 || k >= arity()) {
+      return Status::InvalidArgument("key index " + std::to_string(k) +
+                                     " out of range for arity " +
+                                     std::to_string(arity()));
+    }
+    if (!seen.insert(k).second) {
+      return Status::InvalidArgument("duplicate key index " +
+                                     std::to_string(k));
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<int> Schema::FieldIndex(const std::string& name) const {
+  for (int i = 0; i < arity(); ++i) {
+    if (fields_[static_cast<size_t>(i)].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Schema::EffectiveKey() const {
+  if (!key_indices_.empty()) return key_indices_;
+  std::vector<int> all(static_cast<size_t>(arity()));
+  for (int i = 0; i < arity(); ++i) all[static_cast<size_t>(i)] = i;
+  return all;
+}
+
+bool Schema::KeyIsAllAttributes() const {
+  if (key_indices_.empty()) return true;
+  if (static_cast<int>(key_indices_.size()) != arity()) return false;
+  std::set<int> s(key_indices_.begin(), key_indices_.end());
+  return static_cast<int>(s.size()) == arity();
+}
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (arity() != other.arity()) return false;
+  for (int i = 0; i < arity(); ++i) {
+    if (field(i).type != other.field(i).type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "RECORD ";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += fields_[i].name;
+    out += ": ";
+    out += ValueTypeName(fields_[i].type);
+  }
+  out += " END";
+  if (!key_indices_.empty()) {
+    out += " KEY <";
+    for (size_t i = 0; i < key_indices_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += fields_[static_cast<size_t>(key_indices_[i])].name;
+    }
+    out += ">";
+  }
+  return out;
+}
+
+}  // namespace datacon

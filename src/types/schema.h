@@ -1,0 +1,87 @@
+#ifndef DATACON_TYPES_SCHEMA_H_
+#define DATACON_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// One attribute of a record type: a name and a scalar domain.
+struct Field {
+  std::string name;
+  ValueType type;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// The record type of a relation (section 2.2): an ordered list of named
+/// fields plus the indices of the key attributes.
+///
+/// The paper's `RELATION key OF elementtype` declares which attributes form
+/// the element identifier. An empty key set means *all* attributes form the
+/// key, i.e. plain set semantics — the correct default for derived
+/// (selected/constructed) relations, whose tuples are identified by their
+/// full value.
+class Schema {
+ public:
+  /// An empty schema (no fields); useful as a placeholder.
+  Schema() = default;
+
+  /// Constructs a schema over `fields` with set semantics (all-field key).
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Constructs a schema with an explicit key. `key_indices` must be valid,
+  /// distinct field positions; validated by `Validate()`.
+  Schema(std::vector<Field> fields, std::vector<int> key_indices)
+      : fields_(std::move(fields)), key_indices_(std::move(key_indices)) {}
+
+  /// Checks field-name uniqueness and key-index validity.
+  Status Validate() const;
+
+  /// Number of attributes.
+  int arity() const { return static_cast<int>(fields_.size()); }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+
+  /// Position of the field named `name`, or nullopt.
+  std::optional<int> FieldIndex(const std::string& name) const;
+
+  /// The declared key positions; empty means "all attributes".
+  const std::vector<int>& declared_key() const { return key_indices_; }
+
+  /// The effective key positions: the declared key, or every position when
+  /// no key was declared.
+  std::vector<int> EffectiveKey() const;
+
+  /// True when the declared key covers every attribute (set semantics), so
+  /// key enforcement degenerates to duplicate elimination.
+  bool KeyIsAllAttributes() const;
+
+  /// True iff `other` has the same field types in the same order (names may
+  /// differ); this is the compatibility required for union and assignment.
+  bool UnionCompatible(const Schema& other) const;
+
+  /// Full structural equality: names, types, and key.
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_ && a.key_indices_ == b.key_indices_;
+  }
+
+  /// Renders e.g. "RECORD front: STRING; back: STRING END KEY <front>".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<int> key_indices_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_TYPES_SCHEMA_H_

@@ -1,0 +1,70 @@
+#ifndef DATACON_WORKLOAD_GENERATORS_H_
+#define DATACON_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace datacon::workload {
+
+/// A directed graph as an explicit edge list over integer node ids; the
+/// shared input shape for every recursive-query workload (the deductive
+/// database literature's standard drivers: chains, trees, random digraphs,
+/// grids, part hierarchies).
+struct EdgeList {
+  int node_count = 0;
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// 0 -> 1 -> ... -> n-1. Closure size is n(n-1)/2 — the worst case for
+/// bounded unrolling and the best case for seeded search.
+EdgeList Chain(int n);
+
+/// A chain whose last node points back to the first. Exercises fixpoint
+/// convergence on cyclic data (where pure SLD diverges).
+EdgeList Cycle(int n);
+
+/// A complete `fanout`-ary tree of the given depth, edges parent -> child.
+EdgeList KaryTree(int depth, int fanout);
+
+/// `edge_count` distinct random edges over n nodes (no self-loops),
+/// deterministic in `seed`.
+EdgeList RandomDigraph(int n, int edge_count, uint64_t seed);
+
+/// A width x height grid with rightward and downward edges.
+EdgeList Grid(int width, int height);
+
+/// A layered DAG: `layers` layers of `width` nodes; each node gets
+/// `fanout` random successors in the next layer. The classic
+/// bill-of-materials (part explosion) shape.
+EdgeList LayeredDag(int layers, int width, int fanout, uint64_t seed);
+
+/// Declares, in `db`:
+///   TYPE <prefix>_edgerel = RELATION OF RECORD src, dst: INTEGER END;
+///   VAR <prefix>_E: <prefix>_edgerel;
+///   CONSTRUCTOR <prefix>_tc FOR Rel: <prefix>_edgerel (): <prefix>_edgerel
+/// in exactly the paper's `ahead` shape (identity branch plus left-linear
+/// recursive join), and loads `edges` into <prefix>_E.
+Status SetupClosure(Database* db, const std::string& prefix,
+                    const EdgeList& edges);
+
+/// Loads `edges` into the existing binary integer relation `relation`.
+Status LoadEdges(Database* db, const std::string& relation,
+                 const EdgeList& edges);
+
+/// The paper's CAD scene: `objects` named parts, Infront/Ontop facts over
+/// them, deterministic in `seed`. Declares parttype-style relation types
+/// `infrontrel` (front, back) and `ontoprel` (top, base), variables
+/// `Infront` and `Ontop`, and the mutually recursive constructors `ahead`
+/// and `above` of section 3.1. Roughly `infront_edges` + `ontop_edges`
+/// facts are generated (duplicates are dropped).
+Status SetupCadScene(Database* db, int objects, int infront_edges,
+                     int ontop_edges, uint64_t seed);
+
+}  // namespace datacon::workload
+
+#endif  // DATACON_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,132 @@
+#include "ast/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+TEST(Printer, Terms) {
+  EXPECT_EQ(ToString(*FieldRef("r", "front")), "r.front");
+  EXPECT_EQ(ToString(*Int(42)), "42");
+  EXPECT_EQ(ToString(*Str("table")), "\"table\"");
+  EXPECT_EQ(ToString(*BoolLit(true)), "TRUE");
+  EXPECT_EQ(ToString(*Param("Obj")), "Obj");
+  EXPECT_EQ(ToString(*Add(FieldRef("s", "number"), Int(1))),
+            "(s.number + 1)");
+  EXPECT_EQ(ToString(*Arith(ArithOp::kMod, Param("p"), Param("n"))),
+            "(p MOD n)");
+}
+
+TEST(Printer, Ranges) {
+  EXPECT_EQ(ToString(*Rel("Infront")), "Infront");
+  EXPECT_EQ(ToString(*Constructed(Rel("Infront"), "ahead")),
+            "Infront {ahead}");
+  EXPECT_EQ(ToString(*Selected(Rel("Infront"), "hidden_by", {Str("table")})),
+            "Infront [hidden_by(\"table\")]");
+  // The paper's combined example.
+  EXPECT_EQ(ToString(*Constructed(
+                Selected(Rel("Infront"), "hidden_by", {Str("table")}),
+                "ahead")),
+            "Infront [hidden_by(\"table\")] {ahead}");
+  EXPECT_EQ(ToString(*Constructed(Rel("Infront"), "ahead", {Rel("Ontop")})),
+            "Infront {ahead(Ontop)}");
+}
+
+TEST(Printer, ComparePreds) {
+  EXPECT_EQ(ToString(*Eq(FieldRef("f", "back"), FieldRef("b", "head"))),
+            "f.back = b.head");
+  EXPECT_EQ(ToString(*Ne(FieldRef("a", "x"), Int(0))), "a.x # 0");
+  EXPECT_EQ(ToString(*Le(Int(1), Param("p"))), "1 <= p");
+}
+
+TEST(Printer, BooleanStructure) {
+  PredPtr p = And({Eq(FieldRef("a", "x"), Int(1)),
+                   Or({Eq(FieldRef("a", "y"), Int(2)),
+                       Not(Eq(FieldRef("a", "z"), Int(3)))})});
+  EXPECT_EQ(ToString(*p), "a.x = 1 AND (a.y = 2 OR NOT (a.z = 3))");
+}
+
+TEST(Printer, Quantifiers) {
+  PredPtr p = Some("r1", Rel("Objects"), Eq(FieldRef("r", "front"),
+                                            FieldRef("r1", "part")));
+  EXPECT_EQ(ToString(*p), "SOME r1 IN Objects (r.front = r1.part)");
+  PredPtr all = All("n", Rel("Numbers"), Ne(FieldRef("n", "v"), Int(0)));
+  EXPECT_EQ(ToString(*all), "ALL n IN Numbers (n.v # 0)");
+}
+
+TEST(Printer, Membership) {
+  PredPtr p = In({FieldRef("r", "front"), FieldRef("r", "back")},
+                 Constructed(Rel("Rel"), "nonsense"));
+  EXPECT_EQ(ToString(*p), "<r.front, r.back> IN Rel {nonsense}");
+}
+
+TEST(Printer, IdentityBranch) {
+  BranchPtr b = IdentityBranch("r", Rel("Rel"), True());
+  EXPECT_EQ(ToString(*b), "EACH r IN Rel: TRUE");
+}
+
+TEST(Printer, TargetBranchMatchesPaperNotation) {
+  // <f.front, b.back> OF EACH f, b IN Infront: f.back = b.front
+  BranchPtr b = MakeBranch(
+      {FieldRef("f", "front"), FieldRef("b", "back")},
+      {Each("f", Rel("Infront")), Each("b", Rel("Infront"))},
+      Eq(FieldRef("f", "back"), FieldRef("b", "front")));
+  EXPECT_EQ(ToString(*b),
+            "<f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: "
+            "f.back = b.front");
+}
+
+TEST(Printer, CalcExprUnion) {
+  CalcExprPtr e = Union({IdentityBranch("r", Rel("Rel"), True()),
+                         IdentityBranch("s", Rel("Other"), True())});
+  EXPECT_EQ(ToString(*e), "{EACH r IN Rel: TRUE,\n EACH s IN Other: TRUE}");
+}
+
+TEST(Printer, SelectorDecl) {
+  auto decl = std::make_shared<SelectorDecl>(
+      "hidden_by", FormalRelation{"Rel", "infrontrel"},
+      std::vector<FormalScalar>{{"Obj", ValueType::kString}}, "r",
+      Eq(FieldRef("r", "front"), Param("Obj")));
+  EXPECT_EQ(ToString(*decl),
+            "SELECTOR hidden_by (Obj: STRING) FOR Rel: infrontrel;\n"
+            "BEGIN EACH r IN Rel: r.front = Obj\nEND hidden_by");
+}
+
+TEST(Printer, ConstructorDecl) {
+  auto body = Union(
+      {IdentityBranch("r", Rel("Rel"), True()),
+       MakeBranch({FieldRef("f", "front"), FieldRef("b", "tail")},
+                  {Each("f", Rel("Rel")),
+                   Each("b", Constructed(Rel("Rel"), "ahead"))},
+                  Eq(FieldRef("f", "back"), FieldRef("b", "head")))});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "ahead", FormalRelation{"Rel", "infrontrel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "aheadrel",
+      body);
+  std::string text = ToString(*decl);
+  EXPECT_NE(text.find("CONSTRUCTOR ahead FOR Rel: infrontrel: aheadrel;"),
+            std::string::npos);
+  EXPECT_NE(text.find("EACH b IN Rel {ahead}"), std::string::npos);
+  EXPECT_NE(text.find("END ahead"), std::string::npos);
+}
+
+TEST(Range, ContainsConstructor) {
+  EXPECT_FALSE(Rel("Infront")->ContainsConstructor());
+  EXPECT_FALSE(Selected(Rel("Infront"), "s")->ContainsConstructor());
+  EXPECT_TRUE(Constructed(Rel("Infront"), "ahead")->ContainsConstructor());
+  // Nested: constructor only inside an argument range.
+  RangePtr nested = Constructed(Rel("A"), "c", {Constructed(Rel("B"), "d")});
+  EXPECT_TRUE(nested->ContainsConstructor());
+}
+
+TEST(Range, IsPlain) {
+  EXPECT_TRUE(Rel("X")->IsPlain());
+  EXPECT_FALSE(Selected(Rel("X"), "s")->IsPlain());
+}
+
+}  // namespace
+}  // namespace datacon

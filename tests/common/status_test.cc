@@ -1,0 +1,112 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace datacon {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, NamedConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::NotFound("x"), StatusCode::kNotFound},
+      {Status::AlreadyExists("x"), StatusCode::kAlreadyExists},
+      {Status::TypeError("x"), StatusCode::kTypeError},
+      {Status::PositivityViolation("x"), StatusCode::kPositivityViolation},
+      {Status::KeyViolation("x"), StatusCode::kKeyViolation},
+      {Status::Divergence("x"), StatusCode::kDivergence},
+      {Status::ParseError("x"), StatusCode::kParseError},
+      {Status::Unsupported("x"), StatusCode::kUnsupported},
+      {Status::InvalidArgument("x"), StatusCode::kInvalidArgument},
+      {Status::Internal("x"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(c.status.message(), "x");
+  }
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::TypeError("bad").ToString(), "TYPE_ERROR: bad");
+  EXPECT_EQ(Status::PositivityViolation("odd").ToString(),
+            "POSITIVITY_VIOLATION: odd");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::TypeError("a"));
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kKeyViolation), "KEY_VIOLATION");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDivergence), "DIVERGENCE");
+}
+
+Status FailsWhenNegative(int x) {
+  DATACON_RETURN_IF_ERROR(x < 0 ? Status::InvalidArgument("negative")
+                                : Status::OK());
+  return Status::OK();
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsWhenNegative(1).ok());
+  EXPECT_EQ(FailsWhenNegative(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalfOf(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterOf(int x) {
+  DATACON_ASSIGN_OR_RETURN(int half, HalfOf(x));
+  return HalfOf(half);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = HalfOf(4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_EQ(*r, 2);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r = HalfOf(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, AssignOrReturnChains) {
+  ASSERT_TRUE(QuarterOf(8).ok());
+  EXPECT_EQ(QuarterOf(8).value(), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterOf(5).ok());
+}
+
+TEST(Result, MoveOnlyValues) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(7);
+  };
+  Result<std::unique_ptr<int>> r = make();
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+}  // namespace
+}  // namespace datacon

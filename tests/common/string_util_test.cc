@@ -1,0 +1,47 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(Split, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(Split, RoundTripsWithJoin) {
+  std::vector<std::string> parts = {"x", "yz", "", "w"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(StripWhitespace, Basic) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("constructor", "con"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("abc", "bc"));
+}
+
+TEST(AsciiCase, Basic) {
+  EXPECT_EQ(AsciiToLower("AhEaD_2"), "ahead_2");
+  EXPECT_EQ(AsciiToUpper("ahead"), "AHEAD");
+  EXPECT_EQ(AsciiToLower(""), "");
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,199 @@
+#include "core/capture.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "testutil.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+using testing::ReferenceClosure;
+using testing::ToPairSet;
+
+Schema EdgeSchema() {
+  return Schema({{"src", ValueType::kInt}, {"dst", ValueType::kInt}});
+}
+
+ConstructorDeclPtr MakeCtor(CalcExprPtr body) {
+  return std::make_shared<ConstructorDecl>(
+      "tc", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "edge", std::move(body));
+}
+
+BranchPtr BaseBranch() { return IdentityBranch("r", Rel("Rel"), True()); }
+
+BranchPtr LeftLinearStep() {
+  return MakeBranch({FieldRef("f", "src"), FieldRef("b", "dst")},
+                    {Each("f", Rel("Rel")),
+                     Each("b", Constructed(Rel("Rel"), "tc"))},
+                    Eq(FieldRef("f", "dst"), FieldRef("b", "src")));
+}
+
+TEST(DetectTc, AheadShapeMatches) {
+  auto info = DetectTransitiveClosure(*MakeCtor(Union({BaseBranch(),
+                                                       LeftLinearStep()})));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->left_linear);
+}
+
+TEST(DetectTc, BranchOrderIrrelevant) {
+  EXPECT_TRUE(DetectTransitiveClosure(
+                  *MakeCtor(Union({LeftLinearStep(), BaseBranch()})))
+                  .has_value());
+}
+
+TEST(DetectTc, FlippedEqualityMatches) {
+  BranchPtr step = MakeBranch({FieldRef("f", "src"), FieldRef("b", "dst")},
+                              {Each("f", Rel("Rel")),
+                               Each("b", Constructed(Rel("Rel"), "tc"))},
+                              Eq(FieldRef("b", "src"), FieldRef("f", "dst")));
+  EXPECT_TRUE(DetectTransitiveClosure(*MakeCtor(Union({BaseBranch(), step})))
+                  .has_value());
+}
+
+TEST(DetectTc, RightLinearMatches) {
+  // <b.src, f.dst> OF EACH f IN Rel, EACH b IN Rel{tc}: b.dst = f.src.
+  BranchPtr step = MakeBranch({FieldRef("b", "src"), FieldRef("f", "dst")},
+                              {Each("f", Rel("Rel")),
+                               Each("b", Constructed(Rel("Rel"), "tc"))},
+                              Eq(FieldRef("b", "dst"), FieldRef("f", "src")));
+  auto info = DetectTransitiveClosure(*MakeCtor(Union({BaseBranch(), step})));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->left_linear);
+}
+
+TEST(DetectTc, ExplicitProjectionBaseBranchMatches) {
+  BranchPtr base = MakeBranch({FieldRef("r", "src"), FieldRef("r", "dst")},
+                              {Each("r", Rel("Rel"))}, True());
+  EXPECT_TRUE(DetectTransitiveClosure(
+                  *MakeCtor(Union({base, LeftLinearStep()})))
+                  .has_value());
+}
+
+TEST(DetectTc, RejectsFilteredBase) {
+  BranchPtr base = IdentityBranch("r", Rel("Rel"),
+                                  Eq(FieldRef("r", "src"), Int(0)));
+  EXPECT_FALSE(DetectTransitiveClosure(
+                   *MakeCtor(Union({base, LeftLinearStep()})))
+                   .has_value());
+}
+
+TEST(DetectTc, RejectsExtraJoinConjunct) {
+  BranchPtr step = MakeBranch(
+      {FieldRef("f", "src"), FieldRef("b", "dst")},
+      {Each("f", Rel("Rel")), Each("b", Constructed(Rel("Rel"), "tc"))},
+      And({Eq(FieldRef("f", "dst"), FieldRef("b", "src")),
+           Ne(FieldRef("f", "src"), FieldRef("b", "dst"))}));
+  EXPECT_FALSE(DetectTransitiveClosure(*MakeCtor(Union({BaseBranch(), step})))
+                   .has_value());
+}
+
+TEST(DetectTc, RejectsThreeBranches) {
+  EXPECT_FALSE(DetectTransitiveClosure(*MakeCtor(Union(
+                   {BaseBranch(), LeftLinearStep(), LeftLinearStep()})))
+                   .has_value());
+}
+
+TEST(DetectTc, RejectsParameterizedConstructor) {
+  auto decl = std::make_shared<ConstructorDecl>(
+      "tc", FormalRelation{"Rel", "edge"},
+      std::vector<FormalRelation>{{"P", "edge"}}, std::vector<FormalScalar>{},
+      "edge", Union({BaseBranch(), LeftLinearStep()}));
+  EXPECT_FALSE(DetectTransitiveClosure(*decl).has_value());
+}
+
+TEST(DetectTc, RejectsWrongProjection) {
+  // <f.dst, b.dst> — source column from the join side.
+  BranchPtr step = MakeBranch({FieldRef("f", "dst"), FieldRef("b", "dst")},
+                              {Each("f", Rel("Rel")),
+                               Each("b", Constructed(Rel("Rel"), "tc"))},
+                              Eq(FieldRef("f", "dst"), FieldRef("b", "src")));
+  EXPECT_FALSE(DetectTransitiveClosure(*MakeCtor(Union({BaseBranch(), step})))
+                   .has_value());
+}
+
+TEST(DetectTc, RejectsRecursionThroughOtherConstructor) {
+  BranchPtr step = MakeBranch({FieldRef("f", "src"), FieldRef("b", "dst")},
+                              {Each("f", Rel("Rel")),
+                               Each("b", Constructed(Rel("Rel"), "other"))},
+                              Eq(FieldRef("f", "dst"), FieldRef("b", "src")));
+  EXPECT_FALSE(DetectTransitiveClosure(*MakeCtor(Union({BaseBranch(), step})))
+                   .has_value());
+}
+
+Relation LoadEdges(const workload::EdgeList& g) {
+  Relation r(EdgeSchema());
+  for (const auto& [a, b] : g.edges) {
+    EXPECT_TRUE(r.Insert(Tuple({Value::Int(a), Value::Int(b)})).ok());
+  }
+  return r;
+}
+
+class ClosureAlgoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosureAlgoTest, FullClosureMatchesReference) {
+  workload::EdgeList g =
+      workload::RandomDigraph(14, 30, static_cast<uint64_t>(GetParam()));
+  Relation edges = LoadEdges(g);
+  Result<Relation> closure = FullClosure(edges, EdgeSchema());
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(ToPairSet(*closure), ReferenceClosure(g));
+}
+
+TEST_P(ClosureAlgoTest, SeededClosureIsRestrictedReference) {
+  workload::EdgeList g =
+      workload::RandomDigraph(14, 30, static_cast<uint64_t>(GetParam()));
+  Relation edges = LoadEdges(g);
+  std::set<std::pair<int, int>> reference = ReferenceClosure(g);
+  for (int seed_node : {0, 3, 7}) {
+    Result<Relation> closure =
+        SeededClosure(edges, {Value::Int(seed_node)}, EdgeSchema());
+    ASSERT_TRUE(closure.ok());
+    std::set<std::pair<int, int>> expected;
+    for (const auto& [a, b] : reference) {
+      if (a == seed_node) expected.emplace(a, b);
+    }
+    EXPECT_EQ(ToPairSet(*closure), expected) << "seed " << seed_node;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureAlgoTest, ::testing::Range(0, 8));
+
+TEST(Closure, CycleIncludesSelfPairs) {
+  Relation edges = LoadEdges(workload::Cycle(3));
+  Result<Relation> closure = FullClosure(edges, EdgeSchema());
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 9u);
+  EXPECT_TRUE(closure->Contains(Tuple({Value::Int(0), Value::Int(0)})));
+}
+
+TEST(Closure, SeededWithMultipleSeeds) {
+  Relation edges = LoadEdges(workload::Chain(5));
+  Result<Relation> closure = SeededClosure(
+      edges, {Value::Int(0), Value::Int(3)}, EdgeSchema());
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 5u);  // 0->{1,2,3,4}, 3->{4}
+}
+
+TEST(Closure, SeedWithNoOutEdges) {
+  Relation edges = LoadEdges(workload::Chain(3));
+  Result<Relation> closure = SeededClosure(edges, {Value::Int(2)}, EdgeSchema());
+  ASSERT_TRUE(closure.ok());
+  EXPECT_TRUE(closure->empty());
+}
+
+TEST(Closure, NonBinaryRelationRejected) {
+  Relation unary(Schema({{"x", ValueType::kInt}}));
+  EXPECT_EQ(FullClosure(unary, unary.schema()).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(SeededClosure(unary, {Value::Int(0)}, unary.schema())
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,92 @@
+#include "core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+Schema EdgeSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+}
+
+TEST(Catalog, RelationTypes) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.DefineRelationType("t", EdgeSchema()).ok());
+  EXPECT_EQ(catalog.DefineRelationType("t", EdgeSchema()).code(),
+            StatusCode::kAlreadyExists);
+  Result<const Schema*> schema = catalog.LookupRelationType("t");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value()->arity(), 2);
+  EXPECT_EQ(catalog.LookupRelationType("u").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Catalog, RejectsInvalidSchema) {
+  Catalog catalog;
+  Schema bad({{"x", ValueType::kInt}, {"x", ValueType::kInt}});
+  EXPECT_EQ(catalog.DefineRelationType("t", bad).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Catalog, RelationVariables) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.DefineRelationType("t", EdgeSchema()).ok());
+  ASSERT_TRUE(catalog.CreateRelation("R", "t").ok());
+  EXPECT_EQ(catalog.CreateRelation("R", "t").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.CreateRelation("S", "missing").code(),
+            StatusCode::kNotFound);
+
+  Result<Relation*> rel = catalog.LookupRelation("R");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(rel.value()->empty());
+  EXPECT_EQ(*catalog.LookupRelationTypeName("R").value(), "t");
+
+  const Catalog& const_catalog = catalog;
+  EXPECT_TRUE(const_catalog.LookupRelation("R").ok());
+  EXPECT_FALSE(const_catalog.LookupRelation("missing").ok());
+}
+
+TEST(Catalog, Selectors) {
+  Catalog catalog;
+  auto decl = std::make_shared<SelectorDecl>(
+      "s", FormalRelation{"Rel", "t"}, std::vector<FormalScalar>{}, "r",
+      True());
+  ASSERT_TRUE(catalog.DefineSelector(decl).ok());
+  EXPECT_EQ(catalog.DefineSelector(decl).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog.LookupSelector("s").ok());
+  EXPECT_FALSE(catalog.LookupSelector("other").ok());
+  EXPECT_EQ(catalog.selectors().size(), 1u);
+}
+
+TEST(Catalog, ConstructorsAndRemoval) {
+  Catalog catalog;
+  auto decl = std::make_shared<ConstructorDecl>(
+      "c", FormalRelation{"Rel", "t"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "t",
+      Union({IdentityBranch("r", Rel("Rel"), True())}));
+  ASSERT_TRUE(catalog.DefineConstructor(decl).ok());
+  EXPECT_EQ(catalog.DefineConstructor(decl).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(catalog.LookupConstructor("c").ok());
+  catalog.RemoveConstructor("c");
+  EXPECT_FALSE(catalog.LookupConstructor("c").ok());
+  // Removal of a missing name is a no-op.
+  catalog.RemoveConstructor("c");
+}
+
+TEST(Catalog, MutationThroughLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.DefineRelationType("t", EdgeSchema()).ok());
+  ASSERT_TRUE(catalog.CreateRelation("R", "t").ok());
+  Relation* rel = catalog.LookupRelation("R").value();
+  ASSERT_TRUE(rel->Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_EQ(catalog.LookupRelation("R").value()->size(), 1u);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,299 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "testutil.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+using testing::ReferenceClosure;
+using testing::ToPairSet;
+
+TEST(Database, DefinitionErrors) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "t", Schema({{"x", ValueType::kInt}}))
+                  .ok());
+  EXPECT_EQ(db.DefineRelationType("t", Schema({{"x", ValueType::kInt}}))
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.CreateRelation("R", "nosuch").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db.CreateRelation("R", "t").ok());
+  EXPECT_EQ(db.CreateRelation("R", "t").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.Insert("S", Tuple({Value::Int(1)})).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Database, FailedConstructorGroupRollsBack) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  auto good = std::make_shared<ConstructorDecl>(
+      "good", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "edge",
+      Union({IdentityBranch("r", Rel("Rel"), True())}));
+  auto bad = std::make_shared<ConstructorDecl>(
+      "bad", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "nosuchtype",
+      Union({IdentityBranch("r", Rel("Rel"), True())}));
+  EXPECT_FALSE(db.DefineConstructorGroup({good, bad}).ok());
+  // Neither name survives the rollback.
+  EXPECT_FALSE(db.catalog().LookupConstructor("good").ok());
+  EXPECT_FALSE(db.catalog().LookupConstructor("bad").ok());
+  // The good one can be re-defined alone.
+  EXPECT_TRUE(db.DefineConstructor(good).ok());
+}
+
+TEST(Database, AssignEnforcesKey) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "keyed", Schema({{"part", ValueType::kString},
+                                     {"w", ValueType::kInt}},
+                                    {0}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("Objects", "keyed").ok());
+  ASSERT_TRUE(
+      db.Insert("Objects", Tuple({Value::String("old"), Value::Int(0)})).ok());
+
+  Relation value(Schema({{"part", ValueType::kString}, {"w", ValueType::kInt}}));
+  ASSERT_TRUE(value.Insert(Tuple({Value::String("a"), Value::Int(1)})).ok());
+  ASSERT_TRUE(value.Insert(Tuple({Value::String("a"), Value::Int(2)})).ok());
+  // The assignment target's key rejects the pair; the old value survives.
+  EXPECT_EQ(db.Assign("Objects", value).code(), StatusCode::kKeyViolation);
+  EXPECT_EQ(db.GetRelation("Objects").value()->size(), 1u);
+  EXPECT_TRUE(db.GetRelation("Objects")
+                  .value()
+                  ->Contains(Tuple({Value::String("old"), Value::Int(0)})));
+
+  Relation fine(Schema({{"part", ValueType::kString}, {"w", ValueType::kInt}}));
+  ASSERT_TRUE(fine.Insert(Tuple({Value::String("b"), Value::Int(1)})).ok());
+  EXPECT_TRUE(db.Assign("Objects", fine).ok());
+  EXPECT_EQ(db.GetRelation("Objects").value()->size(), 1u);
+}
+
+TEST(Database, EvalRangePlainAndSelected) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+  Result<Relation> plain = db.EvalRange(Rel("g_E"));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->size(), 3u);
+
+  auto sel = std::make_shared<SelectorDecl>(
+      "from", FormalRelation{"Rel", "g_edgerel"},
+      std::vector<FormalScalar>{{"n", ValueType::kInt}}, "r",
+      Eq(FieldRef("r", "src"), Param("n")));
+  ASSERT_TRUE(db.DefineSelector(sel).ok());
+  Result<Relation> selected =
+      db.EvalRange(Selected(Rel("g_E"), "from", {Int(1)}));
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->size(), 1u);
+}
+
+class CaptureEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaptureEquivalenceTest, CaptureOnAndOffAgree) {
+  workload::EdgeList g =
+      workload::RandomDigraph(12, 26, static_cast<uint64_t>(GetParam()));
+  std::set<std::pair<int, int>> expected = ReferenceClosure(g);
+  for (bool capture : {false, true}) {
+    DatabaseOptions options;
+    options.use_capture_rules = capture;
+    Database db(options);
+    ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+    Result<Relation> r = db.EvalRange(Constructed(Rel("g_E"), "g_tc"));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(ToPairSet(*r), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaptureEquivalenceTest,
+                         ::testing::Range(0, 6));
+
+TEST(Database, PreparedQuerySeededExecution) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(12)).ok());
+  CalcExprPtr query = Union({IdentityBranch(
+      "v", Constructed(Rel("g_E"), "g_tc"),
+      Eq(FieldRef("v", "src"), Param("start")))});
+  Result<PreparedQuery> prepared =
+      db.Prepare(query, {{"start", ValueType::kInt}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_NE(prepared->plan_description().find("seeded transitive closure"),
+            std::string::npos);
+
+  Result<Relation> from0 = prepared->Execute({{"start", Value::Int(0)}});
+  ASSERT_TRUE(from0.ok()) << from0.status().ToString();
+  EXPECT_EQ(from0->size(), 11u);
+
+  Result<Relation> from8 = prepared->Execute({{"start", Value::Int(8)}});
+  ASSERT_TRUE(from8.ok());
+  EXPECT_EQ(from8->size(), 3u);
+}
+
+TEST(Database, PreparedQueryParameterValidation) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+  CalcExprPtr query = Union({IdentityBranch(
+      "v", Constructed(Rel("g_E"), "g_tc"),
+      Eq(FieldRef("v", "src"), Param("start")))});
+  Result<PreparedQuery> prepared =
+      db.Prepare(query, {{"start", ValueType::kInt}});
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_EQ(prepared->Execute({}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(prepared->Execute({{"start", Value::String("x")}})
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(prepared
+                ->Execute({{"start", Value::Int(0)},
+                           {"extra", Value::Int(1)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Database, PreparedQueryGeneralFallback) {
+  // A query over the full closure (no source binding) prepares to the
+  // general plan and still executes correctly.
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(5)).ok());
+  CalcExprPtr query = Union({IdentityBranch(
+      "v", Constructed(Rel("g_E"), "g_tc"), True())});
+  Result<PreparedQuery> prepared = db.Prepare(query, {});
+  ASSERT_TRUE(prepared.ok());
+  Result<Relation> all = prepared->Execute({});
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 10u);
+}
+
+TEST(Database, SeededQueryWithLiteralUsesCapturePath) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(64)).ok());
+  CalcExprPtr query = Union({IdentityBranch(
+      "v", Constructed(Rel("g_E"), "g_tc"),
+      Eq(FieldRef("v", "src"), Int(60)))});
+  Result<Relation> r = db.EvalQuery(query);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  // The seeded path never materializes the full closure: it considers only
+  // tuples reachable from the seed.
+  EXPECT_LE(db.last_stats().tuples_considered, 10u);
+}
+
+TEST(Database, ExplainReportsStrategyAndPartitions) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+  Result<std::string> text = db.Explain(Constructed(Rel("g_E"), "g_tc"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("level 1"), std::string::npos);
+  EXPECT_NE(text->find("g_E {g_tc}"), std::string::npos);
+  EXPECT_NE(text->find("capture rule"), std::string::npos);
+
+  db.options().use_capture_rules = false;
+  text = db.Explain(Constructed(Rel("g_E"), "g_tc"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("semi-naive fixpoint"), std::string::npos);
+}
+
+TEST(Database, ExplainPlainRange) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(3)).ok());
+  Result<std::string> text = db.Explain(Rel("g_E"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("plain range"), std::string::npos);
+}
+
+TEST(Database, StratifiedNegationExtension) {
+  // NOT over a *different* (lower-stratum) constructed relation: rejected
+  // by strict DBPL, accepted by the stratified extension.
+  auto build_db = [](bool stratified) {
+    DatabaseOptions options;
+    options.allow_stratified_negation = stratified;
+    auto db = std::make_unique<Database>(options);
+    EXPECT_TRUE(workload::SetupClosure(db.get(), "g",
+                                       workload::Chain(5))
+                    .ok());
+    // unreachable = {<f.src, b.dst> | f, b in E, NOT <f.src, b.dst> in
+    // E{g_tc}} — pairs NOT connected.
+    auto body = Union({MakeBranch(
+        {FieldRef("f", "src"), FieldRef("b", "dst")},
+        {Each("f", Rel("Rel")), Each("b", Rel("Rel"))},
+        Not(In({FieldRef("f", "src"), FieldRef("b", "dst")},
+               Constructed(Rel("Rel"), "g_tc"))))});
+    auto decl = std::make_shared<ConstructorDecl>(
+        "unreachable", FormalRelation{"Rel", "g_edgerel"},
+        std::vector<FormalRelation>{}, std::vector<FormalScalar>{},
+        "g_edgerel", body);
+    return std::make_pair(std::move(db), decl);
+  };
+
+  {
+    auto [db, decl] = build_db(false);
+    EXPECT_EQ(db->DefineConstructor(decl).code(),
+              StatusCode::kPositivityViolation);
+  }
+  {
+    auto [db, decl] = build_db(true);
+    ASSERT_TRUE(db->DefineConstructor(decl).ok());
+    Result<Relation> r =
+        db->EvalRange(Constructed(Rel("g_E"), "unreachable"));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Pairs (f.src, b.dst) over chain edges f,b with src not connected to
+    // dst. f.src in {0..3}, b.dst in {1..4}; connected iff src < dst.
+    for (const Tuple& t : r->tuples()) {
+      EXPECT_GE(t.value(0).AsInt(), t.value(1).AsInt());
+    }
+    EXPECT_FALSE(r->empty());
+  }
+}
+
+TEST(Database, StratifiedExtensionStillRejectsRecursiveNegation) {
+  DatabaseOptions options;
+  options.allow_stratified_negation = true;
+  Database db(options);
+  ASSERT_TRUE(db.DefineRelationType(
+                    "t", Schema({{"x", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("R", "t").ok());
+  ASSERT_TRUE(db.Insert("R", Tuple({Value::Int(1)})).ok());
+  // nonsense-style self-negation: definition is accepted (no strict
+  // check), but query compilation detects the unstratifiable cycle.
+  auto body = Union({IdentityBranch(
+      "r", Rel("Rel"),
+      Not(In({FieldRef("r", "x")}, Constructed(Rel("Rel"), "selfneg"))))});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "selfneg", FormalRelation{"Rel", "t"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "t", body);
+  ASSERT_TRUE(db.DefineConstructor(decl).ok());
+  Result<Relation> r = db.EvalRange(Constructed(Rel("R"), "selfneg"));
+  EXPECT_EQ(r.status().code(), StatusCode::kPositivityViolation);
+}
+
+TEST(Database, EvalQueryAsChecksSchema) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(3)).ok());
+  CalcExprPtr query = Union({IdentityBranch("v", Rel("g_E"), True())});
+  Schema wrong({{"x", ValueType::kString}});
+  EXPECT_FALSE(db.EvalQueryAs(query, wrong).ok());
+  Schema right({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  EXPECT_TRUE(db.EvalQueryAs(query, right).ok());
+}
+
+TEST(Database, LastStatsPopulated) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(6)).ok());
+  db.options().use_capture_rules = false;
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  EXPECT_GT(db.last_stats().iterations, 0u);
+  EXPECT_GT(db.last_stats().tuples_considered, 0u);
+}
+
+}  // namespace
+}  // namespace datacon

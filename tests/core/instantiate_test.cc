@@ -1,0 +1,192 @@
+#include "core/instantiate.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "ast/printer.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+TEST(SplitAtLastConstructor, PlainRange) {
+  RangeSplit split = SplitAtLastConstructor(*Rel("Infront"));
+  EXPECT_FALSE(split.ctor_head.has_value());
+  EXPECT_EQ(split.base_relation, "Infront");
+  EXPECT_TRUE(split.trailing_selectors.empty());
+}
+
+TEST(SplitAtLastConstructor, SelectorsOnly) {
+  RangeSplit split = SplitAtLastConstructor(
+      *Selected(Selected(Rel("R"), "a"), "b"));
+  EXPECT_FALSE(split.ctor_head.has_value());
+  EXPECT_EQ(split.trailing_selectors.size(), 2u);
+}
+
+TEST(SplitAtLastConstructor, CtorAtEnd) {
+  RangeSplit split = SplitAtLastConstructor(
+      *Constructed(Selected(Rel("R"), "s"), "c"));
+  ASSERT_TRUE(split.ctor_head.has_value());
+  EXPECT_EQ(ToString(**split.ctor_head), "R [s] {c}");
+  EXPECT_TRUE(split.trailing_selectors.empty());
+}
+
+TEST(SplitAtLastConstructor, TrailingSelectorsAfterCtor) {
+  RangeSplit split = SplitAtLastConstructor(
+      *Selected(Constructed(Rel("R"), "c"), "s"));
+  ASSERT_TRUE(split.ctor_head.has_value());
+  EXPECT_EQ(ToString(**split.ctor_head), "R {c}");
+  ASSERT_EQ(split.trailing_selectors.size(), 1u);
+  EXPECT_EQ(split.trailing_selectors[0].name, "s");
+}
+
+TEST(SplitAtLastConstructor, PicksLastCtor) {
+  RangeSplit split = SplitAtLastConstructor(
+      *Constructed(Constructed(Rel("R"), "c1"), "c2"));
+  ASSERT_TRUE(split.ctor_head.has_value());
+  EXPECT_EQ(ToString(**split.ctor_head), "R {c1} {c2}");
+}
+
+class InstantiateTest : public ::testing::Test {
+ protected:
+  InstantiateTest() {
+    Define("edge", {{"src", ValueType::kInt}, {"dst", ValueType::kInt}});
+    EXPECT_TRUE(catalog_.CreateRelation("E", "edge").ok());
+    EXPECT_TRUE(catalog_.CreateRelation("F", "edge").ok());
+
+    // tc: plain self-recursive closure.
+    auto tc_body = Union(
+        {IdentityBranch("r", Rel("Rel"), True()),
+         MakeBranch({FieldRef("f", "src"), FieldRef("b", "dst")},
+                    {Each("f", Rel("Rel")),
+                     Each("b", Constructed(Rel("Rel"), "tc"))},
+                    Eq(FieldRef("f", "dst"), FieldRef("b", "src")))});
+    EXPECT_TRUE(catalog_
+                    .DefineConstructor(std::make_shared<ConstructorDecl>(
+                        "tc", FormalRelation{"Rel", "edge"},
+                        std::vector<FormalRelation>{},
+                        std::vector<FormalScalar>{}, "edge", tc_body))
+                    .ok());
+
+    // m1/m2: mutual recursion through parameters.
+    auto m1_body = Union(
+        {IdentityBranch("r", Rel("Rel"), True()),
+         IdentityBranch("x", Constructed(Rel("P"), "m2", {Rel("Rel")}),
+                        True())});
+    EXPECT_TRUE(catalog_
+                    .DefineConstructor(std::make_shared<ConstructorDecl>(
+                        "m1", FormalRelation{"Rel", "edge"},
+                        std::vector<FormalRelation>{{"P", "edge"}},
+                        std::vector<FormalScalar>{}, "edge", m1_body))
+                    .ok());
+    auto m2_body = Union(
+        {IdentityBranch("r", Rel("Rel"), True()),
+         IdentityBranch("x", Constructed(Rel("P"), "m1", {Rel("Rel")}),
+                        True())});
+    EXPECT_TRUE(catalog_
+                    .DefineConstructor(std::make_shared<ConstructorDecl>(
+                        "m2", FormalRelation{"Rel", "edge"},
+                        std::vector<FormalRelation>{{"P", "edge"}},
+                        std::vector<FormalScalar>{}, "edge", m2_body))
+                    .ok());
+  }
+
+  void Define(const std::string& name, std::vector<Field> fields) {
+    EXPECT_TRUE(catalog_.DefineRelationType(name, Schema(std::move(fields)))
+                    .ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(InstantiateTest, SelfRecursionProducesOneNodeWithSelfEdge) {
+  ApplicationGraph graph(&catalog_);
+  Result<int> root = graph.AddRootRange(*Constructed(Rel("E"), "tc"));
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(root.value(), 0);
+  ASSERT_EQ(graph.nodes().size(), 1u);
+  EXPECT_EQ(graph.nodes()[0].key, "E {tc}");
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].from, 0);
+  EXPECT_EQ(graph.edges()[0].to, 0);
+  EXPECT_FALSE(graph.edges()[0].negative);
+}
+
+TEST_F(InstantiateTest, SubstitutedBodyHasNoFormals) {
+  ApplicationGraph graph(&catalog_);
+  ASSERT_TRUE(graph.AddRootRange(*Constructed(Rel("E"), "tc")).ok());
+  const ApplicationGraph::Node& node = graph.nodes()[0];
+  EXPECT_EQ(ToString(*node.body->branches()[0]), "EACH r IN E: TRUE");
+  EXPECT_EQ(
+      ToString(*node.body->branches()[1]),
+      "<f.src, b.dst> OF EACH f IN E, EACH b IN E {tc}: f.dst = b.src");
+}
+
+TEST_F(InstantiateTest, DistinctBasesAreDistinctNodes) {
+  ApplicationGraph graph(&catalog_);
+  ASSERT_TRUE(graph.AddRootRange(*Constructed(Rel("E"), "tc")).ok());
+  ASSERT_TRUE(graph.AddRootRange(*Constructed(Rel("F"), "tc")).ok());
+  EXPECT_EQ(graph.nodes().size(), 2u);
+}
+
+TEST_F(InstantiateTest, RepeatedRootIsMemoized) {
+  ApplicationGraph graph(&catalog_);
+  Result<int> a = graph.AddRootRange(*Constructed(Rel("E"), "tc"));
+  Result<int> b = graph.AddRootRange(*Constructed(Rel("E"), "tc"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(graph.nodes().size(), 1u);
+}
+
+TEST_F(InstantiateTest, MutualRecursionClosesFinitely) {
+  // E{m1(F)} references F{m2(E)} references E{m1(F)} — the finite
+  // representation of the infinite derivation sequence.
+  ApplicationGraph graph(&catalog_);
+  Result<int> root =
+      graph.AddRootRange(*Constructed(Rel("E"), "m1", {Rel("F")}));
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(graph.nodes().size(), 2u);
+  EXPECT_EQ(graph.nodes()[0].key, "E {m1(F)}");
+  EXPECT_EQ(graph.nodes()[1].key, "F {m2(E)}");
+  Result<SccDecomposition> scc = graph.Stratify();
+  ASSERT_TRUE(scc.ok());
+  EXPECT_EQ(scc->component_count(), 1);
+  EXPECT_TRUE(scc->cyclic[0]);
+}
+
+TEST_F(InstantiateTest, PlainRangeRootReturnsMinusOne) {
+  ApplicationGraph graph(&catalog_);
+  Result<int> root = graph.AddRootRange(*Rel("E"));
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root.value(), -1);
+  EXPECT_TRUE(graph.nodes().empty());
+}
+
+TEST_F(InstantiateTest, FindNodeUnknownFails) {
+  ApplicationGraph graph(&catalog_);
+  EXPECT_EQ(graph.FindNode(*Constructed(Rel("E"), "tc")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(InstantiateTest, AddRootsScansQueryExpr) {
+  CalcExprPtr expr = Union({MakeBranch(
+      {FieldRef("v", "src")},
+      {Each("v", Constructed(Rel("E"), "tc"))},
+      Some("w", Constructed(Rel("F"), "tc"),
+           Eq(FieldRef("w", "src"), FieldRef("v", "dst"))))});
+  ApplicationGraph graph(&catalog_);
+  ASSERT_TRUE(graph.AddRoots(*expr).ok());
+  EXPECT_EQ(graph.nodes().size(), 2u);
+}
+
+TEST_F(InstantiateTest, UnknownConstructorFails) {
+  ApplicationGraph graph(&catalog_);
+  EXPECT_EQ(
+      graph.AddRootRange(*Constructed(Rel("E"), "nosuch")).status().code(),
+      StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,162 @@
+#include "core/positivity.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+ConstructorDeclPtr Ctor(PredPtr pred) {
+  return std::make_shared<ConstructorDecl>(
+      "c", FormalRelation{"Rel", "t"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "t",
+      Union({IdentityBranch("r", Rel("Rel"), std::move(pred))}));
+}
+
+ConstructorDeclPtr CtorWithBranches(std::vector<BranchPtr> branches) {
+  return std::make_shared<ConstructorDecl>(
+      "c", FormalRelation{"Rel", "t"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "t", Union(std::move(branches)));
+}
+
+RangePtr Rec() { return Constructed(Rel("Rel"), "c"); }
+
+TEST(Positivity, PlainBaseIsFine) {
+  EXPECT_TRUE(CheckPositivity(*Ctor(True())).ok());
+}
+
+TEST(Positivity, RecursiveBindingAtParityZeroIsFine) {
+  // The paper's `ahead`: EACH b IN Rel{ahead} as a binding.
+  auto decl = CtorWithBranches(
+      {IdentityBranch("r", Rel("Rel"), True()),
+       MakeBranch({FieldRef("f", "a"), FieldRef("b", "b")},
+                  {Each("f", Rel("Rel")), Each("b", Rec())},
+                  Eq(FieldRef("f", "b"), FieldRef("b", "a")))});
+  EXPECT_TRUE(CheckPositivity(*decl).ok());
+}
+
+TEST(Positivity, NonsenseIsRejected) {
+  // Section 3.3: EACH r IN Rel: NOT (r IN Rel{nonsense}).
+  PredPtr pred = Not(In({FieldRef("r", "a"), FieldRef("r", "b")}, Rec()));
+  Status s = CheckPositivity(*Ctor(pred));
+  EXPECT_EQ(s.code(), StatusCode::kPositivityViolation);
+  EXPECT_NE(s.message().find("section 3.3"), std::string::npos);
+}
+
+TEST(Positivity, StrangeIsRejected) {
+  // Section 3.3: NOT SOME s IN Rel{strange} (...) — the SOME range sits
+  // under one NOT.
+  PredPtr pred = Not(Some("s", Rec(),
+                          Eq(FieldRef("r", "a"),
+                             Add(FieldRef("s", "a"), Int(1)))));
+  EXPECT_EQ(CheckPositivity(*Ctor(pred)).code(),
+            StatusCode::kPositivityViolation);
+}
+
+TEST(Positivity, DoubleNegationIsEven) {
+  PredPtr pred = Not(Not(In({FieldRef("r", "a"), FieldRef("r", "b")}, Rec())));
+  EXPECT_TRUE(CheckPositivity(*Ctor(pred)).ok());
+}
+
+TEST(Positivity, AllRangeCountsAsOne) {
+  // ALL x IN Rel{c} (...) — the range is under the ALL: odd, rejected.
+  PredPtr pred = All("x", Rec(), True());
+  EXPECT_EQ(CheckPositivity(*Ctor(pred)).code(),
+            StatusCode::kPositivityViolation);
+}
+
+TEST(Positivity, AllBodyDoesNotCount) {
+  // Names occurring only in the ALL's body predicate are NOT under the ALL
+  // (the paper's exact definition): membership in Rel{c} inside the body at
+  // parity 0 is fine.
+  PredPtr pred = All("x", Rel("Rel"),
+                     In({FieldRef("x", "a"), FieldRef("x", "b")}, Rec()));
+  EXPECT_TRUE(CheckPositivity(*Ctor(pred)).ok());
+}
+
+TEST(Positivity, NotOverAllRangeIsEven) {
+  // NOT (ALL x IN Rel{c} (...)): 1 NOT + 1 ALL = even — accepted, exactly
+  // as the NOT-ALL = SOME-NOT equivalence suggests.
+  PredPtr pred = Not(All("x", Rec(), True()));
+  EXPECT_TRUE(CheckPositivity(*Ctor(pred)).ok());
+}
+
+TEST(Positivity, SomeRangeAtParityZeroIsFine) {
+  PredPtr pred = Some("x", Rec(), True());
+  EXPECT_TRUE(CheckPositivity(*Ctor(pred)).ok());
+}
+
+TEST(Positivity, NotOverSomeRangeIsOdd) {
+  PredPtr pred = Not(Some("x", Rec(), True()));
+  EXPECT_EQ(CheckPositivity(*Ctor(pred)).code(),
+            StatusCode::kPositivityViolation);
+}
+
+TEST(Positivity, NestedAllInsideNotInsideAll) {
+  // ALL x IN Rel ( NOT ( SOME y IN Rel{c} (...) ) ): the SOME range is
+  // under 1 NOT (the enclosing ALL binds only its own range) — odd.
+  PredPtr pred = All("x", Rel("Rel"), Not(Some("y", Rec(), True())));
+  EXPECT_EQ(CheckPositivity(*Ctor(pred)).code(),
+            StatusCode::kPositivityViolation);
+}
+
+TEST(Positivity, NonRecursiveRangesIgnoreParity) {
+  // NOT over plain relations is unrestricted.
+  PredPtr pred = Not(Some("x", Rel("Other"), True()));
+  EXPECT_TRUE(CheckPositivity(*Ctor(pred)).ok());
+}
+
+TEST(Positivity, ConstructorInsideArgumentCounts) {
+  // A range whose *argument* contains a constructor is still a constructed
+  // occurrence.
+  RangePtr nested = Constructed(Rel("Other"), "d", {Rec()});
+  PredPtr pred = Not(Some("x", nested, True()));
+  EXPECT_EQ(CheckPositivity(*Ctor(pred)).code(),
+            StatusCode::kPositivityViolation);
+}
+
+TEST(Positivity, DisjunctionPreservesParity) {
+  PredPtr fine = Or({In({FieldRef("r", "a"), FieldRef("r", "b")}, Rec()),
+                     Eq(FieldRef("r", "a"), FieldRef("r", "b"))});
+  EXPECT_TRUE(CheckPositivity(*Ctor(fine)).ok());
+  PredPtr bad = Or({Not(In({FieldRef("r", "a"), FieldRef("r", "b")}, Rec())),
+                    Eq(FieldRef("r", "a"), FieldRef("r", "b"))});
+  EXPECT_FALSE(CheckPositivity(*Ctor(bad)).ok());
+}
+
+TEST(Positivity, ExprLevelCheck) {
+  CalcExprPtr good = Union({IdentityBranch("r", Rec(), True())});
+  EXPECT_TRUE(CheckPositivity(*good).ok());
+  CalcExprPtr bad = Union(
+      {IdentityBranch("r", Rel("Rel"), Not(Some("x", Rec(), True())))});
+  EXPECT_FALSE(CheckPositivity(*bad).ok());
+}
+
+TEST(ForEachRangeWithParity, ReportsBindingsAtZero) {
+  BranchPtr b = MakeBranch({FieldRef("f", "a")},
+                           {Each("f", Rel("A")), Each("g", Rel("B"))}, True());
+  int count = 0;
+  ForEachRangeWithParity(*b, [&](const Range&, int parity) {
+    EXPECT_EQ(parity, 0);
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ForEachRangeWithParity, AccumulatesNesting) {
+  // NOT ( SOME x IN A ( NOT ( ALL y IN B (TRUE) ) ) ):
+  //   A at parity 1, B at parity 1 (NOT) + 1 (NOT) + 1 (ALL) = 3.
+  PredPtr pred = Not(Some("x", Rel("A"), Not(All("y", Rel("B"), True()))));
+  std::map<std::string, int> parities;
+  ForEachRangeWithParity(*pred, 0, [&](const Range& r, int parity) {
+    parities[r.relation()] = parity;
+  });
+  EXPECT_EQ(parities["A"], 1);
+  EXPECT_EQ(parities["B"], 3);
+}
+
+}  // namespace
+}  // namespace datacon

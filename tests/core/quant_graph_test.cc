@@ -1,0 +1,172 @@
+#include "core/quant_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+class QuantGraphTest : public ::testing::Test {
+ protected:
+  QuantGraphTest() {
+    EXPECT_TRUE(catalog_
+                    .DefineRelationType(
+                        "infrontrel", Schema({{"front", ValueType::kString},
+                                              {"back", ValueType::kString}}))
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .DefineRelationType(
+                        "aheadrel", Schema({{"head", ValueType::kString},
+                                            {"tail", ValueType::kString}}))
+                    .ok());
+  }
+
+  ConstructorDeclPtr AheadDecl() {
+    auto body = Union(
+        {IdentityBranch("r", Rel("Rel"), True()),
+         MakeBranch({FieldRef("f", "front"), FieldRef("b", "tail")},
+                    {Each("f", Rel("Rel")),
+                     Each("b", Constructed(Rel("Rel"), "ahead"))},
+                    Eq(FieldRef("f", "back"), FieldRef("b", "head")))});
+    return std::make_shared<ConstructorDecl>(
+        "ahead", FormalRelation{"Rel", "infrontrel"},
+        std::vector<FormalRelation>{}, std::vector<FormalScalar>{},
+        "aheadrel", body);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(QuantGraphTest, Figure3Structure) {
+  // Fig. 3: the head node, three variable nodes (r; f; b), attribute arcs
+  // head->r, head->f (front=head... rendered as head = front), head->b
+  // (tail = tail), a join arc f->b (back = head), and the recursive arc
+  // b->head.
+  QuantGraph g = BuildAugmentedQuantGraph(*AheadDecl(), catalog_);
+  ASSERT_EQ(g.nodes.size(), 4u);
+  EXPECT_EQ(g.nodes[0].kind, QuantGraph::Node::Kind::kHead);
+  EXPECT_EQ(g.nodes[1].label, "EACH r IN Rel");
+  EXPECT_EQ(g.nodes[2].label, "EACH f IN Rel");
+  EXPECT_EQ(g.nodes[3].label, "EACH b IN Rel {ahead}");
+
+  bool identity_arc = false, front_arc = false, tail_arc = false,
+       join_arc = false, recursive_arc = false;
+  for (const QuantGraph::Arc& a : g.arcs) {
+    if (a.from == 0 && a.to == 1 && a.label == "=") identity_arc = true;
+    if (a.from == 0 && a.to == 2 && a.label == "head = front") {
+      front_arc = true;
+    }
+    if (a.from == 0 && a.to == 3 && a.label == "tail = tail") tail_arc = true;
+    if (a.from == 2 && a.to == 3 && a.label == "back = head") join_arc = true;
+    if (a.from == 3 && a.to == 0 && a.label == "recursive") {
+      recursive_arc = true;
+    }
+  }
+  EXPECT_TRUE(identity_arc);
+  EXPECT_TRUE(front_arc);
+  EXPECT_TRUE(tail_arc);
+  EXPECT_TRUE(join_arc);
+  EXPECT_TRUE(recursive_arc);
+}
+
+TEST_F(QuantGraphTest, ToDotRendersAllNodes) {
+  QuantGraph g = BuildAugmentedQuantGraph(*AheadDecl(), catalog_);
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("digraph quant"), std::string::npos);
+  EXPECT_NE(dot.find("EACH b IN Rel {ahead}"), std::string::npos);
+  EXPECT_NE(dot.find("recursive"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST_F(QuantGraphTest, CrossConstructorArcLabelled) {
+  auto body = Union({IdentityBranch(
+      "x", Constructed(Rel("Rel"), "other"), True())});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "c", FormalRelation{"Rel", "infrontrel"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "infrontrel", body);
+  QuantGraph g = BuildAugmentedQuantGraph(*decl, catalog_);
+  bool uses_arc = false;
+  for (const QuantGraph::Arc& a : g.arcs) {
+    if (a.label == "uses other") uses_arc = true;
+  }
+  EXPECT_TRUE(uses_arc);
+}
+
+TEST_F(QuantGraphTest, PartitionsSplitIndependentGroups) {
+  // Two independent constructor families must land in separate level-1
+  // partitions (the compiler's preliminary decomposition, section 4).
+  ASSERT_TRUE(catalog_
+                  .DefineRelationType("numrel",
+                                      Schema({{"n", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(catalog_.DefineConstructor(AheadDecl()).ok());
+  auto num_body = Union({IdentityBranch("r", Rel("Rel"), True())});
+  ASSERT_TRUE(catalog_
+                  .DefineConstructor(std::make_shared<ConstructorDecl>(
+                      "numid", FormalRelation{"Rel", "numrel"},
+                      std::vector<FormalRelation>{},
+                      std::vector<FormalScalar>{}, "numrel", num_body))
+                  .ok());
+
+  std::vector<std::vector<std::string>> parts = PartitionDefinitions(catalog_);
+  ASSERT_EQ(parts.size(), 2u);
+  // One partition holds ahead + its types; the other numid + numrel.
+  bool found_ahead = false, found_numid = false;
+  for (const auto& part : parts) {
+    bool has_ahead = false, has_numid = false;
+    for (const std::string& name : part) {
+      if (name == "ahead") has_ahead = true;
+      if (name == "numid") has_numid = true;
+    }
+    EXPECT_FALSE(has_ahead && has_numid);
+    found_ahead |= has_ahead;
+    found_numid |= has_numid;
+  }
+  EXPECT_TRUE(found_ahead);
+  EXPECT_TRUE(found_numid);
+}
+
+TEST_F(QuantGraphTest, MutuallyRecursivePartitionIsOne) {
+  ASSERT_TRUE(catalog_
+                  .DefineRelationType("ontoprel",
+                                      Schema({{"top", ValueType::kString},
+                                              {"base", ValueType::kString}}))
+                  .ok());
+  ASSERT_TRUE(catalog_
+                  .DefineRelationType("aboverel",
+                                      Schema({{"high", ValueType::kString},
+                                              {"low", ValueType::kString}}))
+                  .ok());
+  // m1 references m2 and vice versa — must fall into one partition.
+  auto m1_body = Union({IdentityBranch(
+      "x", Constructed(Rel("P"), "m2", {Rel("Rel")}), True())});
+  ASSERT_TRUE(catalog_
+                  .DefineConstructor(std::make_shared<ConstructorDecl>(
+                      "m1", FormalRelation{"Rel", "infrontrel"},
+                      std::vector<FormalRelation>{{"P", "infrontrel"}},
+                      std::vector<FormalScalar>{}, "infrontrel", m1_body))
+                  .ok());
+  auto m2_body = Union({IdentityBranch(
+      "x", Constructed(Rel("P"), "m1", {Rel("Rel")}), True())});
+  ASSERT_TRUE(catalog_
+                  .DefineConstructor(std::make_shared<ConstructorDecl>(
+                      "m2", FormalRelation{"Rel", "infrontrel"},
+                      std::vector<FormalRelation>{{"P", "infrontrel"}},
+                      std::vector<FormalScalar>{}, "infrontrel", m2_body))
+                  .ok());
+  std::vector<std::vector<std::string>> parts = PartitionDefinitions(catalog_);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0][0], "m1");
+  EXPECT_EQ(parts[0][1], "m2");
+}
+
+TEST(QuantGraphEmpty, NoConstructorsNoPartitions) {
+  Catalog catalog;
+  EXPECT_TRUE(PartitionDefinitions(catalog).empty());
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,314 @@
+#include "core/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  SemanticsTest() {
+    EXPECT_TRUE(catalog_
+                    .DefineRelationType(
+                        "infrontrel", Schema({{"front", ValueType::kString},
+                                              {"back", ValueType::kString}}))
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .DefineRelationType(
+                        "aheadrel", Schema({{"head", ValueType::kString},
+                                            {"tail", ValueType::kString}}))
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .DefineRelationType(
+                        "numrel", Schema({{"n", ValueType::kInt}}))
+                    .ok());
+    EXPECT_TRUE(catalog_.CreateRelation("Infront", "infrontrel").ok());
+    EXPECT_TRUE(catalog_.CreateRelation("Numbers", "numrel").ok());
+    EXPECT_TRUE(catalog_
+                    .DefineSelector(std::make_shared<SelectorDecl>(
+                        "hidden_by", FormalRelation{"Rel", "infrontrel"},
+                        std::vector<FormalScalar>{{"Obj", ValueType::kString}},
+                        "r", Eq(FieldRef("r", "front"), Param("Obj"))))
+                    .ok());
+    EXPECT_TRUE(catalog_
+                    .DefineConstructor(std::make_shared<ConstructorDecl>(
+                        "ahead", FormalRelation{"Rel", "infrontrel"},
+                        std::vector<FormalRelation>{},
+                        std::vector<FormalScalar>{}, "aheadrel",
+                        Union({IdentityBranch("r", Rel("Rel"), True())})))
+                    .ok());
+  }
+
+  AnalysisScope Scope() {
+    AnalysisScope scope;
+    scope.catalog = &catalog_;
+    return scope;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SemanticsTest, RangeSchemaOfPlainRelation) {
+  AnalysisScope scope = Scope();
+  Result<const Schema*> schema = RangeSchemaOf(*Rel("Infront"), scope);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value()->field(0).name, "front");
+}
+
+TEST_F(SemanticsTest, RangeSchemaOfUnknownRelationFails) {
+  AnalysisScope scope = Scope();
+  EXPECT_EQ(RangeSchemaOf(*Rel("Nope"), scope).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SemanticsTest, RangeSchemaOfFormal) {
+  AnalysisScope scope = Scope();
+  scope.relation_formals["Rel"] = "infrontrel";
+  Result<const Schema*> schema = RangeSchemaOf(*Rel("Rel"), scope);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value()->arity(), 2);
+}
+
+TEST_F(SemanticsTest, SelectorPreservesSchema) {
+  AnalysisScope scope = Scope();
+  Result<const Schema*> schema = RangeSchemaOf(
+      *Selected(Rel("Infront"), "hidden_by", {Str("table")}), scope);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value()->field(1).name, "back");
+}
+
+TEST_F(SemanticsTest, SelectorArgArityChecked) {
+  AnalysisScope scope = Scope();
+  EXPECT_EQ(RangeSchemaOf(*Selected(Rel("Infront"), "hidden_by", {}), scope)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, SelectorArgTypeChecked) {
+  AnalysisScope scope = Scope();
+  EXPECT_EQ(RangeSchemaOf(
+                *Selected(Rel("Infront"), "hidden_by", {Int(3)}), scope)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, SelectorBaseTypeChecked) {
+  AnalysisScope scope = Scope();
+  // hidden_by expects infrontrel fields; Numbers has {n}.
+  EXPECT_EQ(RangeSchemaOf(
+                *Selected(Rel("Numbers"), "hidden_by", {Str("x")}), scope)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, ConstructorChangesSchema) {
+  AnalysisScope scope = Scope();
+  Result<const Schema*> schema =
+      RangeSchemaOf(*Constructed(Rel("Infront"), "ahead"), scope);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value()->field(0).name, "head");
+}
+
+TEST_F(SemanticsTest, ConstructorBaseTypeChecked) {
+  AnalysisScope scope = Scope();
+  EXPECT_EQ(RangeSchemaOf(*Constructed(Rel("Numbers"), "ahead"), scope)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, ConstructorArgArityChecked) {
+  AnalysisScope scope = Scope();
+  EXPECT_EQ(RangeSchemaOf(
+                *Constructed(Rel("Infront"), "ahead", {Rel("Infront")}),
+                scope)
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, TermTypes) {
+  AnalysisScope scope = Scope();
+  scope.scalar_params["Obj"] = ValueType::kString;
+  EXPECT_EQ(TermTypeOf(*Int(1), scope).value(), ValueType::kInt);
+  EXPECT_EQ(TermTypeOf(*Str("x"), scope).value(), ValueType::kString);
+  EXPECT_EQ(TermTypeOf(*Param("Obj"), scope).value(), ValueType::kString);
+  EXPECT_EQ(TermTypeOf(*Add(Int(1), Int(2)), scope).value(), ValueType::kInt);
+  EXPECT_EQ(TermTypeOf(*Param("zz"), scope).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(TermTypeOf(*Add(Str("a"), Int(1)), scope).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckPredComparisonTypes) {
+  AnalysisScope scope = Scope();
+  Result<const Schema*> schema = RangeSchemaOf(*Rel("Infront"), scope);
+  scope.vars["r"] = schema.value();
+  PredPtr ok = Eq(FieldRef("r", "front"), Str("x"));
+  EXPECT_TRUE(CheckPred(*ok, &scope).ok());
+  PredPtr bad = Eq(FieldRef("r", "front"), Int(1));
+  EXPECT_EQ(CheckPred(*bad, &scope).code(), StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckPredQuantifierScoping) {
+  AnalysisScope scope = Scope();
+  PredPtr p = Some("n", Rel("Numbers"), Eq(FieldRef("n", "n"), Int(1)));
+  EXPECT_TRUE(CheckPred(*p, &scope).ok());
+  // The quantifier variable is gone afterwards.
+  EXPECT_EQ(scope.vars.count("n"), 0u);
+  // Body referencing an unbound variable fails.
+  PredPtr bad = Some("n", Rel("Numbers"), Eq(FieldRef("m", "n"), Int(1)));
+  EXPECT_EQ(CheckPred(*bad, &scope).code(), StatusCode::kNotFound);
+}
+
+TEST_F(SemanticsTest, CheckPredRejectsShadowing) {
+  AnalysisScope scope = Scope();
+  PredPtr p = Some("n", Rel("Numbers"),
+                   Some("n", Rel("Numbers"), True()));
+  EXPECT_EQ(CheckPred(*p, &scope).code(), StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckPredMembership) {
+  AnalysisScope scope = Scope();
+  PredPtr ok = In({Int(1)}, Rel("Numbers"));
+  EXPECT_TRUE(CheckPred(*ok, &scope).ok());
+  PredPtr arity = In({Int(1), Int(2)}, Rel("Numbers"));
+  EXPECT_EQ(CheckPred(*arity, &scope).code(), StatusCode::kTypeError);
+  PredPtr type = In({Str("x")}, Rel("Numbers"));
+  EXPECT_EQ(CheckPred(*type, &scope).code(), StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckSelectorDecl) {
+  SelectorDecl good("s", FormalRelation{"Rel", "infrontrel"}, {}, "r",
+                    Eq(FieldRef("r", "front"), Str("x")));
+  EXPECT_TRUE(CheckSelectorDecl(good, catalog_).ok());
+
+  SelectorDecl bad_type("s", FormalRelation{"Rel", "nosuch"}, {}, "r", True());
+  EXPECT_EQ(CheckSelectorDecl(bad_type, catalog_).code(),
+            StatusCode::kNotFound);
+
+  SelectorDecl bad_field("s", FormalRelation{"Rel", "infrontrel"}, {}, "r",
+                         Eq(FieldRef("r", "nofield"), Str("x")));
+  EXPECT_EQ(CheckSelectorDecl(bad_field, catalog_).code(),
+            StatusCode::kNotFound);
+
+  SelectorDecl dup_param(
+      "s", FormalRelation{"Rel", "infrontrel"},
+      {{"p", ValueType::kInt}, {"p", ValueType::kString}}, "r", True());
+  EXPECT_EQ(CheckSelectorDecl(dup_param, catalog_).code(),
+            StatusCode::kTypeError);
+}
+
+ConstructorDecl MakeCtor(const std::string& result_type, CalcExprPtr body) {
+  return ConstructorDecl("c2", FormalRelation{"Rel", "infrontrel"}, {}, {},
+                         result_type, std::move(body));
+}
+
+TEST_F(SemanticsTest, CheckConstructorIdentityBranchCompatibility) {
+  // infrontrel -> aheadrel is positionally compatible.
+  EXPECT_TRUE(CheckConstructorDecl(
+                  MakeCtor("aheadrel",
+                           Union({IdentityBranch("r", Rel("Rel"), True())})),
+                  catalog_)
+                  .ok());
+  // infrontrel -> numrel is not.
+  EXPECT_EQ(CheckConstructorDecl(
+                MakeCtor("numrel",
+                         Union({IdentityBranch("r", Rel("Rel"), True())})),
+                catalog_)
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckConstructorTargetArity) {
+  CalcExprPtr body = Union({MakeBranch(
+      {FieldRef("r", "front")}, {Each("r", Rel("Rel"))}, True())});
+  EXPECT_EQ(CheckConstructorDecl(MakeCtor("aheadrel", body), catalog_).code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckConstructorTargetTypes) {
+  CalcExprPtr body = Union({MakeBranch(
+      {FieldRef("r", "front"), Int(3)}, {Each("r", Rel("Rel"))}, True())});
+  EXPECT_EQ(CheckConstructorDecl(MakeCtor("aheadrel", body), catalog_).code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckConstructorEmptyBody) {
+  EXPECT_EQ(
+      CheckConstructorDecl(MakeCtor("aheadrel", Union({})), catalog_).code(),
+      StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckConstructorDuplicateBranchVars) {
+  CalcExprPtr body = Union({MakeBranch(
+      {FieldRef("r", "front"), FieldRef("r", "back")},
+      {Each("r", Rel("Rel")), Each("r", Rel("Rel"))}, True())});
+  EXPECT_EQ(CheckConstructorDecl(MakeCtor("aheadrel", body), catalog_).code(),
+            StatusCode::kTypeError);
+}
+
+TEST_F(SemanticsTest, CheckQueryAgainstSchema) {
+  CalcExprPtr expr = Union({IdentityBranch("q", Rel("Infront"), True())});
+  Schema compatible({{"a", ValueType::kString}, {"b", ValueType::kString}});
+  EXPECT_TRUE(CheckQuery(*expr, catalog_, compatible).ok());
+  Schema incompatible({{"a", ValueType::kInt}});
+  EXPECT_FALSE(CheckQuery(*expr, catalog_, incompatible).ok());
+}
+
+TEST_F(SemanticsTest, CheckQueryWithPlaceholders) {
+  CalcExprPtr expr = Union({IdentityBranch(
+      "q", Rel("Infront"), Eq(FieldRef("q", "front"), Param("p")))});
+  Schema schema({{"a", ValueType::kString}, {"b", ValueType::kString}});
+  EXPECT_EQ(CheckQuery(*expr, catalog_, schema).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(CheckQuery(*expr, catalog_, schema,
+                         {{"p", ValueType::kString}})
+                  .ok());
+}
+
+TEST_F(SemanticsTest, InferQuerySchemaIdentity) {
+  CalcExprPtr expr = Union({IdentityBranch("q", Rel("Infront"), True())});
+  Result<Schema> schema = InferQuerySchema(*expr, catalog_);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().field(0).name, "front");
+  // Derived results have set semantics regardless of base keys.
+  EXPECT_TRUE(schema.value().KeyIsAllAttributes());
+}
+
+TEST_F(SemanticsTest, InferQuerySchemaFromTargets) {
+  CalcExprPtr expr = Union({MakeBranch(
+      {FieldRef("q", "back"), Add(Int(1), Int(2))},
+      {Each("q", Rel("Infront"))}, True())});
+  Result<Schema> schema = InferQuerySchema(*expr, catalog_);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().field(0).name, "back");
+  EXPECT_EQ(schema.value().field(0).type, ValueType::kString);
+  EXPECT_EQ(schema.value().field(1).type, ValueType::kInt);
+}
+
+TEST_F(SemanticsTest, InferQuerySchemaDisambiguatesDuplicateNames) {
+  CalcExprPtr expr = Union({MakeBranch(
+      {FieldRef("q", "front"), FieldRef("p", "front")},
+      {Each("q", Rel("Infront")), Each("p", Rel("Infront"))}, True())});
+  Result<Schema> schema = InferQuerySchema(*expr, catalog_);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_NE(schema.value().field(0).name, schema.value().field(1).name);
+}
+
+TEST_F(SemanticsTest, InferQuerySchemaChecksAllBranches) {
+  CalcExprPtr expr = Union({
+      IdentityBranch("q", Rel("Infront"), True()),
+      IdentityBranch("p", Rel("Numbers"), True()),  // arity mismatch
+  });
+  EXPECT_FALSE(InferQuerySchema(*expr, catalog_).ok());
+}
+
+}  // namespace
+}  // namespace datacon

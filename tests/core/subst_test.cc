@@ -1,0 +1,125 @@
+#include "core/subst.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "ast/printer.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+TEST(Subst, ScalarParamBecomesLiteral) {
+  Substitution subst;
+  subst.scalars["Obj"] = Str("table");
+  TermPtr t = SubstituteTerm(Param("Obj"), subst);
+  EXPECT_EQ(ToString(*t), "\"table\"");
+}
+
+TEST(Subst, UnmappedParamSurvives) {
+  Substitution subst;
+  TermPtr original = Param("p");
+  EXPECT_EQ(SubstituteTerm(original, subst), original);
+}
+
+TEST(Subst, ArithRecurses) {
+  Substitution subst;
+  subst.scalars["n"] = Int(5);
+  TermPtr t = SubstituteTerm(Add(Param("n"), Int(1)), subst);
+  EXPECT_EQ(ToString(*t), "(5 + 1)");
+}
+
+TEST(Subst, RangeBaseReplacedAndSpliced) {
+  // Rel {ahead} with Rel -> Infront [sel] gives Infront [sel] {ahead}.
+  Substitution subst;
+  subst.relations["Rel"] = Selected(Rel("Infront"), "sel");
+  RangePtr r = SubstituteRange(Constructed(Rel("Rel"), "ahead"), subst);
+  EXPECT_EQ(ToString(*r), "Infront [sel] {ahead}");
+}
+
+TEST(Subst, RangeArgsSubstituted) {
+  // Rel {ahead(OT)} with Rel -> Infront, OT -> Ontop.
+  Substitution subst;
+  subst.relations["Rel"] = Rel("Infront");
+  subst.relations["OT"] = Rel("Ontop");
+  RangePtr r = SubstituteRange(
+      Constructed(Rel("Rel"), "ahead", {Rel("OT")}), subst);
+  EXPECT_EQ(ToString(*r), "Infront {ahead(Ontop)}");
+}
+
+TEST(Subst, SelectorArgsSubstituted) {
+  Substitution subst;
+  subst.scalars["Obj"] = Str("x");
+  RangePtr r = SubstituteRange(
+      Selected(Rel("Infront"), "hidden_by", {Param("Obj")}), subst);
+  EXPECT_EQ(ToString(*r), "Infront [hidden_by(\"x\")]");
+}
+
+TEST(Subst, PredAllShapes) {
+  Substitution subst;
+  subst.relations["Rel"] = Rel("Infront");
+  subst.scalars["p"] = Int(7);
+  PredPtr pred = And({
+      Eq(FieldRef("r", "a"), Param("p")),
+      Not(Some("x", Rel("Rel"), True())),
+      Or({In({Param("p")}, Rel("Rel")), All("y", Rel("Rel"), False())}),
+  });
+  PredPtr out = SubstitutePred(pred, subst);
+  EXPECT_EQ(ToString(*out),
+            "r.a = 7 AND NOT (SOME x IN Infront (TRUE)) AND (<7> IN Infront "
+            "OR ALL y IN Infront (FALSE))");
+}
+
+TEST(Subst, BranchSubstitution) {
+  Substitution subst;
+  subst.relations["Rel"] = Rel("Infront");
+  BranchPtr b = MakeBranch(
+      {FieldRef("f", "front"), FieldRef("b", "tail")},
+      {Each("f", Rel("Rel")), Each("b", Constructed(Rel("Rel"), "ahead"))},
+      Eq(FieldRef("f", "back"), FieldRef("b", "head")));
+  BranchPtr out = SubstituteBranch(b, subst);
+  EXPECT_EQ(ToString(*out),
+            "<f.front, b.tail> OF EACH f IN Infront, EACH b IN Infront "
+            "{ahead}: f.back = b.head");
+}
+
+TEST(Subst, ExprSubstitutesEveryBranch) {
+  Substitution subst;
+  subst.relations["Rel"] = Rel("X");
+  CalcExprPtr e = Union({IdentityBranch("a", Rel("Rel"), True()),
+                         IdentityBranch("b", Rel("Rel"), True())});
+  CalcExprPtr out = SubstituteExpr(e, subst);
+  for (const BranchPtr& branch : out->branches()) {
+    EXPECT_EQ(branch->bindings()[0].range->relation(), "X");
+  }
+}
+
+TEST(FieldSubst, ReplacesMatchingFieldRefs) {
+  FieldSubstitution subst;
+  subst[{"r", "head"}] = FieldRef("f", "front");
+  subst[{"r", "tail"}] = FieldRef("b", "back");
+  PredPtr pred = And({Eq(FieldRef("r", "head"), Str("x")),
+                      Ne(FieldRef("r", "tail"), FieldRef("other", "head"))});
+  PredPtr out = SubstituteFields(pred, subst);
+  EXPECT_EQ(ToString(*out), "f.front = \"x\" AND b.back # other.head");
+}
+
+TEST(FieldSubst, TermReplacement) {
+  FieldSubstitution subst;
+  subst[{"r", "n"}] = Int(3);
+  TermPtr out = SubstituteFields(Add(FieldRef("r", "n"), Int(1)), subst);
+  EXPECT_EQ(ToString(*out), "(3 + 1)");
+}
+
+TEST(FieldSubst, LeavesQuantifierStructureIntact) {
+  FieldSubstitution subst;
+  subst[{"r", "x"}] = FieldRef("q", "y");
+  PredPtr pred = Some("s", Rel("R"),
+                      Eq(FieldRef("r", "x"), FieldRef("s", "v")));
+  PredPtr out = SubstituteFields(pred, subst);
+  EXPECT_EQ(ToString(*out), "SOME s IN R (q.y = s.v)");
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,153 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "graph/digraph.h"
+
+namespace datacon {
+namespace {
+
+TEST(Digraph, EdgesAndReachability) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.Reachable(0, 2));
+  EXPECT_TRUE(g.Reachable(3, 3));
+  EXPECT_FALSE(g.Reachable(2, 0));
+}
+
+TEST(Digraph, AddNode) {
+  Digraph g(1);
+  EXPECT_EQ(g.AddNode(), 1);
+  EXPECT_EQ(g.node_count(), 2);
+}
+
+TEST(Scc, SingletonWithoutSelfLoopIsAcyclic) {
+  Digraph g(1);
+  SccDecomposition scc = ComputeScc(g);
+  ASSERT_EQ(scc.component_count(), 1);
+  EXPECT_FALSE(scc.cyclic[0]);
+}
+
+TEST(Scc, SelfLoopIsCyclic) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  SccDecomposition scc = ComputeScc(g);
+  ASSERT_EQ(scc.component_count(), 1);
+  EXPECT_TRUE(scc.cyclic[0]);
+}
+
+TEST(Scc, TwoNodeCycle) {
+  // The paper's mutual recursion shape: ahead <-> above.
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.component_count(), 1);
+  EXPECT_TRUE(scc.cyclic[0]);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+}
+
+TEST(Scc, ChainDecomposesIntoSingletons) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.component_count(), 4);
+  for (bool c : scc.cyclic) EXPECT_FALSE(c);
+}
+
+TEST(Scc, TopologicalOrderPutsDependenciesFirst) {
+  // 0 -> 1 -> 2 with edges read as "depends on": 2's component must come
+  // before 1's, which must come before 0's.
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  SccDecomposition scc = ComputeScc(g);
+  std::vector<int> position(3);
+  for (size_t i = 0; i < scc.topological_order.size(); ++i) {
+    for (int node : scc.components[static_cast<size_t>(
+             scc.topological_order[i])]) {
+      position[static_cast<size_t>(node)] = static_cast<int>(i);
+    }
+  }
+  EXPECT_LT(position[2], position[1]);
+  EXPECT_LT(position[1], position[0]);
+}
+
+TEST(Scc, MixedGraph) {
+  // Component {1,2} cyclic, fed by 0, feeding 3.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);
+  g.AddEdge(2, 3);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.component_count(), 3);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[1]);
+  int cyclic_count = 0;
+  for (bool c : scc.cyclic) cyclic_count += c ? 1 : 0;
+  EXPECT_EQ(cyclic_count, 1);
+}
+
+TEST(Scc, DeepChainDoesNotOverflow) {
+  // The iterative Tarjan must handle graphs far deeper than any thread
+  // stack would allow for the recursive formulation.
+  const int n = 200000;
+  Digraph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  SccDecomposition scc = ComputeScc(g);
+  EXPECT_EQ(scc.component_count(), n);
+}
+
+/// Reference SCC relation: u,v in the same component iff mutually
+/// reachable.
+class SccRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SccRandomTest, MatchesMutualReachability) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  const int n = 24;
+  Digraph g(n);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (int e = 0; e < 40; ++e) {
+    int a = pick(rng);
+    int b = pick(rng);
+    g.AddEdge(a, b);
+  }
+  SccDecomposition scc = ComputeScc(g);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      bool same = scc.component_of[static_cast<size_t>(u)] ==
+                  scc.component_of[static_cast<size_t>(v)];
+      bool mutual = g.Reachable(u, v) && g.Reachable(v, u);
+      EXPECT_EQ(same, mutual) << "u=" << u << " v=" << v;
+    }
+  }
+  // Topological order property: for every edge u->v, v's component comes
+  // no later than u's.
+  std::vector<int> position(scc.components.size());
+  for (size_t i = 0; i < scc.topological_order.size(); ++i) {
+    position[static_cast<size_t>(scc.topological_order[i])] =
+        static_cast<int>(i);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v : g.OutEdges(u)) {
+      EXPECT_LE(position[static_cast<size_t>(
+                    scc.component_of[static_cast<size_t>(v)])],
+                position[static_cast<size_t>(
+                    scc.component_of[static_cast<size_t>(u)])]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SccRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace datacon

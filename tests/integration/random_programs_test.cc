@@ -1,0 +1,141 @@
+// Differential testing over randomly generated positive constructor
+// systems: for each seed, a random family of (possibly mutually) recursive
+// binary constructors is defined, then evaluated four ways —
+//
+//   * semi-naive bottom-up (the default engine),
+//   * naive bottom-up (the paper's REPEAT loop),
+//   * with and without capture rules / inlining,
+//   * top-down tabled SLD over the Horn translation (section 3.4),
+//
+// and all results must agree tuple-for-tuple. This is the strongest check
+// in the suite: any soundness or completeness bug in instantiation,
+// differential evaluation, translation, or tabling shows up as a mismatch.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ast/builder.h"
+#include "core/database.h"
+#include "prolog/sld.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+/// Builds `k` random constructors c0..c{k-1} over a shared binary base.
+/// Each has the identity branch plus 1-2 join branches against a random
+/// constructor (possibly itself or a later one — mutual recursion), with a
+/// random join orientation and projection.
+Status DefineRandomSystem(Database* db, int k, std::mt19937_64* rng) {
+  DATACON_RETURN_IF_ERROR(db->DefineRelationType(
+      "edge",
+      Schema({{"src", ValueType::kInt}, {"dst", ValueType::kInt}})));
+  DATACON_RETURN_IF_ERROR(db->CreateRelation("E", "edge"));
+
+  std::uniform_int_distribution<int> pick_ctor(0, k - 1);
+  std::uniform_int_distribution<int> pick_bool(0, 1);
+  std::uniform_int_distribution<int> pick_branches(1, 2);
+
+  std::vector<ConstructorDeclPtr> decls;
+  for (int i = 0; i < k; ++i) {
+    std::vector<BranchPtr> branches;
+    branches.push_back(IdentityBranch("r", Rel("Rel"), True()));
+    int extra = pick_branches(*rng);
+    for (int b = 0; b < extra; ++b) {
+      std::string other = "c" + std::to_string(pick_ctor(*rng));
+      // Join field orientation: f.<jf> = q.<jq>.
+      std::string jf = pick_bool(*rng) ? "src" : "dst";
+      std::string jq = pick_bool(*rng) ? "src" : "dst";
+      // Projection: one field from each side, random choice.
+      std::string tf = pick_bool(*rng) ? "src" : "dst";
+      std::string tq = pick_bool(*rng) ? "src" : "dst";
+      branches.push_back(MakeBranch(
+          {FieldRef("f", tf), FieldRef("q", tq)},
+          {Each("f", Rel("Rel")),
+           Each("q", Constructed(Rel("Rel"), other))},
+          Eq(FieldRef("f", jf), FieldRef("q", jq))));
+    }
+    decls.push_back(std::make_shared<ConstructorDecl>(
+        "c" + std::to_string(i), FormalRelation{"Rel", "edge"},
+        std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "edge",
+        Union(std::move(branches))));
+  }
+  return db->DefineConstructorGroup(decls);
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramTest, AllEnginesAgree) {
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()));
+  const int k = 2;
+
+  // Small dense-ish graph keeps the fixpoints interesting but bounded.
+  workload::EdgeList g = workload::RandomDigraph(5, 7, GetParam() * 31 + 7);
+
+  struct Config {
+    const char* name;
+    FixpointStrategy strategy;
+    bool capture;
+    bool inline_nonrecursive;
+  };
+  const Config configs[] = {
+      {"semi-naive", FixpointStrategy::kSemiNaive, false, false},
+      {"naive", FixpointStrategy::kNaive, false, false},
+      {"semi-naive+opt", FixpointStrategy::kSemiNaive, true, true},
+  };
+
+  for (int target = 0; target < k; ++target) {
+    RangePtr range = Constructed(Rel("E"), "c" + std::to_string(target));
+    std::optional<Relation> reference;
+    for (const Config& config : configs) {
+      std::mt19937_64 fresh(static_cast<uint64_t>(GetParam()));
+      DatabaseOptions options;
+      options.eval.strategy = config.strategy;
+      options.use_capture_rules = config.capture;
+      options.inline_nonrecursive = config.inline_nonrecursive;
+      Database db(options);
+      ASSERT_TRUE(DefineRandomSystem(&db, k, &fresh).ok());
+      ASSERT_TRUE(workload::LoadEdges(&db, "E", g).ok());
+
+      Result<Relation> result = db.EvalRange(range);
+      ASSERT_TRUE(result.ok())
+          << config.name << ": " << result.status().ToString();
+      if (!reference.has_value()) {
+        reference = std::move(result).value();
+      } else {
+        EXPECT_TRUE(reference->SameTuples(result.value()))
+            << "engine " << config.name << " disagrees on c" << target
+            << " (seed " << GetParam() << ")";
+      }
+    }
+
+    // Top-down tabled SLD over the Horn translation must agree too.
+    // Random mutual programs can blow up proof search combinatorially (the
+    // paper's point!), so the check runs under a resolution budget and the
+    // comparison is skipped — never failed — when the budget trips.
+    std::mt19937_64 fresh(static_cast<uint64_t>(GetParam()));
+    Database db;
+    ASSERT_TRUE(DefineRandomSystem(&db, k, &fresh).ok());
+    ASSERT_TRUE(workload::LoadEdges(&db, "E", g).ok());
+    SldOptions sld;
+    sld.tabling = true;
+    sld.max_steps = 200000;
+    Result<Relation> top_down =
+        EvaluateRangeTopDown(db.catalog(), range, sld);
+    if (top_down.status().code() == StatusCode::kDivergence) {
+      continue;  // proof search exceeded its budget; bottom-up checks stand
+    }
+    ASSERT_TRUE(top_down.ok()) << top_down.status().ToString();
+    EXPECT_TRUE(reference->SameTuples(top_down.value()))
+        << "top-down disagrees on c" << target << " (seed " << GetParam()
+        << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace datacon

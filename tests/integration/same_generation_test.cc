@@ -1,0 +1,125 @@
+// The same-generation query — the deductive-database classic that is
+// recursive but NOT a transitive closure, so the capture rule must not
+// fire and the generic fixpoint engines carry it alone.
+//
+//   sg(x, y) :- up(x, p), up(y, p).                      (same parent)
+//   sg(x, y) :- up(x, px), up(y, py), sg(px, py).        (parents same gen)
+//
+// On a tree, sg(x, y) holds exactly when x and y have the same depth.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ast/builder.h"
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+/// Declares `up` edges (child -> parent) and the same_gen constructor.
+Status SetupSameGeneration(Database* db, const workload::EdgeList& tree) {
+  DATACON_RETURN_IF_ERROR(db->DefineRelationType(
+      "uprel",
+      Schema({{"child", ValueType::kInt}, {"parent", ValueType::kInt}})));
+  DATACON_RETURN_IF_ERROR(db->DefineRelationType(
+      "pairrel", Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}})));
+  DATACON_RETURN_IF_ERROR(db->CreateRelation("Up", "uprel"));
+  // Tree edges are parent -> child; `up` reverses them.
+  for (const auto& [parent, child] : tree.edges) {
+    DATACON_RETURN_IF_ERROR(
+        db->Insert("Up", Tuple({Value::Int(child), Value::Int(parent)})));
+  }
+  auto body = Union(
+      {MakeBranch({FieldRef("u", "child"), FieldRef("v", "child")},
+                  {Each("u", Rel("Rel")), Each("v", Rel("Rel"))},
+                  Eq(FieldRef("u", "parent"), FieldRef("v", "parent"))),
+       MakeBranch({FieldRef("u", "child"), FieldRef("v", "child")},
+                  {Each("u", Rel("Rel")), Each("v", Rel("Rel")),
+                   Each("s", Constructed(Rel("Rel"), "same_gen"))},
+                  And({Eq(FieldRef("u", "parent"), FieldRef("s", "x")),
+                       Eq(FieldRef("s", "y"), FieldRef("v", "parent"))}))});
+  return db->DefineConstructor(std::make_shared<ConstructorDecl>(
+      "same_gen", FormalRelation{"Rel", "uprel"},
+      std::vector<FormalRelation>{}, std::vector<FormalScalar>{}, "pairrel",
+      body));
+}
+
+/// Node depths of a parent->child edge list rooted at 0.
+std::map<int, int> Depths(const workload::EdgeList& tree) {
+  std::map<int, int> depth;
+  depth[0] = 0;
+  // Edges are emitted parents-first by KaryTree, so one pass suffices.
+  for (const auto& [parent, child] : tree.edges) {
+    depth[child] = depth[parent] + 1;
+  }
+  return depth;
+}
+
+class SameGenerationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SameGenerationTest, MatchesDepthEquality) {
+  auto [depth_limit, fanout] = GetParam();
+  workload::EdgeList tree = workload::KaryTree(depth_limit, fanout);
+  std::map<int, int> depth = Depths(tree);
+
+  for (FixpointStrategy strategy :
+       {FixpointStrategy::kNaive, FixpointStrategy::kSemiNaive}) {
+    DatabaseOptions options;
+    options.eval.strategy = strategy;
+    Database db(options);
+    ASSERT_TRUE(SetupSameGeneration(&db, tree).ok());
+
+    Result<Relation> sg = db.EvalRange(Constructed(Rel("Up"), "same_gen"));
+    ASSERT_TRUE(sg.ok()) << sg.status().ToString();
+
+    // Expected: all pairs of non-root nodes with equal depth.
+    size_t expected = 0;
+    std::map<int, int> per_depth;
+    for (const auto& [node, d] : depth) {
+      if (node != 0) ++per_depth[d];
+    }
+    for (const auto& [d, count] : per_depth) {
+      (void)d;
+      expected += static_cast<size_t>(count) * static_cast<size_t>(count);
+    }
+    EXPECT_EQ(sg->size(), expected);
+    for (const Tuple& t : sg->tuples()) {
+      EXPECT_EQ(depth[static_cast<int>(t.value(0).AsInt())],
+                depth[static_cast<int>(t.value(1).AsInt())]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trees, SameGenerationTest,
+                         ::testing::Values(std::make_tuple(2, 2),
+                                           std::make_tuple(3, 2),
+                                           std::make_tuple(2, 3),
+                                           std::make_tuple(4, 2)));
+
+TEST(SameGeneration, CaptureRuleDoesNotFire) {
+  Database db;
+  ASSERT_TRUE(SetupSameGeneration(&db, workload::KaryTree(3, 2)).ok());
+  Result<std::string> plan = db.Explain(Constructed(Rel("Up"), "same_gen"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->find("capture rule"), std::string::npos);
+  EXPECT_NE(plan->find("semi-naive fixpoint"), std::string::npos);
+}
+
+TEST(SameGeneration, SymmetricAndReflexiveOnSiblings) {
+  Database db;
+  ASSERT_TRUE(SetupSameGeneration(&db, workload::KaryTree(2, 2)).ok());
+  Result<Relation> sg = db.EvalRange(Constructed(Rel("Up"), "same_gen"));
+  ASSERT_TRUE(sg.ok());
+  for (const Tuple& t : sg->tuples()) {
+    EXPECT_TRUE(sg->Contains(Tuple({t.value(1), t.value(0)})));
+    EXPECT_TRUE(sg->Contains(Tuple({t.value(0), t.value(0)})));
+  }
+}
+
+}  // namespace
+}  // namespace datacon

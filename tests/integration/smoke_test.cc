@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using build::Constructed;
+using build::Rel;
+
+TEST(Smoke, TransitiveClosureOfChain) {
+  for (bool capture : {false, true}) {
+    for (FixpointStrategy strategy :
+         {FixpointStrategy::kNaive, FixpointStrategy::kSemiNaive}) {
+      DatabaseOptions options;
+      options.use_capture_rules = capture;
+      options.eval.strategy = strategy;
+      Database db(options);
+      ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(5)).ok());
+
+      Result<Relation> closure =
+          db.EvalRange(Constructed(Rel("g_E"), "g_tc"));
+      ASSERT_TRUE(closure.ok()) << closure.status().ToString();
+      // Chain 0->1->2->3->4: closure has n(n-1)/2 = 10 pairs.
+      EXPECT_EQ(closure->size(), 10u)
+          << "capture=" << capture << " strategy=" << static_cast<int>(strategy);
+      EXPECT_TRUE(closure->Contains(Tuple({Value::Int(0), Value::Int(4)})));
+      EXPECT_FALSE(closure->Contains(Tuple({Value::Int(4), Value::Int(0)})));
+    }
+  }
+}
+
+TEST(Smoke, MutualRecursionCadScene) {
+  Database db;
+  ASSERT_TRUE(workload::SetupCadScene(&db, 10, 0, 0, 1).ok());
+  // The paper's worked example: a vase on a table in front of a chair —
+  // the vase is ahead of the chair.
+  auto part = [](const char* s) { return Value::String(s); };
+  ASSERT_TRUE(db.Insert("Ontop", Tuple({part("vase"), part("table")})).ok());
+  ASSERT_TRUE(db.Insert("Infront", Tuple({part("table"), part("chair")})).ok());
+
+  Result<Relation> above =
+      db.EvalRange(Constructed(Rel("Ontop"), "above", {Rel("Infront")}));
+  ASSERT_TRUE(above.ok()) << above.status().ToString();
+  EXPECT_TRUE(above->Contains(Tuple({part("vase"), part("table")})));
+  EXPECT_TRUE(above->Contains(Tuple({part("vase"), part("chair")})));
+
+  Result<Relation> ahead =
+      db.EvalRange(Constructed(Rel("Infront"), "ahead", {Rel("Ontop")}));
+  ASSERT_TRUE(ahead.ok()) << ahead.status().ToString();
+  EXPECT_TRUE(ahead->Contains(Tuple({part("table"), part("chair")})));
+}
+
+}  // namespace
+}  // namespace datacon

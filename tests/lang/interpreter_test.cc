@@ -1,0 +1,214 @@
+#include "lang/interpreter.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+constexpr const char* kCadSetup = R"(
+TYPE parttype = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+TYPE aheadrel = RELATION OF RECORD head, tail: parttype END;
+VAR Infront: infrontrel;
+VAR Ahead: aheadrel;
+
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN EACH r IN Rel: TRUE,
+      <f.front, b.tail> OF EACH f IN Rel,
+      EACH b IN Rel {ahead}: f.back = b.head
+END ahead;
+
+INSERT INTO Infront <"vase", "table">, <"table", "chair">, <"chair", "wall">;
+)";
+
+TEST(Interpreter, FullCadProgram) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("QUERY Infront {ahead};").ok());
+  ASSERT_EQ(interp.results().size(), 1u);
+  const Relation& ahead = interp.results()[0].relation;
+  // 3 base + (vase,chair),(vase,wall),(table,wall) = 6.
+  EXPECT_EQ(ahead.size(), 6u);
+  EXPECT_TRUE(ahead.Contains(
+      Tuple({Value::String("vase"), Value::String("wall")})));
+}
+
+TEST(Interpreter, SelectorQuery) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("QUERY Infront [hidden_by(\"table\")];").ok());
+  const Relation& hidden = interp.results()[0].relation;
+  EXPECT_EQ(hidden.size(), 1u);
+  EXPECT_TRUE(hidden.Contains(
+      Tuple({Value::String("table"), Value::String("chair")})));
+}
+
+TEST(Interpreter, SelectedThenConstructedRange) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  Status s = interp.Execute("QUERY Infront [hidden_by(\"table\")] {ahead};");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  // Closure of {(table,chair)} alone is itself.
+  EXPECT_EQ(interp.results()[0].relation.size(), 1u);
+}
+
+TEST(Interpreter, AssignmentStoresResult) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("Ahead := Infront {ahead};").ok());
+  Result<const Relation*> ahead = db.GetRelation("Ahead");
+  ASSERT_TRUE(ahead.ok());
+  EXPECT_EQ(ahead.value()->size(), 6u);
+}
+
+TEST(Interpreter, SelectorGuardedAssignmentRejectsViolations) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  // Every tuple of Infront would need front = "vase"; (table,chair) fails.
+  Status s = interp.Execute("Infront [hidden_by(\"vase\")] := Infront;");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Interpreter, SelectorGuardedAssignmentAcceptsValid) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  Status s = interp.Execute(
+      "Infront [hidden_by(\"vase\")] := Infront [hidden_by(\"vase\")];");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(db.GetRelation("Infront").value()->size(), 1u);
+}
+
+TEST(Interpreter, CalcExprQueryWithQuantifier) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  // Objects directly in front of something that is itself in front of
+  // something: vase and table.
+  ASSERT_TRUE(interp
+                  .Execute("QUERY {EACH r IN Infront: SOME s IN Infront "
+                           "(r.back = s.front)};")
+                  .ok());
+  EXPECT_EQ(interp.results()[0].relation.size(), 2u);
+}
+
+TEST(Interpreter, ExplainProducesReport) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("EXPLAIN Infront {ahead};").ok());
+  const std::string& text = interp.results()[0].text;
+  EXPECT_NE(text.find("Infront {ahead}"), std::string::npos);
+  EXPECT_NE(text.find("capture rule"), std::string::npos);
+}
+
+TEST(Interpreter, SymbolsPersistAcrossExecuteCalls) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute("TYPE t = RELATION OF RECORD x: INTEGER END;")
+                  .ok());
+  ASSERT_TRUE(interp.Execute("VAR R: t;").ok());
+  ASSERT_TRUE(interp.Execute("INSERT INTO R <1>, <2>;").ok());
+  ASSERT_TRUE(interp.Execute("QUERY R;").ok());
+  EXPECT_EQ(interp.results()[0].relation.size(), 2u);
+}
+
+TEST(Interpreter, ScalarAliasPersists) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute("TYPE name = STRING;").ok());
+  ASSERT_TRUE(
+      interp.Execute("TYPE t = RELATION OF RECORD n: name END;").ok());
+  ASSERT_TRUE(interp.Execute("VAR R: t; INSERT INTO R <\"x\">;").ok());
+}
+
+TEST(Interpreter, MutualRecursionViaAdjacentDeclarations) {
+  Database db;
+  Interpreter interp(&db);
+  Status s = interp.Execute(R"(
+TYPE infrontrel = RELATION OF RECORD front, back: STRING END;
+TYPE ontoprel = RELATION OF RECORD top, base: STRING END;
+TYPE aheadrel = RELATION OF RECORD head, tail: STRING END;
+TYPE aboverel = RELATION OF RECORD high, low: STRING END;
+VAR Infront: infrontrel;
+VAR Ontop: ontoprel;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (OT: ontoprel): aheadrel;
+BEGIN EACH r IN Rel: TRUE,
+      <r.front, ah.tail> OF EACH r IN Rel,
+        EACH ah IN Rel {ahead(OT)}: r.back = ah.head,
+      <r.front, ab.low> OF EACH r IN Rel,
+        EACH ab IN OT {above(Rel)}: r.back = ab.high
+END ahead;
+
+CONSTRUCTOR above FOR Rel: ontoprel (IF: infrontrel): aboverel;
+BEGIN EACH r IN Rel: TRUE,
+      <r.top, ab.low> OF EACH r IN Rel,
+        EACH ab IN Rel {above(IF)}: r.base = ab.high,
+      <r.top, ah.tail> OF EACH r IN Rel,
+        EACH ah IN IF {ahead(Rel)}: r.base = ah.head
+END above;
+
+INSERT INTO Ontop <"vase", "table">;
+INSERT INTO Infront <"table", "chair">;
+QUERY Ontop {above(Infront)};
+)");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const Relation& above = interp.results()[0].relation;
+  EXPECT_TRUE(above.Contains(
+      Tuple({Value::String("vase"), Value::String("chair")})));
+}
+
+TEST(Interpreter, ErrorsSurfaceFromDefinitions) {
+  Database db;
+  Interpreter interp(&db);
+  // Unknown type in VAR.
+  EXPECT_EQ(interp.Execute("VAR R: nosuchtype;").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Interpreter, PositivityViolationSurfaceFromScript) {
+  Database db;
+  Interpreter interp(&db);
+  Status s = interp.Execute(R"(
+TYPE cardrel = RELATION OF RECORD number: INTEGER END;
+VAR Base: cardrel;
+CONSTRUCTOR strange FOR Baserel: cardrel (): cardrel;
+BEGIN EACH r IN Baserel:
+  NOT SOME s IN Baserel {strange} (r.number = s.number + 1)
+END strange;
+)");
+  EXPECT_EQ(s.code(), StatusCode::kPositivityViolation);
+}
+
+TEST(Interpreter, InsertKeyViolation) {
+  Database db;
+  Interpreter interp(&db);
+  Status s = interp.Execute(R"(
+TYPE objectrel = RELATION KEY <part> OF RECORD part: STRING; w: INTEGER END;
+VAR Objects: objectrel;
+INSERT INTO Objects <"vase", 1>, <"vase", 2>;
+)");
+  EXPECT_EQ(s.code(), StatusCode::kKeyViolation);
+}
+
+TEST(Interpreter, ClearResults) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("QUERY Infront;").ok());
+  EXPECT_EQ(interp.results().size(), 1u);
+  interp.ClearResults();
+  EXPECT_TRUE(interp.results().empty());
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,137 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+std::vector<Token> MustLex(std::string_view source) {
+  Result<std::vector<Token>> tokens = Lex(source);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  std::vector<Token> tokens = MustLex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  std::vector<Token> tokens = MustLex("CONSTRUCTOR ahead Infront r_1");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("CONSTRUCTOR"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "ahead");
+  EXPECT_EQ(tokens[2].text, "Infront");
+  EXPECT_EQ(tokens[3].text, "r_1");
+}
+
+TEST(Lexer, KeywordsAreCaseSensitive) {
+  std::vector<Token> tokens = MustLex("each EACH");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_TRUE(tokens[1].IsKeyword("EACH"));
+}
+
+TEST(Lexer, IntegerLiterals) {
+  std::vector<Token> tokens = MustLex("0 42 100");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 100);
+}
+
+TEST(Lexer, StringLiterals) {
+  std::vector<Token> tokens = MustLex("\"table\" \"\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "table");
+  EXPECT_EQ(tokens[1].text, "");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_EQ(Lex("\"abc").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("\"a\nb\"").status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, Operators) {
+  std::vector<Token> tokens = MustLex("< <= > >= = # := : . + - * ( ) [ ] { } , ;");
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kLess,     TokenKind::kLessEq,   TokenKind::kGreater,
+      TokenKind::kGreaterEq, TokenKind::kEq,      TokenKind::kHash,
+      TokenKind::kAssign,   TokenKind::kColon,    TokenKind::kDot,
+      TokenKind::kPlus,     TokenKind::kMinus,    TokenKind::kStar,
+      TokenKind::kLParen,   TokenKind::kRParen,   TokenKind::kLBracket,
+      TokenKind::kRBracket, TokenKind::kLBrace,   TokenKind::kRBrace,
+      TokenKind::kComma,    TokenKind::kSemicolon, TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  std::vector<Token> tokens = MustLex("a (* comment *) b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, NestedComments) {
+  std::vector<Token> tokens = MustLex("x (* outer (* inner *) still *) y");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "y");
+}
+
+TEST(Lexer, UnterminatedCommentFails) {
+  EXPECT_EQ(Lex("a (* no end").status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, ParenNotConfusedWithComment) {
+  std::vector<Token> tokens = MustLex("(a)");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLParen);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  std::vector<Token> tokens = MustLex("a\n  bb");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, StrayCharacterFails) {
+  EXPECT_EQ(Lex("a ? b").status().code(), StatusCode::kParseError);
+  EXPECT_NE(Lex("a ? b").status().message().find("line 1"),
+            std::string::npos);
+}
+
+TEST(Lexer, PaperConstructorSnippet) {
+  // The paper's `ahead` body lexes cleanly.
+  std::vector<Token> tokens = MustLex(
+      "BEGIN EACH r IN Rel: TRUE, <f.front, b.tail> OF EACH f IN Rel, "
+      "EACH b IN Rel {ahead}: f.back = b.head END ahead");
+  EXPECT_GT(tokens.size(), 30u);
+  EXPECT_TRUE(tokens[0].IsKeyword("BEGIN"));
+}
+
+TEST(Lexer, OverflowingIntegerLiteralRejected) {
+  EXPECT_EQ(Lex("99999999999999999999999").status().code(),
+            StatusCode::kParseError);
+  // INT64_MAX still lexes.
+  std::vector<Token> tokens = MustLex("9223372036854775807");
+  EXPECT_EQ(tokens[0].int_value, INT64_MAX);
+}
+
+TEST(IsKeyword, CoversLanguageSurface) {
+  for (const char* kw :
+       {"TYPE", "VAR", "RELATION", "OF", "RECORD", "END", "SELECTOR",
+        "CONSTRUCTOR", "FOR", "BEGIN", "EACH", "IN", "SOME", "ALL", "AND",
+        "OR", "NOT", "TRUE", "FALSE", "QUERY", "INSERT", "INTO", "EXPLAIN",
+        "DIV", "MOD", "KEY"}) {
+    EXPECT_TRUE(IsKeyword(kw)) << kw;
+  }
+  EXPECT_FALSE(IsKeyword("ahead"));
+  EXPECT_FALSE(IsKeyword("true"));
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,297 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+
+namespace datacon {
+namespace {
+
+Script MustParse(std::string_view source, const SymbolSeed* seed = nullptr) {
+  Result<Script> script = ParseScript(source, seed);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  return script.ok() ? std::move(script).value() : Script{};
+}
+
+SymbolSeed CadSeed() {
+  SymbolSeed seed;
+  seed.scalar_types["parttype"] = ValueType::kString;
+  seed.relation_types = {"infrontrel", "ontoprel", "aheadrel", "aboverel"};
+  seed.relation_names = {"Infront", "Ontop"};
+  return seed;
+}
+
+TEST(Parser, RelationTypeDecl) {
+  Script s = MustParse(
+      "TYPE infrontrel = RELATION OF RECORD front, back: STRING END;");
+  ASSERT_EQ(s.stmts.size(), 1u);
+  const auto& decl = std::get<TypeDeclStmt>(s.stmts[0]);
+  EXPECT_TRUE(decl.is_relation);
+  EXPECT_EQ(decl.schema.arity(), 2);
+  EXPECT_EQ(decl.schema.field(0).name, "front");
+  EXPECT_EQ(decl.schema.field(1).type, ValueType::kString);
+  EXPECT_TRUE(decl.schema.declared_key().empty());
+}
+
+TEST(Parser, RelationTypeWithKey) {
+  Script s = MustParse(
+      "TYPE objectrel = RELATION KEY <part> OF RECORD part: STRING; "
+      "weight: INTEGER END;");
+  const auto& decl = std::get<TypeDeclStmt>(s.stmts[0]);
+  EXPECT_EQ(decl.schema.declared_key(), (std::vector<int>{0}));
+}
+
+TEST(Parser, ScalarAlias) {
+  Script s = MustParse("TYPE parttype = STRING; TYPE partid = CARDINAL;");
+  EXPECT_EQ(std::get<TypeDeclStmt>(s.stmts[0]).scalar, ValueType::kString);
+  EXPECT_EQ(std::get<TypeDeclStmt>(s.stmts[1]).scalar, ValueType::kInt);
+}
+
+TEST(Parser, AliasUsableInLaterDecl) {
+  Script s = MustParse(
+      "TYPE parttype = STRING;"
+      "TYPE infrontrel = RELATION OF RECORD front, back: parttype END;");
+  const auto& decl = std::get<TypeDeclStmt>(s.stmts[1]);
+  EXPECT_EQ(decl.schema.field(0).type, ValueType::kString);
+}
+
+TEST(Parser, VarDecl) {
+  Script s = MustParse(
+      "TYPE t = RELATION OF RECORD x: INTEGER END; VAR R: t;");
+  const auto& decl = std::get<VarDeclStmt>(s.stmts[1]);
+  EXPECT_EQ(decl.name, "R");
+  EXPECT_EQ(decl.type_name, "t");
+}
+
+TEST(Parser, SelectorDecl) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;\n"
+      "BEGIN EACH r IN Rel: r.front = Obj END hidden_by;",
+      &seed);
+  const auto& decl = *std::get<SelectorStmt>(s.stmts[0]).decl;
+  EXPECT_EQ(decl.name(), "hidden_by");
+  EXPECT_EQ(decl.base().name, "Rel");
+  EXPECT_EQ(decl.base().type_name, "infrontrel");
+  ASSERT_EQ(decl.params().size(), 1u);
+  EXPECT_EQ(decl.params()[0].name, "Obj");
+  EXPECT_EQ(decl.params()[0].type, ValueType::kString);
+  EXPECT_EQ(ToString(*decl.pred()), "r.front = Obj");
+}
+
+TEST(Parser, SelectorEndNameMustMatch) {
+  SymbolSeed seed = CadSeed();
+  EXPECT_EQ(ParseScript("SELECTOR s FOR Rel: infrontrel;\n"
+                        "BEGIN EACH r IN Rel: TRUE END wrong;",
+                        &seed)
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(Parser, ConstructorAheadVerbatim) {
+  // Section 3.1's simple `ahead`, almost verbatim.
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.front, b.tail> OF EACH f IN Rel,\n"
+      "      EACH b IN Rel {ahead}: f.back = b.head\n"
+      "END ahead;",
+      &seed);
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[0]).decl;
+  EXPECT_EQ(decl.name(), "ahead");
+  EXPECT_EQ(decl.result_type_name(), "aheadrel");
+  ASSERT_EQ(decl.body()->branches().size(), 2u);
+  EXPECT_FALSE(decl.body()->branches()[0]->targets().has_value());
+  EXPECT_EQ(ToString(*decl.body()->branches()[1]),
+            "<f.front, b.tail> OF EACH f IN Rel, EACH b IN Rel {ahead}: "
+            "f.back = b.head");
+}
+
+TEST(Parser, MutuallyRecursiveConstructorsWithParams) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "CONSTRUCTOR above FOR Rel: ontoprel (Infront_p: infrontrel): aboverel;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "  <r.top, ab.low> OF EACH r IN Rel,\n"
+      "    EACH ab IN Rel {above(Infront_p)}: r.base = ab.high,\n"
+      "  <r.top, ah.tail> OF EACH r IN Rel,\n"
+      "    EACH ah IN Infront_p {ahead(Rel)}: r.base = ah.head\n"
+      "END above;",
+      &seed);
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[0]).decl;
+  ASSERT_EQ(decl.rel_params().size(), 1u);
+  EXPECT_EQ(decl.rel_params()[0].name, "Infront_p");
+  const Branch& third = *decl.body()->branches()[2];
+  EXPECT_EQ(ToString(*third.bindings()[1].range), "Infront_p {ahead(Rel)}");
+}
+
+TEST(Parser, ConstructorScalarParam) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "CONSTRUCTOR near FOR Rel: infrontrel (Obj: parttype): aheadrel;\n"
+      "BEGIN EACH r IN Rel: r.front = Obj END near;",
+      &seed);
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[0]).decl;
+  EXPECT_TRUE(decl.rel_params().empty());
+  ASSERT_EQ(decl.scalar_params().size(), 1u);
+  EXPECT_EQ(decl.scalar_params()[0].type, ValueType::kString);
+}
+
+TEST(Parser, NonsenseConstructorParses) {
+  // Section 3.3's `nonsense` — syntactically fine, semantically rejected
+  // later by the positivity check.
+  SymbolSeed seed;
+  seed.relation_types = {"anytype", "anyothertype"};
+  Script s = MustParse(
+      "CONSTRUCTOR nonsense FOR Rel: anytype (): anyothertype;\n"
+      "BEGIN EACH r IN Rel: NOT (<r.x> IN Rel {nonsense}) END nonsense;",
+      &seed);
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[0]).decl;
+  EXPECT_EQ(ToString(*decl.body()->branches()[0]->pred()),
+            "NOT (<r.x> IN Rel {nonsense})");
+}
+
+TEST(Parser, StrangeConstructorParses) {
+  // Section 3.3's `strange`, with arithmetic in the quantifier body.
+  SymbolSeed seed;
+  seed.relation_types = {"cardrel"};
+  Script s = MustParse(
+      "CONSTRUCTOR strange FOR Baserel: cardrel (): cardrel;\n"
+      "BEGIN EACH r IN Baserel:\n"
+      "  NOT SOME s IN Baserel {strange} (r.number = s.number + 1)\n"
+      "END strange;",
+      &seed);
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[0]).decl;
+  EXPECT_EQ(ToString(*decl.body()->branches()[0]->pred()),
+            "NOT (SOME s IN Baserel {strange} (r.number = (s.number + 1)))");
+}
+
+TEST(Parser, InsertStatement) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "INSERT INTO Infront <\"vase\", \"table\">, <\"table\", \"chair\">;",
+      &seed);
+  const auto& stmt = std::get<InsertStmt>(s.stmts[0]);
+  EXPECT_EQ(stmt.relation, "Infront");
+  ASSERT_EQ(stmt.tuples.size(), 2u);
+  EXPECT_EQ(stmt.tuples[0].value(0), Value::String("vase"));
+}
+
+TEST(Parser, InsertNegativeInteger) {
+  SymbolSeed seed;
+  seed.relation_names = {"N"};
+  Script s = MustParse("INSERT INTO N <-5, 3>;", &seed);
+  EXPECT_EQ(std::get<InsertStmt>(s.stmts[0]).tuples[0].value(0),
+            Value::Int(-5));
+}
+
+TEST(Parser, QueryRange) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse("QUERY Infront [hidden_by(\"table\")] {ahead};", &seed);
+  const auto& stmt = std::get<QueryStmt>(s.stmts[0]);
+  ASSERT_NE(stmt.value.range, nullptr);
+  EXPECT_EQ(ToString(*stmt.value.range),
+            "Infront [hidden_by(\"table\")] {ahead}");
+}
+
+TEST(Parser, QueryCalcExpr) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "QUERY {EACH r IN Infront: TRUE, <f.front, b.back> OF "
+      "EACH f IN Infront, EACH b IN Infront: f.back = b.front};",
+      &seed);
+  const auto& stmt = std::get<QueryStmt>(s.stmts[0]);
+  ASSERT_NE(stmt.value.expr, nullptr);
+  EXPECT_EQ(stmt.value.expr->branches().size(), 2u);
+}
+
+TEST(Parser, AssignStatement) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse("Ontop := Infront {ahead};", &seed);
+  const auto& stmt = std::get<AssignStmt>(s.stmts[0]);
+  EXPECT_EQ(stmt.relation, "Ontop");
+  EXPECT_FALSE(stmt.selector.has_value());
+}
+
+TEST(Parser, AssignThroughSelector) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse("Infront [hidden_by(\"x\")] := Infront;", &seed);
+  const auto& stmt = std::get<AssignStmt>(s.stmts[0]);
+  ASSERT_TRUE(stmt.selector.has_value());
+  EXPECT_EQ(*stmt.selector, "hidden_by");
+  ASSERT_EQ(stmt.selector_args.size(), 1u);
+  EXPECT_EQ(stmt.selector_args[0], Value::String("x"));
+}
+
+TEST(Parser, ExplainStatement) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse("EXPLAIN Infront {ahead};", &seed);
+  EXPECT_EQ(ToString(*std::get<ExplainStmt>(s.stmts[0]).range),
+            "Infront {ahead}");
+}
+
+TEST(Parser, QuantifierPredicates) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse(
+      "QUERY {EACH r IN Infront: SOME o IN Ontop (r.front = o.top) AND "
+      "NOT ALL o2 IN Ontop (o2.base # r.back)};",
+      &seed);
+  const Branch& b = *std::get<QueryStmt>(s.stmts[0]).value.expr->branches()[0];
+  EXPECT_EQ(ToString(*b.pred()),
+            "SOME o IN Ontop (r.front = o.top) AND NOT (ALL o2 IN Ontop "
+            "(o2.base # r.back))");
+}
+
+TEST(Parser, ParenthesizedPredicatesAndTerms) {
+  SymbolSeed seed;
+  seed.relation_names = {"N"};
+  Script s = MustParse(
+      "QUERY {EACH r IN N: (r.x = 1 OR r.x = 2) AND (r.y + 1) * 2 = 6};",
+      &seed);
+  const Branch& b = *std::get<QueryStmt>(s.stmts[0]).value.expr->branches()[0];
+  EXPECT_EQ(ToString(*b.pred()),
+            "(r.x = 1 OR r.x = 2) AND ((r.y + 1) * 2) = 6");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  SymbolSeed seed;
+  seed.relation_names = {"N"};
+  Script s = MustParse("QUERY {EACH r IN N: r.x + 2 * 3 = 7};", &seed);
+  const Branch& b = *std::get<QueryStmt>(s.stmts[0]).value.expr->branches()[0];
+  EXPECT_EQ(ToString(*b.pred()), "(r.x + (2 * 3)) = 7");
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  Status s = ParseScript("TYPE = RELATION;").status();
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(Parser, MissingSemicolonFails) {
+  EXPECT_EQ(ParseScript("TYPE t = STRING").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(Parser, UnknownStatementFails) {
+  EXPECT_EQ(ParseScript("FROBNICATE x;").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(Parser, SymbolsAccumulateWithinOneSource) {
+  // The relation variable declared mid-script is visible to the later
+  // constructor argument classification.
+  Script s = MustParse(
+      "TYPE t = RELATION OF RECORD a, b: INTEGER END;"
+      "VAR R: t;"
+      "CONSTRUCTOR c FOR Rel: t (P: t): t;"
+      "BEGIN EACH r IN Rel: TRUE, EACH x IN P {c(R)}: TRUE END c;");
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[2]).decl;
+  const Branch& second = *decl.body()->branches()[1];
+  ASSERT_EQ(second.bindings()[0].range->apps().size(), 1u);
+  EXPECT_EQ(second.bindings()[0].range->apps()[0].range_args.size(), 1u);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,190 @@
+#include "prolog/translate.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  HornProgram Translate(Database* db, const RangePtr& range) {
+    ApplicationGraph graph(&db->catalog());
+    Result<int> root = graph.AddRootRange(*range);
+    EXPECT_TRUE(root.ok()) << root.status().ToString();
+    Result<HornProgram> program =
+        TranslateApplicationGraph(graph, db->catalog());
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return program.ok() ? std::move(program).value() : HornProgram{};
+  }
+};
+
+TEST_F(TranslateTest, ClosureBecomesTwoClauses) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(3)).ok());
+  HornProgram program = Translate(&db, Constructed(Rel("g_E"), "g_tc"));
+  ASSERT_EQ(program.clauses.size(), 2u);
+  // Base clause: tc(X, Y) :- E(X, Y).
+  const Clause& base = program.clauses[0];
+  EXPECT_EQ(base.head.predicate, "g_E {g_tc}");
+  ASSERT_EQ(base.body.size(), 1u);
+  EXPECT_EQ(base.body[0].predicate, "g_E");
+  // The head variables are exactly the body variables.
+  EXPECT_EQ(base.head.args[0].var, base.body[0].args[0].var);
+  // Step clause: tc(X, Z) :- E(X, Y), tc(Y, Z) — the join equality was
+  // compiled into a shared variable.
+  const Clause& step = program.clauses[1];
+  ASSERT_EQ(step.body.size(), 2u);
+  EXPECT_EQ(step.body[0].predicate, "g_E");
+  EXPECT_EQ(step.body[1].predicate, "g_E {g_tc}");
+  EXPECT_EQ(step.body[0].args[1].var, step.body[1].args[0].var);
+  EXPECT_TRUE(step.builtins.empty());
+}
+
+TEST_F(TranslateTest, LiteralEqualityBecomesConstant) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  auto body = Union({IdentityBranch(
+      "r", Rel("Rel"), Eq(FieldRef("r", "src"), Int(7)))});
+  ASSERT_TRUE(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+                     "sel7", FormalRelation{"Rel", "edge"},
+                     std::vector<FormalRelation>{},
+                     std::vector<FormalScalar>{}, "edge", body))
+                  .ok());
+  HornProgram program = Translate(&db, Constructed(Rel("E"), "sel7"));
+  ASSERT_EQ(program.clauses.size(), 1u);
+  const Clause& clause = program.clauses[0];
+  EXPECT_EQ(clause.body[0].args[0].kind, PrologTerm::Kind::kConst);
+  EXPECT_EQ(clause.body[0].args[0].constant, Value::Int(7));
+  EXPECT_EQ(clause.head.args[0].kind, PrologTerm::Kind::kConst);
+}
+
+TEST_F(TranslateTest, NonEqualityBecomesBuiltin) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  auto body = Union({IdentityBranch(
+      "r", Rel("Rel"), Lt(FieldRef("r", "src"), FieldRef("r", "dst")))});
+  ASSERT_TRUE(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+                     "up", FormalRelation{"Rel", "edge"},
+                     std::vector<FormalRelation>{},
+                     std::vector<FormalScalar>{}, "edge", body))
+                  .ok());
+  HornProgram program = Translate(&db, Constructed(Rel("E"), "up"));
+  ASSERT_EQ(program.clauses.size(), 1u);
+  ASSERT_EQ(program.clauses[0].builtins.size(), 1u);
+  EXPECT_EQ(program.clauses[0].builtins[0].op, CompareOp::kLt);
+}
+
+TEST_F(TranslateTest, ExistentialBecomesBodyAtom) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  auto body = Union({IdentityBranch(
+      "r", Rel("Rel"),
+      Some("s", Rel("Rel"), Eq(FieldRef("r", "dst"), FieldRef("s", "src"))))});
+  ASSERT_TRUE(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+                     "haslink", FormalRelation{"Rel", "edge"},
+                     std::vector<FormalRelation>{},
+                     std::vector<FormalScalar>{}, "edge", body))
+                  .ok());
+  HornProgram program = Translate(&db, Constructed(Rel("E"), "haslink"));
+  ASSERT_EQ(program.clauses.size(), 1u);
+  EXPECT_EQ(program.clauses[0].body.size(), 2u);
+}
+
+TEST_F(TranslateTest, ContradictoryConstantsDropClause) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  auto body = Union(
+      {IdentityBranch("r", Rel("Rel"),
+                      And({Eq(FieldRef("r", "src"), Int(1)),
+                           Eq(FieldRef("r", "src"), Int(2))})),
+       IdentityBranch("q", Rel("Rel"), True())});
+  ASSERT_TRUE(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+                     "contradict", FormalRelation{"Rel", "edge"},
+                     std::vector<FormalRelation>{},
+                     std::vector<FormalScalar>{}, "edge", body))
+                  .ok());
+  HornProgram program = Translate(&db, Constructed(Rel("E"), "contradict"));
+  // The unsatisfiable branch vanishes; only the identity clause remains.
+  EXPECT_EQ(program.clauses.size(), 1u);
+}
+
+TEST_F(TranslateTest, NegationIsOutsideTheFragment) {
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  auto body = Union({IdentityBranch(
+      "r", Rel("Rel"), Not(Eq(FieldRef("r", "src"), Int(1))))});
+  ASSERT_TRUE(db.DefineConstructor(std::make_shared<ConstructorDecl>(
+                     "neg", FormalRelation{"Rel", "edge"},
+                     std::vector<FormalRelation>{},
+                     std::vector<FormalScalar>{}, "edge", body))
+                  .ok());
+  ApplicationGraph graph(&db.catalog());
+  ASSERT_TRUE(graph.AddRootRange(*Constructed(Rel("E"), "neg")).ok());
+  EXPECT_EQ(TranslateApplicationGraph(graph, db.catalog()).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST_F(TranslateTest, MutualRecursionTranslates) {
+  Database db;
+  ASSERT_TRUE(workload::SetupCadScene(&db, 4, 3, 3, 11).ok());
+  ApplicationGraph graph(&db.catalog());
+  ASSERT_TRUE(graph.AddRootRange(
+                       *Constructed(Rel("Infront"), "ahead", {Rel("Ontop")}))
+                  .ok());
+  Result<HornProgram> program =
+      TranslateApplicationGraph(graph, db.catalog());
+  ASSERT_TRUE(program.ok());
+  // Two nodes, three branches each.
+  EXPECT_EQ(program->clauses.size(), 6u);
+}
+
+TEST(HornPrinting, ClauseToString) {
+  Clause c;
+  c.head.predicate = "tc";
+  c.head.args = {PrologTerm::MakeVar("X"), PrologTerm::MakeVar("Z")};
+  Atom e1{"edge", {PrologTerm::MakeVar("X"), PrologTerm::MakeVar("Y")}};
+  Atom e2{"tc", {PrologTerm::MakeVar("Y"), PrologTerm::MakeVar("Z")}};
+  c.body = {e1, e2};
+  EXPECT_EQ(c.ToString(), "tc(X, Z) :- edge(X, Y), tc(Y, Z).");
+
+  Clause fact;
+  fact.head.predicate = "edge";
+  fact.head.args = {PrologTerm::MakeConst(Value::Int(1)),
+                    PrologTerm::MakeConst(Value::Int(2))};
+  EXPECT_EQ(fact.ToString(), "edge(1, 2).");
+
+  Clause guarded = c;
+  guarded.builtins = {
+      BuiltinComparison{CompareOp::kLt, PrologTerm::MakeVar("X"),
+                        PrologTerm::MakeConst(Value::Int(9))}};
+  EXPECT_EQ(guarded.ToString(),
+            "tc(X, Z) :- edge(X, Y), tc(Y, Z), X < 9.");
+}
+
+}  // namespace
+}  // namespace datacon

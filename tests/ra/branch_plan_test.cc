@@ -1,0 +1,119 @@
+#include "ra/branch_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+Schema EdgeSchema() {
+  return Schema({{"src", ValueType::kInt}, {"dst", ValueType::kInt}});
+}
+
+TEST(BranchPlan, EquiJoinBecomesProbe) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = MakeBranch(
+      {FieldRef("f", "src"), FieldRef("b", "dst")},
+      {Each("f", Rel("E")), Each("b", Rel("E"))},
+      Eq(FieldRef("f", "dst"), FieldRef("b", "src")));
+  Result<std::vector<BranchLevelPlan>> plan =
+      PlanBranchLevels(*branch, {{"f", &schema}, {"b", &schema}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value()[0].keys.empty());
+  EXPECT_TRUE(plan.value()[0].filters.empty());
+  ASSERT_EQ(plan.value()[1].keys.size(), 1u);
+  EXPECT_EQ(plan.value()[1].keys[0].inner_field_index, 0);  // b.src
+  EXPECT_TRUE(plan.value()[1].filters.empty());
+}
+
+TEST(BranchPlan, HashJoinsDisabledBecomeFilters) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = MakeBranch(
+      {FieldRef("f", "src"), FieldRef("b", "dst")},
+      {Each("f", Rel("E")), Each("b", Rel("E"))},
+      Eq(FieldRef("f", "dst"), FieldRef("b", "src")));
+  BranchExecOptions options;
+  options.use_hash_joins = false;
+  Result<std::vector<BranchLevelPlan>> plan =
+      PlanBranchLevels(*branch, {{"f", &schema}, {"b", &schema}}, options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value()[1].keys.empty());
+  EXPECT_EQ(plan.value()[1].filters.size(), 1u);
+}
+
+TEST(BranchPlan, LevelZeroEqualityIsAFilter) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch =
+      IdentityBranch("r", Rel("E"), Eq(FieldRef("r", "src"), Int(3)));
+  Result<std::vector<BranchLevelPlan>> plan =
+      PlanBranchLevels(*branch, {{"r", &schema}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value()[0].keys.empty());
+  EXPECT_EQ(plan.value()[0].filters.size(), 1u);
+}
+
+TEST(BranchPlan, SameVariableEqualityIsAFilterNotAKey) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = MakeBranch(
+      {FieldRef("f", "src"), FieldRef("b", "dst")},
+      {Each("f", Rel("E")), Each("b", Rel("E"))},
+      Eq(FieldRef("b", "src"), FieldRef("b", "dst")));
+  Result<std::vector<BranchLevelPlan>> plan =
+      PlanBranchLevels(*branch, {{"f", &schema}, {"b", &schema}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan.value()[1].keys.empty());
+  EXPECT_EQ(plan.value()[1].filters.size(), 1u);
+}
+
+TEST(BranchPlan, ConjunctAssignedToEarliestReadyLevel) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = MakeBranch(
+      {FieldRef("a", "src"), FieldRef("c", "dst")},
+      {Each("a", Rel("E")), Each("b", Rel("E")), Each("c", Rel("E"))},
+      And({Eq(FieldRef("a", "src"), Int(1)),                      // level 0
+           Eq(FieldRef("a", "dst"), FieldRef("b", "src")),        // key at 1
+           Lt(FieldRef("b", "dst"), FieldRef("c", "src"))}));     // filter at 2
+  Result<std::vector<BranchLevelPlan>> plan = PlanBranchLevels(
+      *branch, {{"a", &schema}, {"b", &schema}, {"c", &schema}});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value()[0].filters.size(), 1u);
+  EXPECT_EQ(plan.value()[1].keys.size(), 1u);
+  EXPECT_EQ(plan.value()[2].filters.size(), 1u);
+}
+
+TEST(BranchPlan, UnboundVariableIsInternalError) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = IdentityBranch(
+      "r", Rel("E"), Eq(FieldRef("zz", "src"), Int(1)));
+  EXPECT_EQ(PlanBranchLevels(*branch, {{"r", &schema}}).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(BranchPlan, ExplainRendersPipeline) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = MakeBranch(
+      {FieldRef("f", "src"), FieldRef("b", "dst")},
+      {Each("f", Rel("E")), Each("b", Constructed(Rel("E"), "tc"))},
+      And({Eq(FieldRef("f", "dst"), FieldRef("b", "src")),
+           Ne(FieldRef("f", "src"), FieldRef("b", "dst"))}));
+  Result<std::string> text =
+      ExplainBranchPlan(*branch, {{"f", &schema}, {"b", &schema}});
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text,
+            "scan(f IN E) -> probe(b IN E {tc} on src = f.dst) -> "
+            "filter(f.src # b.dst) -> project<f.src, b.dst>");
+}
+
+TEST(BranchPlan, ExplainIdentityBranch) {
+  Schema schema = EdgeSchema();
+  BranchPtr branch = IdentityBranch("r", Rel("E"), True());
+  Result<std::string> text = ExplainBranchPlan(*branch, {{"r", &schema}});
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "scan(r IN E) -> project<r>");
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,118 @@
+#include "storage/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace datacon {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"name", ValueType::kString},
+                 {"count", ValueType::kInt},
+                 {"flag", ValueType::kBool}});
+}
+
+Relation SampleRelation() {
+  Relation r(MixedSchema());
+  EXPECT_TRUE(r.Insert(Tuple({Value::String("vase"), Value::Int(3),
+                              Value::Bool(true)}))
+                  .ok());
+  EXPECT_TRUE(r.Insert(Tuple({Value::String("ta,ble"), Value::Int(-7),
+                              Value::Bool(false)}))
+                  .ok());
+  EXPECT_TRUE(r.Insert(Tuple({Value::String("say \"hi\""), Value::Int(0),
+                              Value::Bool(true)}))
+                  .ok());
+  return r;
+}
+
+TEST(Csv, WriteProducesHeaderAndSortedRows) {
+  Relation r = SampleRelation();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(r, &out).ok());
+  std::string text = out.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')), "name,count,flag");
+  EXPECT_NE(text.find("\"ta,ble\",-7,FALSE"), std::string::npos);
+  EXPECT_NE(text.find("\"say \"\"hi\"\"\",0,TRUE"), std::string::npos);
+}
+
+TEST(Csv, RoundTrip) {
+  Relation r = SampleRelation();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(r, &out).ok());
+  std::istringstream in(out.str());
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->SameTuples(r));
+}
+
+TEST(Csv, EmptyRelationRoundTrip) {
+  Relation r(MixedSchema());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(r, &out).ok());
+  std::istringstream in(out.str());
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(Csv, HeaderMismatchRejected) {
+  std::istringstream in("wrong,count,flag\n");
+  EXPECT_EQ(ReadCsv(&in, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+  std::istringstream short_header("name,count\n");
+  EXPECT_EQ(ReadCsv(&short_header, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(Csv, MalformedCellsRejected) {
+  std::istringstream bad_int("name,count,flag\n\"x\",abc,TRUE\n");
+  EXPECT_EQ(ReadCsv(&bad_int, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+  std::istringstream bad_bool("name,count,flag\n\"x\",1,MAYBE\n");
+  EXPECT_EQ(ReadCsv(&bad_bool, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+  std::istringstream bad_arity("name,count,flag\n\"x\",1\n");
+  EXPECT_EQ(ReadCsv(&bad_arity, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+  std::istringstream bad_quote("name,count,flag\n\"x,1,TRUE\n");
+  EXPECT_EQ(ReadCsv(&bad_quote, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(Csv, MissingHeaderRejected) {
+  std::istringstream in("");
+  EXPECT_EQ(ReadCsv(&in, MixedSchema()).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(Csv, KeyConstraintAppliesOnLoad) {
+  Schema keyed({{"name", ValueType::kString}, {"count", ValueType::kInt}},
+               {0});
+  std::istringstream in("name,count\n\"a\",1\n\"a\",2\n");
+  EXPECT_EQ(ReadCsv(&in, keyed).status().code(), StatusCode::kKeyViolation);
+}
+
+TEST(Csv, BlankLinesSkipped) {
+  std::istringstream in("name,count,flag\n\n\"a\",1,TRUE\n\n");
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(Csv, FileRoundTrip) {
+  Relation r = SampleRelation();
+  const std::string path = ::testing::TempDir() + "/datacon_csv_test.csv";
+  ASSERT_TRUE(SaveCsvFile(r, path).ok());
+  Result<Relation> loaded = LoadCsvFile(path, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->SameTuples(r));
+  EXPECT_EQ(LoadCsvFile("/nonexistent/path.csv", MixedSchema())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,63 @@
+#include "storage/index.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+Relation EdgeRelation(std::initializer_list<std::pair<int, int>> edges) {
+  Relation r(Schema({{"src", ValueType::kInt}, {"dst", ValueType::kInt}}));
+  for (const auto& [a, b] : edges) {
+    EXPECT_TRUE(r.Insert(Tuple({Value::Int(a), Value::Int(b)})).ok());
+  }
+  return r;
+}
+
+TEST(HashIndex, ProbeSingleColumn) {
+  Relation r = EdgeRelation({{1, 2}, {1, 3}, {2, 3}});
+  HashIndex index(r, {0});
+  EXPECT_EQ(index.key_count(), 2u);
+  EXPECT_EQ(index.Probe(Tuple({Value::Int(1)})).size(), 2u);
+  EXPECT_EQ(index.Probe(Tuple({Value::Int(2)})).size(), 1u);
+  EXPECT_TRUE(index.Probe(Tuple({Value::Int(9)})).empty());
+}
+
+TEST(HashIndex, ProbeSecondColumn) {
+  Relation r = EdgeRelation({{1, 2}, {3, 2}, {4, 5}});
+  HashIndex index(r, {1});
+  EXPECT_EQ(index.Probe(Tuple({Value::Int(2)})).size(), 2u);
+  EXPECT_EQ(index.Probe(Tuple({Value::Int(5)})).size(), 1u);
+}
+
+TEST(HashIndex, CompositeKey) {
+  Relation r = EdgeRelation({{1, 2}, {1, 3}});
+  HashIndex index(r, {0, 1});
+  EXPECT_EQ(index.key_count(), 2u);
+  EXPECT_EQ(index.Probe(Tuple({Value::Int(1), Value::Int(2)})).size(), 1u);
+  EXPECT_TRUE(index.Probe(Tuple({Value::Int(1), Value::Int(4)})).empty());
+}
+
+TEST(HashIndex, PointersReferenceStoredTuples) {
+  Relation r = EdgeRelation({{7, 8}});
+  HashIndex index(r, {0});
+  const std::vector<const Tuple*>& hits = index.Probe(Tuple({Value::Int(7)}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->value(1).AsInt(), 8);
+  EXPECT_TRUE(r.Contains(*hits[0]));
+}
+
+TEST(HashIndex, EmptyRelation) {
+  Relation r = EdgeRelation({});
+  HashIndex index(r, {0});
+  EXPECT_EQ(index.key_count(), 0u);
+  EXPECT_TRUE(index.Probe(Tuple({Value::Int(0)})).empty());
+}
+
+TEST(HashIndex, ColumnsAccessor) {
+  Relation r = EdgeRelation({{1, 2}});
+  HashIndex index(r, {1, 0});
+  EXPECT_EQ(index.columns(), (std::vector<int>{1, 0}));
+}
+
+}  // namespace
+}  // namespace datacon

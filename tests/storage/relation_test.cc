@@ -1,0 +1,153 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+Schema SetSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+}
+
+Schema KeyedSchema() {
+  // `RELATION part OF objecttype` — the key identifies the element.
+  return Schema({{"part", ValueType::kString}, {"weight", ValueType::kInt}},
+                {0});
+}
+
+TEST(Relation, InsertAndContains) {
+  Relation r(SetSchema());
+  EXPECT_TRUE(r.empty());
+  Result<bool> grew = r.Insert(Tuple({Value::Int(1), Value::Int(2)}));
+  ASSERT_TRUE(grew.ok());
+  EXPECT_TRUE(grew.value());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_FALSE(r.Contains(Tuple({Value::Int(2), Value::Int(1)})));
+}
+
+TEST(Relation, DuplicateInsertIsNoOp) {
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  Result<bool> again = r.Insert(Tuple({Value::Int(1), Value::Int(2)}));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Relation, InsertRejectsArityMismatch) {
+  Relation r(SetSchema());
+  EXPECT_EQ(r.Insert(Tuple({Value::Int(1)})).status().code(),
+            StatusCode::kTypeError);
+}
+
+TEST(Relation, InsertRejectsTypeMismatch) {
+  Relation r(SetSchema());
+  EXPECT_EQ(r.Insert(Tuple({Value::Int(1), Value::String("x")}))
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+}
+
+TEST(Relation, KeyConstraintEnforced) {
+  // Section 2.2: two tuples agreeing on the key but differing elsewhere
+  // violate the annotated set-type definition.
+  Relation r(KeyedSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::String("vase"), Value::Int(3)})).ok());
+  Result<bool> conflict =
+      r.Insert(Tuple({Value::String("vase"), Value::Int(4)}));
+  EXPECT_EQ(conflict.status().code(), StatusCode::kKeyViolation);
+  EXPECT_EQ(r.size(), 1u);
+  // Re-inserting the identical tuple stays a no-op.
+  Result<bool> same = r.Insert(Tuple({Value::String("vase"), Value::Int(3)}));
+  ASSERT_TRUE(same.ok());
+  EXPECT_FALSE(same.value());
+}
+
+TEST(Relation, KeyFreedByErase) {
+  Relation r(KeyedSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::String("vase"), Value::Int(3)})).ok());
+  EXPECT_TRUE(r.Erase(Tuple({Value::String("vase"), Value::Int(3)})));
+  EXPECT_TRUE(r.Insert(Tuple({Value::String("vase"), Value::Int(4)})).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Relation, EraseMissingReturnsFalse) {
+  Relation r(SetSchema());
+  EXPECT_FALSE(r.Erase(Tuple({Value::Int(1), Value::Int(2)})));
+}
+
+TEST(Relation, InsertAllChecksCompatibility) {
+  Relation r(SetSchema());
+  Relation strings(
+      Schema({{"x", ValueType::kString}, {"y", ValueType::kString}}));
+  ASSERT_TRUE(
+      strings.Insert(Tuple({Value::String("a"), Value::String("b")})).ok());
+  EXPECT_EQ(r.InsertAll(strings).code(), StatusCode::kTypeError);
+
+  Relation ints(SetSchema());
+  ASSERT_TRUE(ints.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  ASSERT_TRUE(ints.Insert(Tuple({Value::Int(3), Value::Int(4)})).ok());
+  EXPECT_TRUE(r.InsertAll(ints).ok());
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(Relation, ClearKeepsSchema) {
+  Relation r(KeyedSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::String("a"), Value::Int(1)})).ok());
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  // The key constraint still applies after Clear.
+  ASSERT_TRUE(r.Insert(Tuple({Value::String("a"), Value::Int(2)})).ok());
+  EXPECT_EQ(r.Insert(Tuple({Value::String("a"), Value::Int(3)}))
+                .status()
+                .code(),
+            StatusCode::kKeyViolation);
+}
+
+TEST(Relation, SameTuples) {
+  Relation a(SetSchema());
+  Relation b(SetSchema());
+  EXPECT_TRUE(a.SameTuples(b));
+  ASSERT_TRUE(a.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_FALSE(a.SameTuples(b));
+  ASSERT_TRUE(b.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_TRUE(a.SameTuples(b));
+  ASSERT_TRUE(b.Insert(Tuple({Value::Int(5), Value::Int(6)})).ok());
+  EXPECT_FALSE(a.SameTuples(b));
+}
+
+TEST(Relation, SortedTuplesIsDeterministic) {
+  Relation r(SetSchema());
+  for (int i : {5, 3, 9, 1}) {
+    ASSERT_TRUE(r.Insert(Tuple({Value::Int(i), Value::Int(0)})).ok());
+  }
+  std::vector<Tuple> sorted = r.SortedTuples();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].value(0).AsInt(), 1);
+  EXPECT_EQ(sorted[3].value(0).AsInt(), 9);
+}
+
+TEST(Relation, ToStringSortedForm) {
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(2), Value::Int(0)})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(0)})).ok());
+  EXPECT_EQ(r.ToString(), "{<1, 0>, <2, 0>}");
+}
+
+TEST(Relation, CopySemantics) {
+  Relation r(KeyedSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::String("a"), Value::Int(1)})).ok());
+  Relation copy = r;
+  ASSERT_TRUE(copy.Insert(Tuple({Value::String("b"), Value::Int(2)})).ok());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(copy.size(), 2u);
+  // The copy's key index is independent too.
+  EXPECT_EQ(copy.Insert(Tuple({Value::String("b"), Value::Int(9)}))
+                .status()
+                .code(),
+            StatusCode::kKeyViolation);
+}
+
+}  // namespace
+}  // namespace datacon

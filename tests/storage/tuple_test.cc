@@ -1,0 +1,67 @@
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace datacon {
+namespace {
+
+TEST(Tuple, Basics) {
+  Tuple t({Value::String("vase"), Value::String("table")});
+  EXPECT_EQ(t.arity(), 2);
+  EXPECT_EQ(t.value(0), Value::String("vase"));
+  EXPECT_EQ(t.value(1), Value::String("table"));
+  EXPECT_EQ(Tuple().arity(), 0);
+}
+
+TEST(Tuple, Equality) {
+  Tuple a({Value::Int(1), Value::Int(2)});
+  Tuple b({Value::Int(1), Value::Int(2)});
+  Tuple c({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Tuple({Value::Int(1)}));
+}
+
+TEST(Tuple, Project) {
+  Tuple t({Value::Int(10), Value::Int(20), Value::Int(30)});
+  EXPECT_EQ(t.Project({2, 0}), Tuple({Value::Int(30), Value::Int(10)}));
+  EXPECT_EQ(t.Project({}), Tuple());
+  EXPECT_EQ(t.Project({1, 1}), Tuple({Value::Int(20), Value::Int(20)}));
+}
+
+TEST(Tuple, Concat) {
+  Tuple a({Value::Int(1)});
+  Tuple b({Value::String("x"), Value::Bool(true)});
+  Tuple ab = a.Concat(b);
+  EXPECT_EQ(ab.arity(), 3);
+  EXPECT_EQ(ab.value(0), Value::Int(1));
+  EXPECT_EQ(ab.value(2), Value::Bool(true));
+  EXPECT_EQ(Tuple().Concat(a), a);
+}
+
+TEST(Tuple, LexicographicOrder) {
+  Tuple a({Value::Int(1), Value::Int(9)});
+  Tuple b({Value::Int(2), Value::Int(0)});
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(b < a);
+  EXPECT_LT(Tuple({Value::Int(1)}), Tuple({Value::Int(1), Value::Int(0)}));
+}
+
+TEST(Tuple, HashingInUnorderedSet) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.insert(Tuple({Value::Int(1), Value::Int(2)}));
+  set.insert(Tuple({Value::Int(1), Value::Int(2)}));
+  set.insert(Tuple({Value::Int(2), Value::Int(1)}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Tuple, ToString) {
+  Tuple t({Value::String("a"), Value::Int(3)});
+  EXPECT_EQ(t.ToString(), "<\"a\", 3>");
+  EXPECT_EQ(Tuple().ToString(), "<>");
+}
+
+}  // namespace
+}  // namespace datacon

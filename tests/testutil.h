@@ -1,0 +1,57 @@
+#ifndef DATACON_TESTS_TESTUTIL_H_
+#define DATACON_TESTS_TESTUTIL_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "storage/relation.h"
+#include "types/value.h"
+#include "workload/generators.h"
+
+namespace datacon::testing {
+
+/// Reference transitive closure by Floyd-Warshall over the edge list — an
+/// independent oracle for every closure-computing code path.
+inline std::set<std::pair<int, int>> ReferenceClosure(
+    const workload::EdgeList& g) {
+  std::vector<std::vector<bool>> reach(
+      static_cast<size_t>(g.node_count),
+      std::vector<bool>(static_cast<size_t>(g.node_count), false));
+  for (const auto& [a, b] : g.edges) {
+    reach[static_cast<size_t>(a)][static_cast<size_t>(b)] = true;
+  }
+  for (int k = 0; k < g.node_count; ++k) {
+    for (int i = 0; i < g.node_count; ++i) {
+      if (!reach[static_cast<size_t>(i)][static_cast<size_t>(k)]) continue;
+      for (int j = 0; j < g.node_count; ++j) {
+        if (reach[static_cast<size_t>(k)][static_cast<size_t>(j)]) {
+          reach[static_cast<size_t>(i)][static_cast<size_t>(j)] = true;
+        }
+      }
+    }
+  }
+  std::set<std::pair<int, int>> out;
+  for (int i = 0; i < g.node_count; ++i) {
+    for (int j = 0; j < g.node_count; ++j) {
+      if (reach[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
+        out.emplace(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+/// Converts a binary integer relation into a pair set for comparison.
+inline std::set<std::pair<int, int>> ToPairSet(const Relation& rel) {
+  std::set<std::pair<int, int>> out;
+  for (const Tuple& t : rel.tuples()) {
+    out.emplace(static_cast<int>(t.value(0).AsInt()),
+                static_cast<int>(t.value(1).AsInt()));
+  }
+  return out;
+}
+
+}  // namespace datacon::testing
+
+#endif  // DATACON_TESTS_TESTUTIL_H_

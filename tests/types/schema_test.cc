@@ -1,0 +1,93 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+Schema InfrontSchema() {
+  return Schema({{"front", ValueType::kString}, {"back", ValueType::kString}});
+}
+
+TEST(Schema, FieldAccess) {
+  Schema s = InfrontSchema();
+  EXPECT_EQ(s.arity(), 2);
+  EXPECT_EQ(s.field(0).name, "front");
+  EXPECT_EQ(s.field(1).type, ValueType::kString);
+  EXPECT_EQ(s.FieldIndex("front"), 0);
+  EXPECT_EQ(s.FieldIndex("back"), 1);
+  EXPECT_FALSE(s.FieldIndex("head").has_value());
+}
+
+TEST(Schema, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(InfrontSchema().Validate().ok());
+  Schema keyed({{"part", ValueType::kString}, {"weight", ValueType::kInt}},
+               {0});
+  EXPECT_TRUE(keyed.Validate().ok());
+}
+
+TEST(Schema, ValidateRejectsDuplicateFieldNames) {
+  Schema s({{"x", ValueType::kInt}, {"x", ValueType::kString}});
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Schema, ValidateRejectsEmptyFieldName) {
+  Schema s({{"", ValueType::kInt}});
+  EXPECT_EQ(s.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Schema, ValidateRejectsBadKeyIndices) {
+  Schema out_of_range({{"x", ValueType::kInt}}, {1});
+  EXPECT_FALSE(out_of_range.Validate().ok());
+  Schema negative({{"x", ValueType::kInt}}, {-1});
+  EXPECT_FALSE(negative.Validate().ok());
+  Schema duplicate({{"x", ValueType::kInt}, {"y", ValueType::kInt}}, {0, 0});
+  EXPECT_FALSE(duplicate.Validate().ok());
+}
+
+TEST(Schema, EffectiveKeyDefaultsToAllAttributes) {
+  Schema s = InfrontSchema();
+  EXPECT_EQ(s.EffectiveKey(), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(s.KeyIsAllAttributes());
+}
+
+TEST(Schema, DeclaredKeyIsEffective) {
+  Schema s({{"part", ValueType::kString}, {"weight", ValueType::kInt}}, {0});
+  EXPECT_EQ(s.EffectiveKey(), (std::vector<int>{0}));
+  EXPECT_FALSE(s.KeyIsAllAttributes());
+}
+
+TEST(Schema, ExplicitFullKeyCountsAsAllAttributes) {
+  Schema s({{"a", ValueType::kInt}, {"b", ValueType::kInt}}, {1, 0});
+  EXPECT_TRUE(s.KeyIsAllAttributes());
+}
+
+TEST(Schema, UnionCompatibilityIsPositional) {
+  Schema infront = InfrontSchema();
+  Schema ahead({{"head", ValueType::kString}, {"tail", ValueType::kString}});
+  // The paper's identity branch `EACH r IN Rel: TRUE` relies on this:
+  // infrontrel tuples flow into aheadrel positionally.
+  EXPECT_TRUE(infront.UnionCompatible(ahead));
+  Schema mixed({{"head", ValueType::kString}, {"n", ValueType::kInt}});
+  EXPECT_FALSE(infront.UnionCompatible(mixed));
+  Schema unary({{"x", ValueType::kString}});
+  EXPECT_FALSE(infront.UnionCompatible(unary));
+}
+
+TEST(Schema, EqualityIsStructural) {
+  EXPECT_EQ(InfrontSchema(), InfrontSchema());
+  Schema keyed({{"front", ValueType::kString}, {"back", ValueType::kString}},
+               {0});
+  EXPECT_FALSE(InfrontSchema() == keyed);
+}
+
+TEST(Schema, ToStringMentionsFieldsAndKey) {
+  Schema s({{"part", ValueType::kString}, {"weight", ValueType::kInt}}, {0});
+  EXPECT_EQ(s.ToString(),
+            "RECORD part: STRING; weight: INTEGER END KEY <part>");
+  EXPECT_EQ(InfrontSchema().ToString(),
+            "RECORD front: STRING; back: STRING END");
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,90 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace datacon {
+namespace {
+
+TEST(Value, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kInt);
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(Value, Constructors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Int(-7).AsInt(), -7);
+  EXPECT_EQ(Value::String("table").AsString(), "table");
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Bool(false).AsBool(), false);
+}
+
+TEST(Value, TypeTags) {
+  EXPECT_EQ(Value::Int(1).type(), ValueType::kInt);
+  EXPECT_EQ(Value::String("").type(), ValueType::kString);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::Bool(true), Value::Bool(false));
+}
+
+TEST(Value, CompareWithinType) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(5).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_LT(Value::Bool(false).Compare(Value::Bool(true)), 0);
+}
+
+TEST(Value, OrderingIsStrictWeak) {
+  std::vector<Value> values = {Value::Int(3), Value::String("b"),
+                               Value::Int(1), Value::String("a"),
+                               Value::Bool(true)};
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_FALSE(values[i + 1] < values[i]);
+  }
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::Int(12).ToString(), "12");
+  EXPECT_EQ(Value::String("vase").ToString(), "\"vase\"");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+TEST(Value, HashEqualValuesAgree) {
+  EXPECT_EQ(Value::Int(9).Hash(), Value::Int(9).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(Value, HashSupportsUnorderedContainers) {
+  std::unordered_set<Value> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::String("1"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value::Int(1)) > 0);
+}
+
+TEST(Value, IntAndStringWithSameSpellingDiffer) {
+  // The hash mixes the type tag, so 1 and "1" rarely collide and never
+  // compare equal.
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+}
+
+TEST(ValueTypeName, Spellings) {
+  EXPECT_EQ(ValueTypeName(ValueType::kInt), "INTEGER");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "STRING");
+  EXPECT_EQ(ValueTypeName(ValueType::kBool), "BOOLEAN");
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,90 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace datacon::workload {
+namespace {
+
+TEST(Generators, Chain) {
+  EdgeList g = Chain(5);
+  EXPECT_EQ(g.node_count, 5);
+  ASSERT_EQ(g.edges.size(), 4u);
+  EXPECT_EQ(g.edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(g.edges[3], std::make_pair(3, 4));
+  EXPECT_TRUE(Chain(1).edges.empty());
+  EXPECT_TRUE(Chain(0).edges.empty());
+}
+
+TEST(Generators, Cycle) {
+  EdgeList g = Cycle(4);
+  ASSERT_EQ(g.edges.size(), 4u);
+  EXPECT_EQ(g.edges.back(), std::make_pair(3, 0));
+  EXPECT_TRUE(Cycle(1).edges.empty());
+}
+
+TEST(Generators, KaryTree) {
+  EdgeList g = KaryTree(2, 2);  // 1 + 2 + 4 = 7 nodes, 6 edges
+  EXPECT_EQ(g.node_count, 7);
+  EXPECT_EQ(g.edges.size(), 6u);
+  // Every non-root node has exactly one parent.
+  std::set<int> children;
+  for (const auto& [p, c] : g.edges) {
+    (void)p;
+    EXPECT_TRUE(children.insert(c).second);
+  }
+  EXPECT_EQ(children.size(), 6u);
+}
+
+TEST(Generators, RandomDigraphDeterministicInSeed) {
+  EdgeList a = RandomDigraph(20, 40, 7);
+  EdgeList b = RandomDigraph(20, 40, 7);
+  EdgeList c = RandomDigraph(20, 40, 8);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+  EXPECT_EQ(a.edges.size(), 40u);
+  for (const auto& [x, y] : a.edges) {
+    EXPECT_NE(x, y);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 20);
+  }
+}
+
+TEST(Generators, Grid) {
+  EdgeList g = Grid(3, 2);
+  EXPECT_EQ(g.node_count, 6);
+  // 2 rows: 2*2 right edges + 3 down edges = 7.
+  EXPECT_EQ(g.edges.size(), 7u);
+}
+
+TEST(Generators, LayeredDag) {
+  EdgeList g = LayeredDag(3, 4, 2, 9);
+  EXPECT_EQ(g.node_count, 12);
+  for (const auto& [a, b] : g.edges) {
+    EXPECT_EQ(b / 4, a / 4 + 1);  // edges only cross into the next layer
+  }
+}
+
+TEST(Generators, SetupClosureCreatesEverything) {
+  Database db;
+  ASSERT_TRUE(SetupClosure(&db, "x", Chain(3)).ok());
+  EXPECT_TRUE(db.catalog().LookupRelationType("x_edgerel").ok());
+  EXPECT_TRUE(db.catalog().LookupConstructor("x_tc").ok());
+  EXPECT_EQ(db.GetRelation("x_E").value()->size(), 2u);
+}
+
+TEST(Generators, SetupCadSceneDeterministic) {
+  Database a, b;
+  ASSERT_TRUE(SetupCadScene(&a, 10, 12, 12, 5).ok());
+  ASSERT_TRUE(SetupCadScene(&b, 10, 12, 12, 5).ok());
+  EXPECT_TRUE(a.GetRelation("Infront").value()->SameTuples(
+      *b.GetRelation("Infront").value()));
+  EXPECT_EQ(a.GetRelation("Infront").value()->size(), 12u);
+  EXPECT_EQ(a.GetRelation("Ontop").value()->size(), 12u);
+  EXPECT_TRUE(a.catalog().LookupConstructor("ahead").ok());
+  EXPECT_TRUE(a.catalog().LookupConstructor("above").ok());
+}
+
+}  // namespace
+}  // namespace datacon::workload
