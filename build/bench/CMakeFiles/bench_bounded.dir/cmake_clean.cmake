@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bounded.dir/bench_bounded.cc.o"
+  "CMakeFiles/bench_bounded.dir/bench_bounded.cc.o.d"
+  "bench_bounded"
+  "bench_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

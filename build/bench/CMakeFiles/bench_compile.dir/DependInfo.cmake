@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_compile.cc" "bench/CMakeFiles/bench_compile.dir/bench_compile.cc.o" "gcc" "bench/CMakeFiles/bench_compile.dir/bench_compile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/datacon_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/prolog/CMakeFiles/datacon_prolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/datacon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/datacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/datacon_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/datacon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/datacon_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/datacon_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

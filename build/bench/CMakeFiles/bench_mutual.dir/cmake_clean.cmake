@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mutual.dir/bench_mutual.cc.o"
+  "CMakeFiles/bench_mutual.dir/bench_mutual.cc.o.d"
+  "bench_mutual"
+  "bench_mutual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mutual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

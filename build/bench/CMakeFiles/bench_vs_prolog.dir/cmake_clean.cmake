@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_prolog.dir/bench_vs_prolog.cc.o"
+  "CMakeFiles/bench_vs_prolog.dir/bench_vs_prolog.cc.o.d"
+  "bench_vs_prolog"
+  "bench_vs_prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_scene.dir/cad_scene.cpp.o"
+  "CMakeFiles/cad_scene.dir/cad_scene.cpp.o.d"
+  "cad_scene"
+  "cad_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpl_repl.dir/dbpl_repl.cpp.o"
+  "CMakeFiles/dbpl_repl.dir/dbpl_repl.cpp.o.d"
+  "dbpl_repl"
+  "dbpl_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpl_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

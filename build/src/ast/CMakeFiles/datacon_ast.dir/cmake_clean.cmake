@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_ast.dir/ast.cc.o"
+  "CMakeFiles/datacon_ast.dir/ast.cc.o.d"
+  "CMakeFiles/datacon_ast.dir/printer.cc.o"
+  "CMakeFiles/datacon_ast.dir/printer.cc.o.d"
+  "libdatacon_ast.a"
+  "libdatacon_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdatacon_ast.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_common.dir/status.cc.o"
+  "CMakeFiles/datacon_common.dir/status.cc.o.d"
+  "CMakeFiles/datacon_common.dir/string_util.cc.o"
+  "CMakeFiles/datacon_common.dir/string_util.cc.o.d"
+  "libdatacon_common.a"
+  "libdatacon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

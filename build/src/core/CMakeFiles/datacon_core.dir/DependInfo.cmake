@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_path.cc" "src/core/CMakeFiles/datacon_core.dir/access_path.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/access_path.cc.o.d"
+  "/root/repo/src/core/capture.cc" "src/core/CMakeFiles/datacon_core.dir/capture.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/capture.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/datacon_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/datacon_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/database.cc.o.d"
+  "/root/repo/src/core/fixpoint.cc" "src/core/CMakeFiles/datacon_core.dir/fixpoint.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/fixpoint.cc.o.d"
+  "/root/repo/src/core/instantiate.cc" "src/core/CMakeFiles/datacon_core.dir/instantiate.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/instantiate.cc.o.d"
+  "/root/repo/src/core/positivity.cc" "src/core/CMakeFiles/datacon_core.dir/positivity.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/positivity.cc.o.d"
+  "/root/repo/src/core/quant_graph.cc" "src/core/CMakeFiles/datacon_core.dir/quant_graph.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/quant_graph.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/datacon_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/rewrite.cc.o.d"
+  "/root/repo/src/core/semantics.cc" "src/core/CMakeFiles/datacon_core.dir/semantics.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/semantics.cc.o.d"
+  "/root/repo/src/core/subst.cc" "src/core/CMakeFiles/datacon_core.dir/subst.cc.o" "gcc" "src/core/CMakeFiles/datacon_core.dir/subst.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ra/CMakeFiles/datacon_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/datacon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/datacon_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/datacon_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

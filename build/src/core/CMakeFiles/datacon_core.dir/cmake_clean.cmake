@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_core.dir/access_path.cc.o"
+  "CMakeFiles/datacon_core.dir/access_path.cc.o.d"
+  "CMakeFiles/datacon_core.dir/capture.cc.o"
+  "CMakeFiles/datacon_core.dir/capture.cc.o.d"
+  "CMakeFiles/datacon_core.dir/catalog.cc.o"
+  "CMakeFiles/datacon_core.dir/catalog.cc.o.d"
+  "CMakeFiles/datacon_core.dir/database.cc.o"
+  "CMakeFiles/datacon_core.dir/database.cc.o.d"
+  "CMakeFiles/datacon_core.dir/fixpoint.cc.o"
+  "CMakeFiles/datacon_core.dir/fixpoint.cc.o.d"
+  "CMakeFiles/datacon_core.dir/instantiate.cc.o"
+  "CMakeFiles/datacon_core.dir/instantiate.cc.o.d"
+  "CMakeFiles/datacon_core.dir/positivity.cc.o"
+  "CMakeFiles/datacon_core.dir/positivity.cc.o.d"
+  "CMakeFiles/datacon_core.dir/quant_graph.cc.o"
+  "CMakeFiles/datacon_core.dir/quant_graph.cc.o.d"
+  "CMakeFiles/datacon_core.dir/rewrite.cc.o"
+  "CMakeFiles/datacon_core.dir/rewrite.cc.o.d"
+  "CMakeFiles/datacon_core.dir/semantics.cc.o"
+  "CMakeFiles/datacon_core.dir/semantics.cc.o.d"
+  "CMakeFiles/datacon_core.dir/subst.cc.o"
+  "CMakeFiles/datacon_core.dir/subst.cc.o.d"
+  "libdatacon_core.a"
+  "libdatacon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

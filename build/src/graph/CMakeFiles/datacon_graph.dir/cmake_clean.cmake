@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_graph.dir/scc.cc.o"
+  "CMakeFiles/datacon_graph.dir/scc.cc.o.d"
+  "libdatacon_graph.a"
+  "libdatacon_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_lang.dir/interpreter.cc.o"
+  "CMakeFiles/datacon_lang.dir/interpreter.cc.o.d"
+  "CMakeFiles/datacon_lang.dir/lexer.cc.o"
+  "CMakeFiles/datacon_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/datacon_lang.dir/parser.cc.o"
+  "CMakeFiles/datacon_lang.dir/parser.cc.o.d"
+  "libdatacon_lang.a"
+  "libdatacon_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

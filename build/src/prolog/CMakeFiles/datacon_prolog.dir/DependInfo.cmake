@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prolog/horn.cc" "src/prolog/CMakeFiles/datacon_prolog.dir/horn.cc.o" "gcc" "src/prolog/CMakeFiles/datacon_prolog.dir/horn.cc.o.d"
+  "/root/repo/src/prolog/sld.cc" "src/prolog/CMakeFiles/datacon_prolog.dir/sld.cc.o" "gcc" "src/prolog/CMakeFiles/datacon_prolog.dir/sld.cc.o.d"
+  "/root/repo/src/prolog/translate.cc" "src/prolog/CMakeFiles/datacon_prolog.dir/translate.cc.o" "gcc" "src/prolog/CMakeFiles/datacon_prolog.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/datacon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/datacon_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/datacon_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/datacon_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/datacon_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

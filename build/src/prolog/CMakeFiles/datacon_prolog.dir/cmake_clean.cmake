@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_prolog.dir/horn.cc.o"
+  "CMakeFiles/datacon_prolog.dir/horn.cc.o.d"
+  "CMakeFiles/datacon_prolog.dir/sld.cc.o"
+  "CMakeFiles/datacon_prolog.dir/sld.cc.o.d"
+  "CMakeFiles/datacon_prolog.dir/translate.cc.o"
+  "CMakeFiles/datacon_prolog.dir/translate.cc.o.d"
+  "libdatacon_prolog.a"
+  "libdatacon_prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

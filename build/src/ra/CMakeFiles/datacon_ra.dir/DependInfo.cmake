@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ra/analysis.cc" "src/ra/CMakeFiles/datacon_ra.dir/analysis.cc.o" "gcc" "src/ra/CMakeFiles/datacon_ra.dir/analysis.cc.o.d"
+  "/root/repo/src/ra/branch_exec.cc" "src/ra/CMakeFiles/datacon_ra.dir/branch_exec.cc.o" "gcc" "src/ra/CMakeFiles/datacon_ra.dir/branch_exec.cc.o.d"
+  "/root/repo/src/ra/branch_plan.cc" "src/ra/CMakeFiles/datacon_ra.dir/branch_plan.cc.o" "gcc" "src/ra/CMakeFiles/datacon_ra.dir/branch_plan.cc.o.d"
+  "/root/repo/src/ra/eval.cc" "src/ra/CMakeFiles/datacon_ra.dir/eval.cc.o" "gcc" "src/ra/CMakeFiles/datacon_ra.dir/eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/datacon_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/datacon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/datacon_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/datacon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_ra.dir/analysis.cc.o"
+  "CMakeFiles/datacon_ra.dir/analysis.cc.o.d"
+  "CMakeFiles/datacon_ra.dir/branch_exec.cc.o"
+  "CMakeFiles/datacon_ra.dir/branch_exec.cc.o.d"
+  "CMakeFiles/datacon_ra.dir/branch_plan.cc.o"
+  "CMakeFiles/datacon_ra.dir/branch_plan.cc.o.d"
+  "CMakeFiles/datacon_ra.dir/eval.cc.o"
+  "CMakeFiles/datacon_ra.dir/eval.cc.o.d"
+  "libdatacon_ra.a"
+  "libdatacon_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_storage.dir/csv.cc.o"
+  "CMakeFiles/datacon_storage.dir/csv.cc.o.d"
+  "CMakeFiles/datacon_storage.dir/index.cc.o"
+  "CMakeFiles/datacon_storage.dir/index.cc.o.d"
+  "CMakeFiles/datacon_storage.dir/relation.cc.o"
+  "CMakeFiles/datacon_storage.dir/relation.cc.o.d"
+  "CMakeFiles/datacon_storage.dir/tuple.cc.o"
+  "CMakeFiles/datacon_storage.dir/tuple.cc.o.d"
+  "libdatacon_storage.a"
+  "libdatacon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

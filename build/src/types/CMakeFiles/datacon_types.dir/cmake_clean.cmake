@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_types.dir/schema.cc.o"
+  "CMakeFiles/datacon_types.dir/schema.cc.o.d"
+  "CMakeFiles/datacon_types.dir/value.cc.o"
+  "CMakeFiles/datacon_types.dir/value.cc.o.d"
+  "libdatacon_types.a"
+  "libdatacon_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacon_workload.dir/generators.cc.o"
+  "CMakeFiles/datacon_workload.dir/generators.cc.o.d"
+  "libdatacon_workload.a"
+  "libdatacon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_printer_test.dir/ast/printer_test.cc.o"
+  "CMakeFiles/ast_printer_test.dir/ast/printer_test.cc.o.d"
+  "ast_printer_test"
+  "ast_printer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

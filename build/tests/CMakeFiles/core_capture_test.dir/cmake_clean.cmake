@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_capture_test.dir/core/capture_test.cc.o"
+  "CMakeFiles/core_capture_test.dir/core/capture_test.cc.o.d"
+  "core_capture_test"
+  "core_capture_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_catalog_test.dir/core/catalog_test.cc.o"
+  "CMakeFiles/core_catalog_test.dir/core/catalog_test.cc.o.d"
+  "core_catalog_test"
+  "core_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fixpoint_test.dir/core/fixpoint_test.cc.o"
+  "CMakeFiles/core_fixpoint_test.dir/core/fixpoint_test.cc.o.d"
+  "core_fixpoint_test"
+  "core_fixpoint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fixpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_instantiate_test.dir/core/instantiate_test.cc.o"
+  "CMakeFiles/core_instantiate_test.dir/core/instantiate_test.cc.o.d"
+  "core_instantiate_test"
+  "core_instantiate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_instantiate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

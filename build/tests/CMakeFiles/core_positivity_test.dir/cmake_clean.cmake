@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_positivity_test.dir/core/positivity_test.cc.o"
+  "CMakeFiles/core_positivity_test.dir/core/positivity_test.cc.o.d"
+  "core_positivity_test"
+  "core_positivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_positivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rewrite_test.dir/core/rewrite_test.cc.o"
+  "CMakeFiles/core_rewrite_test.dir/core/rewrite_test.cc.o.d"
+  "core_rewrite_test"
+  "core_rewrite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

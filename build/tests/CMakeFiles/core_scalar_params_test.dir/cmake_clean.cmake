@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scalar_params_test.dir/core/scalar_params_test.cc.o"
+  "CMakeFiles/core_scalar_params_test.dir/core/scalar_params_test.cc.o.d"
+  "core_scalar_params_test"
+  "core_scalar_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scalar_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

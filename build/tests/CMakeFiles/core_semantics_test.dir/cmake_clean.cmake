@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_semantics_test.dir/core/semantics_test.cc.o"
+  "CMakeFiles/core_semantics_test.dir/core/semantics_test.cc.o.d"
+  "core_semantics_test"
+  "core_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_subst_test.dir/core/subst_test.cc.o"
+  "CMakeFiles/core_subst_test.dir/core/subst_test.cc.o.d"
+  "core_subst_test"
+  "core_subst_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_subst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

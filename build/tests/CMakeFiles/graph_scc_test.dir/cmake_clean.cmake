@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_scc_test.dir/graph/scc_test.cc.o"
+  "CMakeFiles/graph_scc_test.dir/graph/scc_test.cc.o.d"
+  "graph_scc_test"
+  "graph_scc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_scc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_edge_cases_test.dir/integration/edge_cases_test.cc.o"
+  "CMakeFiles/integration_edge_cases_test.dir/integration/edge_cases_test.cc.o.d"
+  "integration_edge_cases_test"
+  "integration_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

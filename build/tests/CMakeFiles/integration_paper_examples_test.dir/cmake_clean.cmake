@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_paper_examples_test.dir/integration/paper_examples_test.cc.o"
+  "CMakeFiles/integration_paper_examples_test.dir/integration/paper_examples_test.cc.o.d"
+  "integration_paper_examples_test"
+  "integration_paper_examples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

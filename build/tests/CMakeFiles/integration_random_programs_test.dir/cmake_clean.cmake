@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_random_programs_test.dir/integration/random_programs_test.cc.o"
+  "CMakeFiles/integration_random_programs_test.dir/integration/random_programs_test.cc.o.d"
+  "integration_random_programs_test"
+  "integration_random_programs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_random_programs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_same_generation_test.dir/integration/same_generation_test.cc.o"
+  "CMakeFiles/integration_same_generation_test.dir/integration/same_generation_test.cc.o.d"
+  "integration_same_generation_test"
+  "integration_same_generation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_same_generation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

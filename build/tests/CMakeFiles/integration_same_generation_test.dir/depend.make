@@ -1,0 +1,2 @@
+# Empty dependencies file for integration_same_generation_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolog_sld_test.dir/prolog/sld_test.cc.o"
+  "CMakeFiles/prolog_sld_test.dir/prolog/sld_test.cc.o.d"
+  "prolog_sld_test"
+  "prolog_sld_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolog_sld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prolog_translate_test.dir/prolog/translate_test.cc.o"
+  "CMakeFiles/prolog_translate_test.dir/prolog/translate_test.cc.o.d"
+  "prolog_translate_test"
+  "prolog_translate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prolog_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

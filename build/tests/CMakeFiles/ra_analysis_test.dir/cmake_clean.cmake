@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_analysis_test.dir/ra/analysis_test.cc.o"
+  "CMakeFiles/ra_analysis_test.dir/ra/analysis_test.cc.o.d"
+  "ra_analysis_test"
+  "ra_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_branch_exec_test.dir/ra/branch_exec_test.cc.o"
+  "CMakeFiles/ra_branch_exec_test.dir/ra/branch_exec_test.cc.o.d"
+  "ra_branch_exec_test"
+  "ra_branch_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_branch_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_branch_plan_test.dir/ra/branch_plan_test.cc.o"
+  "CMakeFiles/ra_branch_plan_test.dir/ra/branch_plan_test.cc.o.d"
+  "ra_branch_plan_test"
+  "ra_branch_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_branch_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

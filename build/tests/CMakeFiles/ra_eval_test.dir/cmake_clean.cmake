@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_eval_test.dir/ra/eval_test.cc.o"
+  "CMakeFiles/ra_eval_test.dir/ra/eval_test.cc.o.d"
+  "ra_eval_test"
+  "ra_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

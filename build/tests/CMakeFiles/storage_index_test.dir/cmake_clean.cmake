@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_index_test.dir/storage/index_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/storage/index_test.cc.o.d"
+  "storage_index_test"
+  "storage_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

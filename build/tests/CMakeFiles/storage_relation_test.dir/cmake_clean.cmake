@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_relation_test.dir/storage/relation_test.cc.o"
+  "CMakeFiles/storage_relation_test.dir/storage/relation_test.cc.o.d"
+  "storage_relation_test"
+  "storage_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

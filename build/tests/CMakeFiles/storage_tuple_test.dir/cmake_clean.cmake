@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tuple_test.dir/storage/tuple_test.cc.o"
+  "CMakeFiles/storage_tuple_test.dir/storage/tuple_test.cc.o.d"
+  "storage_tuple_test"
+  "storage_tuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

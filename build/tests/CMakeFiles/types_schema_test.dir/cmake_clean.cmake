@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_schema_test.dir/types/schema_test.cc.o"
+  "CMakeFiles/types_schema_test.dir/types/schema_test.cc.o.d"
+  "types_schema_test"
+  "types_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

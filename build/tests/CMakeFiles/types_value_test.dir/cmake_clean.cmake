@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_value_test.dir/types/value_test.cc.o"
+  "CMakeFiles/types_value_test.dir/types/value_test.cc.o.d"
+  "types_value_test"
+  "types_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_generators_test.dir/workload/generators_test.cc.o"
+  "CMakeFiles/workload_generators_test.dir/workload/generators_test.cc.o.d"
+  "workload_generators_test"
+  "workload_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
