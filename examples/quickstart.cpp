@@ -18,6 +18,8 @@
 namespace {
 
 constexpr const char* kProgram = R"(
+PRAGMA THREADS = 4;
+
 TYPE parttype = STRING;
 TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
 TYPE aheadrel = RELATION OF RECORD head, tail: parttype END;

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification: plain build + full test suite, then a ThreadSanitizer
+# build running the concurrency-sensitive tests (thread pool + parallel
+# fixpoint execution). TSan proves race-freedom via happens-before tracking,
+# so it is meaningful even on a single-core host.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j)
+
+echo "== tsan: build =="
+cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target \
+  common_thread_pool_test core_fixpoint_parallel_test
+
+echo "== tsan: parallel tests =="
+./build-tsan/tests/common_thread_pool_test
+./build-tsan/tests/core_fixpoint_parallel_test
+
+echo "All checks passed."

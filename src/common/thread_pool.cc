@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+namespace datacon {
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  size_t count = requested;
+  if (count == 0) {
+    size_t hw = std::thread::hardware_concurrency();
+    count = hw == 0 ? 1 : hw;
+  }
+  return count < kMaxThreads ? count : kMaxThreads;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t count = ResolveThreadCount(num_threads);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    // std::thread construction can fail with std::system_error when the
+    // process hits its thread limit; an uncaught throw here would abort the
+    // whole process. Keep whatever workers did start — Wait() drains the
+    // queue on the calling thread, so even zero workers stays correct.
+    try {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    } catch (const std::system_error&) {
+      break;
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Help drain the queue instead of idling: guarantees progress even when
+  // worker startup was truncated by resource limits (possibly to zero).
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+  }
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace datacon

@@ -1,0 +1,72 @@
+#ifndef DATACON_COMMON_THREAD_POOL_H_
+#define DATACON_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datacon {
+
+/// A fixed-size thread pool with a single shared FIFO queue (no work
+/// stealing): workers block on the queue, tasks run in submission order
+/// modulo scheduling. Built for the branch executor's fan-out, where a
+/// handful of coarse chunks per round is the unit of work and a central
+/// queue load-balances them without per-worker deques.
+///
+/// Thread-safety contract: Submit and Wait may be called from any thread,
+/// but Wait only waits for tasks submitted *before* it was entered; the
+/// usual pattern is one producer submitting a batch and then calling Wait.
+/// While waiting, the caller helps drain the queue, so the pool makes
+/// progress even if worker startup was truncated by OS resource limits.
+/// Tasks must not themselves call Submit or Wait on the same pool (the
+/// executor never nests fan-outs).
+class ThreadPool {
+ public:
+  /// Hard ceiling on the worker count, applied by ResolveThreadCount.
+  /// Guards against a runaway `num_threads` knob (e.g. PRAGMA THREADS =
+  /// 99999) exhausting the process's thread limit.
+  static constexpr size_t kMaxThreads = 256;
+
+  /// Spawns `ResolveThreadCount(num_threads)` workers; if thread creation
+  /// fails partway, keeps the workers that did start.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Maps the user-facing `num_threads` knob to a worker count: 0 means
+  /// "use the hardware's concurrency", anything else is taken literally
+  /// (minimum 1); the result is clamped to kMaxThreads.
+  static size_t ResolveThreadCount(size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_COMMON_THREAD_POOL_H_

@@ -18,6 +18,11 @@ SystemEvaluator::SystemEvaluator(const Catalog* catalog,
       options_(options),
       params_(std::move(params)) {
   totals_.resize(graph_->nodes().size());
+  if (options_.exec.pool == nullptr &&
+      ThreadPool::ResolveThreadCount(options_.exec.num_threads) > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.exec.num_threads);
+    options_.exec.pool = pool_.get();
+  }
 }
 
 Status SystemEvaluator::InstallNodeRelation(int node,
@@ -231,7 +236,27 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   overrides_.clear();
   ++stats_.iterations;
 
-  // Differential rounds.
+  // Applies the trailing selector applications of `range` (if any) on top of
+  // `base`, materializing intermediates into scratch_.
+  auto with_trailing =
+      [this](const Relation* base,
+             const Range& range) -> Result<const Relation*> {
+    RangeSplit split = SplitAtLastConstructor(range);
+    const Relation* current = base;
+    for (const RangeApp& app : split.trailing_selectors) {
+      DATACON_ASSIGN_OR_RETURN(std::unique_ptr<Relation> filtered,
+                               ApplySelector(*current, app));
+      scratch_.push_back(std::move(filtered));
+      current = scratch_.back().get();
+    }
+    return current;
+  };
+
+  // Differential rounds. The per-component round budget mirrors
+  // NaiveFixpoint: `round` is local to this component (stats_.iterations
+  // accumulates across ALL components and must not feed the bound), and the
+  // seed evaluation above counts as round 1.
+  size_t round = 1;
   while (true) {
     bool any_delta = false;
     for (int n : component) {
@@ -242,12 +267,33 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
     }
     if (!any_delta) break;
 
+    ++round;
     ++stats_.iterations;
-    if (options_.max_iterations != 0 &&
-        stats_.iterations > options_.max_iterations) {
-      return Status::Divergence("semi-naive fixpoint exceeded iteration bound");
+    if (options_.max_iterations != 0 && round > options_.max_iterations) {
+      return Status::Divergence(
+          "semi-naive fixpoint did not converge within " +
+          std::to_string(options_.max_iterations) +
+          " iterations for one recursive component");
     }
     scratch_.clear();
+
+    // Lazily computed pre-round approximations T_old = T \ delta, used by
+    // recursive occurrences *before* the delta occurrence (see below).
+    std::map<int, std::unique_ptr<Relation>> olds;
+    auto old_of = [&](int node) -> Result<const Relation*> {
+      auto it = olds.find(node);
+      if (it != olds.end()) return it->second.get();
+      auto old_rel = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(node)].result_schema);
+      for (const Tuple& t : totals_[static_cast<size_t>(node)]->tuples()) {
+        if (deltas[node]->Contains(t)) continue;
+        DATACON_ASSIGN_OR_RETURN(bool inserted, old_rel->Insert(t));
+        (void)inserted;
+      }
+      const Relation* result = old_rel.get();
+      olds[node] = std::move(old_rel);
+      return result;
+    };
 
     std::map<int, std::unique_ptr<Relation>> raws;
     for (int n : component) {
@@ -262,49 +308,38 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
         DATACON_RETURN_IF_ERROR(EvaluateBranch(*info.branch, out));
         continue;
       }
-      // One differential evaluation per recursive binding occurrence: that
-      // occurrence ranges over the last round's delta, all others over the
-      // full current approximations. Every derivation involving at least
-      // one new tuple is covered (deltas are subsets of the totals).
+      // The standard non-linear differential rewrite: one evaluation per
+      // recursive binding occurrence i, where occurrence i ranges over the
+      // last round's delta, recursive occurrences before it over the
+      // pre-round approximation T_old = T \ delta, and recursive
+      // occurrences after it (plus all non-recursive bindings) over the
+      // full current approximation T. The union over i covers every
+      // combination with at least one new tuple exactly once — using the
+      // full T on *both* sides would re-derive all-new-tuple combinations
+      // once per occurrence, inflating tuples_considered (the results were
+      // still correct, since the output is a set).
       const std::vector<Binding>& bindings = info.branch->bindings();
       for (size_t i = 0; i < bindings.size(); ++i) {
         if (info.binding_nodes[i] < 0) continue;
         std::vector<ResolvedBinding> resolved;
         resolved.reserve(bindings.size());
-        Status status = Status::OK();
         for (size_t j = 0; j < bindings.size(); ++j) {
           const Relation* rel = nullptr;
           if (j == i) {
             // The delta occurrence, with any trailing selectors applied.
-            RangeSplit split = SplitAtLastConstructor(*bindings[j].range);
-            const Relation* base = deltas[info.binding_nodes[i]].get();
-            if (split.trailing_selectors.empty()) {
-              rel = base;
-            } else {
-              const Relation* current = base;
-              for (const RangeApp& app : split.trailing_selectors) {
-                auto filtered = ApplySelector(*current, app);
-                if (!filtered.ok()) {
-                  status = filtered.status();
-                  break;
-                }
-                scratch_.push_back(std::move(filtered).value());
-                current = scratch_.back().get();
-              }
-              rel = current;
-            }
+            DATACON_ASSIGN_OR_RETURN(
+                rel, with_trailing(deltas[info.binding_nodes[i]].get(),
+                                   *bindings[j].range));
+          } else if (info.binding_nodes[j] >= 0 && j < i) {
+            DATACON_ASSIGN_OR_RETURN(const Relation* old_rel,
+                                     old_of(info.binding_nodes[j]));
+            DATACON_ASSIGN_OR_RETURN(
+                rel, with_trailing(old_rel, *bindings[j].range));
           } else {
-            Result<const Relation*> r = Resolve(*bindings[j].range);
-            if (!r.ok()) {
-              status = r.status();
-              break;
-            }
-            rel = r.value();
+            DATACON_ASSIGN_OR_RETURN(rel, Resolve(*bindings[j].range));
           }
-          if (!status.ok()) break;
           resolved.push_back(ResolvedBinding{bindings[j].var, rel});
         }
-        DATACON_RETURN_IF_ERROR(status);
         Evaluator eval(this);
         BranchExecStats exec_stats;
         DATACON_RETURN_IF_ERROR(ExecuteBranch(*info.branch, resolved, eval,

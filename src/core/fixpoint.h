@@ -9,6 +9,7 @@
 
 #include "ast/branch.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "core/instantiate.h"
 #include "ra/branch_plan.h"
@@ -139,6 +140,12 @@ class SystemEvaluator : public RelationResolver {
   /// Keeps ephemeral (uncacheable) materializations alive for the duration
   /// of the evaluation step that requested them.
   mutable std::vector<std::unique_ptr<Relation>> scratch_;
+
+  /// Worker pool shared by every branch execution of this evaluator, so
+  /// per-round fan-outs do not respawn threads. Created in the constructor
+  /// only when the options ask for more than one thread and no external
+  /// pool was supplied.
+  std::unique_ptr<ThreadPool> pool_;
 
   EvalStats stats_;
 };

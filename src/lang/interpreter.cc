@@ -86,6 +86,17 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
     results_.push_back(QueryResult{std::move(text), Relation()});
     return Status::OK();
   }
+  if (const auto* pragma = std::get_if<PragmaStmt>(&stmt)) {
+    if (pragma->name == "THREADS") {
+      if (pragma->value < 0) {
+        return Status::InvalidArgument("PRAGMA THREADS requires a value >= 0");
+      }
+      db_->options().eval.exec.num_threads =
+          static_cast<size_t>(pragma->value);
+      return Status::OK();
+    }
+    return Status::Unsupported("unknown pragma '" + pragma->name + "'");
+  }
   return Status::Internal("unhandled script statement");
 }
 

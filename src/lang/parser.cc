@@ -105,6 +105,7 @@ class Parser {
     if (CheckKeyword("INSERT")) return ParseInsert();
     if (CheckKeyword("QUERY")) return ParseQuery();
     if (CheckKeyword("EXPLAIN")) return ParseExplain();
+    if (CheckKeyword("PRAGMA")) return ParsePragma();
     if (Check(TokenKind::kIdent)) return ParseAssign();
     return Error("expected a declaration or statement");
   }
@@ -322,6 +323,17 @@ class Parser {
     DATACON_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
     ExplainStmt stmt;
     DATACON_ASSIGN_OR_RETURN(stmt.range, ParseRange());
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParsePragma() {
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("PRAGMA"));
+    PragmaStmt stmt;
+    DATACON_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("pragma name"));
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
+    if (!Check(TokenKind::kInt)) return Error("expected an integer value");
+    stmt.value = Advance().int_value;
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));
   }

@@ -71,9 +71,17 @@ struct ExplainStmt {
   RangePtr range;
 };
 
+/// `PRAGMA THREADS = 4;` — engine knobs settable from a script. Only
+/// `THREADS` exists today (worker threads for branch execution; 0 = use the
+/// hardware's concurrency).
+struct PragmaStmt {
+  std::string name;
+  int64_t value = 0;
+};
+
 using ScriptStmt =
     std::variant<TypeDeclStmt, VarDeclStmt, SelectorStmt, ConstructorStmt,
-                 InsertStmt, AssignStmt, QueryStmt, ExplainStmt>;
+                 InsertStmt, AssignStmt, QueryStmt, ExplainStmt, PragmaStmt>;
 
 /// A parsed program: the statement sequence in source order.
 struct Script {

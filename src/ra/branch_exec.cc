@@ -1,14 +1,169 @@
 #include "ra/branch_exec.h"
 
-#include <functional>
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "ast/printer.h"
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "ra/branch_plan.h"
 #include "storage/index.h"
 
 namespace datacon {
+
+namespace {
+
+/// Collects the range of every quantifier and membership predicate in
+/// `pred`, recursively. These are the only ranges the evaluator can ask a
+/// resolver for during branch execution; materializing them up front makes
+/// the per-tuple pipeline resolver-free and therefore safe to fan out.
+void CollectPredRanges(const Pred& pred, std::vector<const Range*>* out) {
+  switch (pred.kind()) {
+    case Pred::Kind::kBool:
+    case Pred::Kind::kCompare:
+      return;
+    case Pred::Kind::kAnd:
+      for (const PredPtr& op : static_cast<const AndPred&>(pred).operands()) {
+        CollectPredRanges(*op, out);
+      }
+      return;
+    case Pred::Kind::kOr:
+      for (const PredPtr& op : static_cast<const OrPred&>(pred).operands()) {
+        CollectPredRanges(*op, out);
+      }
+      return;
+    case Pred::Kind::kNot:
+      CollectPredRanges(*static_cast<const NotPred&>(pred).operand(), out);
+      return;
+    case Pred::Kind::kQuant: {
+      const auto& p = static_cast<const QuantPred&>(pred);
+      out->push_back(p.range().get());
+      CollectPredRanges(*p.body(), out);
+      return;
+    }
+    case Pred::Kind::kIn:
+      out->push_back(static_cast<const InPred&>(pred).range().get());
+      return;
+  }
+  DATACON_UNREACHABLE("pred kind");
+}
+
+/// A read-only resolver over ranges materialized before a parallel fan-out.
+///
+/// SystemEvaluator::Resolve mutates its selector-chain caches, so worker
+/// threads must never call it; Prewarm resolves every range the branch
+/// predicate can mention once, on the calling thread, and workers resolve
+/// by pointer lookup only. The snapshotted relations stay valid for the
+/// duration of the ExecuteBranch call (the underlying resolver's contract).
+class SnapshotResolver : public RelationResolver {
+ public:
+  /// Resolves all quantifier/membership ranges of `pred` through `base`.
+  Status Prewarm(const Pred& pred, const RelationResolver* base) {
+    std::vector<const Range*> ranges;
+    CollectPredRanges(pred, &ranges);
+    if (ranges.empty()) return Status::OK();
+    if (base == nullptr) {
+      return Status::Internal("predicate ranges without a resolver: " +
+                              ToString(pred));
+    }
+    for (const Range* r : ranges) {
+      if (cache_.count(r) > 0) continue;
+      DATACON_ASSIGN_OR_RETURN(const Relation* rel, base->Resolve(*r));
+      cache_[r] = rel;
+    }
+    return Status::OK();
+  }
+
+  Result<const Relation*> Resolve(const Range& range) const override {
+    auto it = cache_.find(&range);
+    if (it == cache_.end()) {
+      return Status::Internal("range not pre-materialized before fan-out: " +
+                              ToString(range));
+    }
+    return it->second;
+  }
+
+ private:
+  /// Keyed by AST node identity: the evaluator always resolves the exact
+  /// Range objects reachable from the branch predicate.
+  std::map<const Range*, const Relation*> cache_;
+};
+
+/// The compiled, read-only execution state of one branch: shared without
+/// synchronization by every worker of a fan-out. All mutable state (the
+/// environment, the output relation, the counters) is passed through the
+/// call chain and owned per worker.
+struct BranchPipeline {
+  const Branch* branch;
+  const std::vector<ResolvedBinding>* bindings;
+  const std::vector<BranchLevelPlan>* levels;
+  const std::vector<std::unique_ptr<HashIndex>>* indexes;
+  size_t n;
+
+  /// Binds `t` at `level`, applies the level's filters, and descends.
+  Status TryTuple(size_t level, const Tuple& t, const Evaluator& eval,
+                  Environment& env, Relation* out,
+                  BranchExecStats* stats) const {
+    const ResolvedBinding& b = (*bindings)[level];
+    env.Bind(b.var, &t, &b.relation->schema());
+    for (const PredPtr& f : (*levels)[level].filters) {
+      DATACON_ASSIGN_OR_RETURN(bool ok, eval.EvalPred(*f, env));
+      if (!ok) return Status::OK();
+    }
+    return Descend(level + 1, eval, env, out, stats);
+  }
+
+  /// Runs levels [level, n) of the pipeline under the bindings already in
+  /// `env`; at the innermost level, projects and inserts into `out`.
+  Status Descend(size_t level, const Evaluator& eval, Environment& env,
+                 Relation* out, BranchExecStats* stats) const {
+    if (level == n) {
+      ++stats->env_count;
+      Tuple result;
+      if (branch->targets().has_value()) {
+        std::vector<Value> values;
+        values.reserve(branch->targets()->size());
+        for (const TermPtr& t : *branch->targets()) {
+          DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*t, env));
+          values.push_back(std::move(v));
+        }
+        result = Tuple(std::move(values));
+      } else {
+        result = *env.Lookup((*bindings)[0].var)->tuple;
+      }
+      DATACON_ASSIGN_OR_RETURN(bool grew, out->Insert(result));
+      if (grew) ++stats->inserted;
+      return Status::OK();
+    }
+
+    const Relation& rel = *(*bindings)[level].relation;
+    const BranchLevelPlan& lv = (*levels)[level];
+
+    if ((*indexes)[level] != nullptr) {
+      // Hash-join probe: evaluate the outer sides of the key equalities,
+      // fetch exactly the matching tuples.
+      std::vector<Value> key_values;
+      key_values.reserve(lv.keys.size());
+      for (const BranchLevelPlan::KeyEquality& k : lv.keys) {
+        DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*k.outer, env));
+        key_values.push_back(std::move(v));
+      }
+      for (const Tuple* t :
+           (*indexes)[level]->Probe(Tuple(std::move(key_values)))) {
+        DATACON_RETURN_IF_ERROR(TryTuple(level, *t, eval, env, out, stats));
+      }
+    } else {
+      for (const Tuple& t : rel.tuples()) {
+        DATACON_RETURN_IF_ERROR(TryTuple(level, t, eval, env, out, stats));
+      }
+    }
+    env.Unbind((*bindings)[level].var);
+    return Status::OK();
+  }
+};
+
+}  // namespace
 
 Status ExecuteBranch(const Branch& branch,
                      const std::vector<ResolvedBinding>& bindings,
@@ -33,7 +188,8 @@ Status ExecuteBranch(const Branch& branch,
   DATACON_ASSIGN_OR_RETURN(std::vector<BranchLevelPlan> levels,
                            PlanBranchLevels(branch, schemas, options));
 
-  // Build hash indexes for inner levels with key equalities.
+  // Build hash indexes for inner levels with key equalities. Shared
+  // read-only by all workers of a fan-out (HashIndex::Probe is const).
   std::vector<std::unique_ptr<HashIndex>> indexes(n);
   for (size_t i = 1; i < n; ++i) {
     if (levels[i].keys.empty()) continue;
@@ -45,68 +201,88 @@ Status ExecuteBranch(const Branch& branch,
     indexes[i] = std::make_unique<HashIndex>(*bindings[i].relation, cols);
   }
 
-  Environment env = base_env;
-  BranchExecStats local_stats;
+  BranchPipeline pipeline{&branch, &bindings, &levels, &indexes, n};
 
-  // Recursive descent over the levels. Kept as an explicit recursive
-  // function: depth equals the number of bindings, which is tiny.
-  std::function<Status(size_t)> descend = [&](size_t level) -> Status {
-    if (level == n) {
-      ++local_stats.env_count;
-      Tuple result;
-      if (branch.targets().has_value()) {
-        std::vector<Value> values;
-        values.reserve(branch.targets()->size());
-        for (const TermPtr& t : *branch.targets()) {
-          DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*t, env));
-          values.push_back(std::move(v));
-        }
-        result = Tuple(std::move(values));
-      } else {
-        result = *env.Lookup(bindings[0].var)->tuple;
-      }
-      DATACON_ASSIGN_OR_RETURN(bool grew, out->Insert(result));
-      if (grew) ++local_stats.inserted;
-      return Status::OK();
-    }
-
-    const Relation& rel = *bindings[level].relation;
-    const std::string& var = bindings[level].var;
-    const BranchLevelPlan& lv = levels[level];
-
-    auto try_tuple = [&](const Tuple& t) -> Status {
-      env.Bind(var, &t, &rel.schema());
-      for (const PredPtr& f : lv.filters) {
-        DATACON_ASSIGN_OR_RETURN(bool ok, eval.EvalPred(*f, env));
-        if (!ok) return Status::OK();
-      }
-      return descend(level + 1);
-    };
-
-    if (indexes[level] != nullptr) {
-      // Hash-join probe: evaluate the outer sides of the key equalities,
-      // fetch exactly the matching tuples.
-      std::vector<Value> key_values;
-      key_values.reserve(lv.keys.size());
-      for (const BranchLevelPlan::KeyEquality& k : lv.keys) {
-        DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*k.outer, env));
-        key_values.push_back(std::move(v));
-      }
-      for (const Tuple* t :
-           indexes[level]->Probe(Tuple(std::move(key_values)))) {
-        DATACON_RETURN_IF_ERROR(try_tuple(*t));
-      }
-    } else {
-      for (const Tuple& t : rel.tuples()) {
-        DATACON_RETURN_IF_ERROR(try_tuple(t));
-      }
-    }
-    env.Unbind(var);
+  const Relation& outer = *bindings[0].relation;
+  size_t num_threads = options.pool != nullptr
+                           ? options.pool->size()
+                           : ThreadPool::ResolveThreadCount(options.num_threads);
+  if (num_threads <= 1 || outer.size() < options.min_parallel_tuples) {
+    // Serial path: exactly the historical single-threaded pipeline.
+    Environment env = base_env;
+    BranchExecStats local_stats;
+    DATACON_RETURN_IF_ERROR(
+        pipeline.Descend(0, eval, env, out, &local_stats));
+    if (stats != nullptr) *stats = local_stats;
     return Status::OK();
-  };
+  }
 
-  DATACON_RETURN_IF_ERROR(descend(0));
-  if (stats != nullptr) *stats = local_stats;
+  // Parallel path: materialize every range the predicate can mention, so
+  // workers never touch the (cache-mutating) engine resolver, then chunk
+  // the outermost scan across the pool. Each chunk runs the remaining
+  // pipeline into its own output relation; the chunks are merged under set
+  // semantics (and key enforcement) at the end.
+  SnapshotResolver snapshot;
+  DATACON_RETURN_IF_ERROR(snapshot.Prewarm(*branch.pred(), eval.resolver()));
+  Evaluator worker_eval(&snapshot);
+
+  std::vector<const Tuple*> outer_tuples;
+  outer_tuples.reserve(outer.size());
+  for (const Tuple& t : outer.tuples()) outer_tuples.push_back(&t);
+
+  // A few chunks per worker so the shared queue evens out skew (some outer
+  // tuples probe into far larger inner fans than others).
+  size_t chunk_count = num_threads * 4;
+  if (chunk_count > outer_tuples.size()) chunk_count = outer_tuples.size();
+
+  std::unique_ptr<ThreadPool> transient_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
+    transient_pool = std::make_unique<ThreadPool>(num_threads);
+    pool = transient_pool.get();
+  }
+
+  std::vector<Relation> chunk_outs;
+  std::vector<BranchExecStats> chunk_stats(chunk_count);
+  std::vector<Status> chunk_status(chunk_count);
+  chunk_outs.reserve(chunk_count);
+  for (size_t c = 0; c < chunk_count; ++c) {
+    chunk_outs.emplace_back(out->schema());
+  }
+
+  const size_t total = outer_tuples.size();
+  for (size_t c = 0; c < chunk_count; ++c) {
+    const size_t begin = total * c / chunk_count;
+    const size_t end = total * (c + 1) / chunk_count;
+    pool->Submit([&, c, begin, end] {
+      Environment env = base_env;
+      Relation* chunk_out = &chunk_outs[c];
+      BranchExecStats* cs = &chunk_stats[c];
+      Status status = Status::OK();
+      for (size_t i = begin; i < end && status.ok(); ++i) {
+        status = pipeline.TryTuple(0, *outer_tuples[i], worker_eval, env,
+                                   chunk_out, cs);
+      }
+      chunk_status[c] = std::move(status);
+    });
+  }
+  pool->Wait();
+
+  for (size_t c = 0; c < chunk_count; ++c) {
+    DATACON_RETURN_IF_ERROR(chunk_status[c]);
+  }
+
+  // Merge. `inserted` is counted against the shared output, not the chunk
+  // outputs: two chunks may both derive a tuple (each locally "new"), but
+  // the branch contributed it once.
+  const size_t before = out->size();
+  BranchExecStats merged;
+  for (size_t c = 0; c < chunk_count; ++c) {
+    merged.env_count += chunk_stats[c].env_count;
+    DATACON_RETURN_IF_ERROR(out->InsertAll(chunk_outs[c]));
+  }
+  merged.inserted = out->size() - before;
+  if (stats != nullptr) *stats = merged;
   return Status::OK();
 }
 

@@ -10,6 +10,8 @@
 
 namespace datacon {
 
+class ThreadPool;
+
 /// Per-binding compiled form of a branch: which equality conjuncts become
 /// hash-probe keys at this binding's level and which conjuncts run as
 /// filters once the level's variable is bound.
@@ -36,6 +38,18 @@ struct BranchExecOptions {
   /// every join runs as a filtered nested loop. Exists for the ablation
   /// benchmarks; always leave on in real use.
   bool use_hash_joins = true;
+  /// Worker threads for the outermost scan of a branch: 1 = serial (the
+  /// default, exactly the historical behavior), 0 = hardware concurrency,
+  /// N = exactly N threads. See DESIGN.md §4.7 for the threading model.
+  size_t num_threads = 1;
+  /// Outer relations smaller than this run serially even when num_threads
+  /// allows a fan-out — chunking overhead would dominate the work.
+  size_t min_parallel_tuples = 32;
+  /// Optional engine-owned worker pool reused across calls (the fixpoint
+  /// engine installs one so per-round fan-outs do not respawn threads).
+  /// When null and the resolved thread count exceeds 1, ExecuteBranch
+  /// spins up a transient pool for the single call.
+  ThreadPool* pool = nullptr;
 };
 
 /// Assigns every top-level conjunct of `branch` to the earliest level where

@@ -28,6 +28,10 @@ class Evaluator {
   /// The truth value of `pred` under `env`.
   Result<bool> EvalPred(const Pred& pred, const Environment& env) const;
 
+  /// The resolver quantifier/membership ranges resolve through (may be
+  /// null). The branch executor snapshots it before a parallel fan-out.
+  const RelationResolver* resolver() const { return resolver_; }
+
  private:
   const RelationResolver* resolver_;
 };

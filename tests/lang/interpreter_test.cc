@@ -210,5 +210,32 @@ TEST(Interpreter, ClearResults) {
   EXPECT_TRUE(interp.results().empty());
 }
 
+TEST(Interpreter, PragmaThreadsSetsExecutionKnob) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_EQ(db.options().eval.exec.num_threads, 1u);
+  ASSERT_TRUE(interp.Execute("PRAGMA THREADS = 4;").ok());
+  EXPECT_EQ(db.options().eval.exec.num_threads, 4u);
+  // 0 = hardware concurrency.
+  ASSERT_TRUE(interp.Execute("PRAGMA THREADS = 0;").ok());
+  EXPECT_EQ(db.options().eval.exec.num_threads, 0u);
+}
+
+TEST(Interpreter, PragmaThreadsAffectsQueries) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("PRAGMA THREADS = 4; QUERY Infront {ahead};").ok());
+  EXPECT_EQ(interp.results()[0].relation.size(), 6u);
+}
+
+TEST(Interpreter, UnknownPragmaIsRejected) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_EQ(interp.Execute("PRAGMA FROBNICATE = 1;").code(),
+            StatusCode::kUnsupported);
+  EXPECT_FALSE(interp.Execute("PRAGMA THREADS = -2;").ok());
+}
+
 }  // namespace
 }  // namespace datacon
