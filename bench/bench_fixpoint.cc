@@ -180,4 +180,6 @@ BENCHMARK(BM_Ablation_HashJoins)
 }  // namespace
 }  // namespace datacon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return datacon::bench::RunBenchmarks(argc, argv, "fixpoint");
+}

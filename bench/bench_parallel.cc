@@ -112,4 +112,6 @@ BENCHMARK(BM_Parallel_SameGeneration)
 }  // namespace
 }  // namespace datacon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return datacon::bench::RunBenchmarks(argc, argv, "parallel");
+}

@@ -4,7 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/result.h"
@@ -22,6 +25,39 @@ template <typename T>
 T MustValue(Result<T> result) {
   DATACON_CHECK(result.ok(), result.status().ToString());
   return std::move(result).value();
+}
+
+/// Shared benchmark driver: like BENCHMARK_MAIN(), plus a `--json` flag
+/// that writes the run as machine-readable JSON to BENCH_<name>.json (the
+/// EXPERIMENTS.md artifact convention). All other arguments pass through to
+/// Google Benchmark untouched.
+inline int RunBenchmarks(int argc, char** argv, const char* name) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  args.reserve(static_cast<size_t>(argc) + 2);
+  args.push_back(argv[0]);
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (json) {
+    out_flag = std::string("--benchmark_out=BENCH_") + name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int run_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&run_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(run_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace datacon::bench

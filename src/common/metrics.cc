@@ -1,0 +1,155 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace datacon {
+
+std::string FormatDurationNs(int64_t ns) {
+  char buf[32];
+  if (ns < 0) return "-";
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ns", ns);
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f us",
+                  static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void CounterSet::Add(std::string_view name, int64_t delta) {
+  for (auto& [key, value] : entries_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), delta);
+}
+
+int64_t CounterSet::Get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) return value;
+  }
+  return 0;
+}
+
+ProfileNode* ProfileNode::AddChild(std::string name) {
+  children_.push_back(std::make_unique<ProfileNode>(std::move(name)));
+  return children_.back().get();
+}
+
+const ProfileNode* ProfileNode::Find(std::string_view name) const {
+  if (name_ == name) return this;
+  for (const auto& child : children_) {
+    if (const ProfileNode* hit = child->Find(name)) return hit;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendCounterObject(std::string* out, const CounterSet& set) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : set.entries()) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(out, key);
+    *out += ':';
+    *out += std::to_string(value);
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+void ProfileNode::AppendText(std::string* out, int depth) const {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += name_;
+  for (const auto& [key, value] : counters_.entries()) {
+    *out += "  " + key + "=" + std::to_string(value);
+  }
+  for (const auto& [key, value] : exec_.entries()) {
+    *out += "  ~" + key + "=" + std::to_string(value);
+  }
+  if (elapsed_ns_ >= 0) *out += "  (" + FormatDurationNs(elapsed_ns_) + ")";
+  out->push_back('\n');
+  for (const auto& child : children_) child->AppendText(out, depth + 1);
+}
+
+std::string ProfileNode::ToText() const {
+  std::string out;
+  AppendText(&out, 0);
+  return out;
+}
+
+void ProfileNode::AppendJson(std::string* out, bool deterministic_only) const {
+  *out += "{\"name\":";
+  AppendJsonString(out, name_);
+  if (!deterministic_only) {
+    *out += ",\"elapsed_ns\":" + std::to_string(elapsed_ns_);
+  }
+  *out += ",\"counters\":";
+  AppendCounterObject(out, counters_);
+  if (!deterministic_only) {
+    *out += ",\"exec\":";
+    AppendCounterObject(out, exec_);
+  }
+  *out += ",\"children\":[";
+  bool first = true;
+  for (const auto& child : children_) {
+    if (!first) out->push_back(',');
+    first = false;
+    child->AppendJson(out, deterministic_only);
+  }
+  *out += "]}";
+}
+
+std::string ProfileNode::ToJson() const {
+  std::string out;
+  AppendJson(&out, /*deterministic_only=*/false);
+  return out;
+}
+
+std::string ProfileNode::CounterDigest() const {
+  std::string out;
+  AppendJson(&out, /*deterministic_only=*/true);
+  return out;
+}
+
+}  // namespace datacon

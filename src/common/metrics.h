@@ -1,0 +1,128 @@
+#ifndef DATACON_COMMON_METRICS_H_
+#define DATACON_COMMON_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace datacon {
+
+/// A monotonic wall-clock timer. Construction starts it; ElapsedNs reads it
+/// without stopping. Backed by steady_clock, so it is immune to NTP jumps —
+/// the right clock for profiling, the wrong one for timestamps.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNs()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Renders a nanosecond duration human-readably ("412 ns", "3.21 ms",
+/// "1.05 s") with three significant digits.
+std::string FormatDurationNs(int64_t ns);
+
+/// An insertion-ordered registry of named integer counters. Insertion order
+/// is preserved so serialized output is stable across runs — a requirement
+/// for the profile-determinism regression test. Lookup is linear; counter
+/// sets are small (a dozen names) and hot-path increments go through a
+/// pointer obtained once, not through the name.
+class CounterSet {
+ public:
+  /// Adds `delta` to `name`, creating the counter at zero first.
+  void Add(std::string_view name, int64_t delta);
+
+  /// The counter's value, or 0 if it was never added to.
+  int64_t Get(std::string_view name) const;
+
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<std::pair<std::string, int64_t>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, int64_t>> entries_;
+};
+
+/// One node of an evaluation profile tree (the EXPLAIN ANALYZE payload):
+/// a name, elapsed wall time, and two counter sets —
+///
+///  - `counters`: logical work counters (tuples considered, index probes,
+///    fixpoint rounds, delta sizes). These are bit-identical at every
+///    thread-count setting; the determinism test diffs them.
+///  - `exec`: scheduling-dependent execution detail (chunks dispatched,
+///    snapshot materializations). Reported, but excluded from the
+///    determinism digest because they legitimately vary with PRAGMA THREADS.
+///
+/// Serializes to an indented human-readable tree (ToText) and to JSON
+/// (ToJson); CounterDigest is the canonical timing-free, exec-free JSON used
+/// to assert profile equality across thread counts.
+class ProfileNode {
+ public:
+  explicit ProfileNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Appends a child and returns it (owned by this node).
+  ProfileNode* AddChild(std::string name);
+
+  CounterSet& counters() { return counters_; }
+  const CounterSet& counters() const { return counters_; }
+  CounterSet& exec() { return exec_; }
+  const CounterSet& exec() const { return exec_; }
+
+  void set_elapsed_ns(int64_t ns) { elapsed_ns_ = ns; }
+  /// Negative when no timing was recorded for this node.
+  int64_t elapsed_ns() const { return elapsed_ns_; }
+
+  const std::vector<std::unique_ptr<ProfileNode>>& children() const {
+    return children_;
+  }
+
+  /// Depth-first search by node name; nullptr when absent. Test helper.
+  const ProfileNode* Find(std::string_view name) const;
+
+  /// Indented tree, one node per line, counters appended as `k=v`; exec
+  /// counters are prefixed with `~` to mark them scheduling-dependent.
+  std::string ToText() const;
+
+  /// Full JSON: {"name":..,"elapsed_ns":..,"counters":{..},"exec":{..},
+  /// "children":[..]}.
+  std::string ToJson() const;
+
+  /// JSON with wall times and exec counters stripped: equal strings at
+  /// THREADS=1 and THREADS=N is the parallel-determinism contract.
+  std::string CounterDigest() const;
+
+ private:
+  void AppendText(std::string* out, int depth) const;
+  void AppendJson(std::string* out, bool deterministic_only) const;
+
+  std::string name_;
+  CounterSet counters_;
+  CounterSet exec_;
+  int64_t elapsed_ns_ = -1;
+  std::vector<std::unique_ptr<ProfileNode>> children_;
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_COMMON_METRICS_H_

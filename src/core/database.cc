@@ -161,9 +161,18 @@ Status Database::InstallCaptures(const ApplicationGraph& graph,
     const ApplicationGraph::Node& node = graph.nodes()[i];
     if (node.base->ContainsConstructor()) continue;
     if (!DetectTransitiveClosure(*node.ctor).has_value()) continue;
+    Timer timer;
     DATACON_ASSIGN_OR_RETURN(const Relation* edges, ev->Resolve(*node.base));
     DATACON_ASSIGN_OR_RETURN(Relation closure,
                              FullClosure(*edges, node.result_schema));
+    if (ev->profile() != nullptr) {
+      ProfileNode* n = ev->profile()->AddChild(
+          "capture [" + node.key + "] (transitive closure)");
+      n->counters().Add("edge_tuples", static_cast<int64_t>(edges->size()));
+      n->counters().Add("closure_tuples",
+                        static_cast<int64_t>(closure.size()));
+      n->set_elapsed_ns(timer.ElapsedNs());
+    }
     DATACON_RETURN_IF_ERROR(ev->InstallNodeRelation(
         static_cast<int>(i), std::make_unique<Relation>(std::move(closure))));
   }
@@ -196,6 +205,7 @@ Result<Relation> Database::Evaluate(const CalcExprPtr& expr,
                                     const Schema& schema,
                                     const Environment& params) {
   last_stats_ = EvalStats{};
+  last_profile_.reset();
 
   CalcExprPtr effective = expr;
   if (options_.inline_nonrecursive) {
@@ -220,6 +230,7 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
                                          const SeededTcPlan& plan) {
   // Constant propagation into the recursive constructor: reachability from
   // the bound constant only, never the full closure.
+  Timer timer;
   ApplicationGraph graph(&catalog_);
   SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
@@ -258,6 +269,34 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
                                         &exec_stats, options_.eval.exec));
   last_stats_.tuples_considered = exec_stats.env_count;
   last_stats_.tuples_inserted = exec_stats.inserted;
+  last_stats_.outer_tuples = exec_stats.outer_tuples;
+  last_stats_.index_builds = exec_stats.index_builds;
+  last_stats_.index_probes = exec_stats.index_probes;
+  last_stats_.snapshot_materializations = exec_stats.snapshots;
+  last_stats_.chunks_dispatched = exec_stats.chunks;
+  if (options_.eval.profile) {
+    auto root = std::make_unique<ProfileNode>("evaluation");
+    ProfileNode* n = root->AddChild("seeded transitive closure");
+    n->counters().Add("closure_tuples", static_cast<int64_t>(closure.size()));
+    n->counters().Add("tuples_considered",
+                      static_cast<int64_t>(exec_stats.env_count));
+    n->counters().Add("tuples_inserted",
+                      static_cast<int64_t>(exec_stats.inserted));
+    n->counters().Add("outer_scans",
+                      static_cast<int64_t>(exec_stats.outer_tuples));
+    n->counters().Add("index_builds",
+                      static_cast<int64_t>(exec_stats.index_builds));
+    n->counters().Add("index_probes",
+                      static_cast<int64_t>(exec_stats.index_probes));
+    if (exec_stats.snapshots > 0) {
+      n->exec().Add("snapshots", static_cast<int64_t>(exec_stats.snapshots));
+    }
+    if (exec_stats.chunks > 0) {
+      n->exec().Add("chunks", static_cast<int64_t>(exec_stats.chunks));
+    }
+    root->set_elapsed_ns(timer.ElapsedNs());
+    last_profile_ = std::move(root);
+  }
   return out;
 }
 
@@ -273,6 +312,7 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
   DATACON_ASSIGN_OR_RETURN(Relation out, ev.EvaluateExpr(*expr, schema));
   last_stats_ = ev.stats();
+  last_profile_ = ev.TakeProfile();
   return out;
 }
 
@@ -337,6 +377,7 @@ Result<Relation> PreparedQuery::Execute(
   // The plan was chosen at Prepare time (level 2); Execute runs level 3
   // only — no re-detection, no re-inlining.
   db_->last_stats_ = EvalStats{};
+  db_->last_profile_.reset();
   if (seeded_plan_.has_value()) {
     return db_->ExecuteSeeded(expr_, schema_, env, *seeded_plan_);
   }

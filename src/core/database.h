@@ -126,6 +126,10 @@ class Database {
   /// Statistics of the most recent EvalRange/EvalQuery call.
   const EvalStats& last_stats() const { return last_stats_; }
 
+  /// Profile tree of the most recent evaluation, or null when profiling was
+  /// off (options().eval.profile) — consumed by EXPLAIN ANALYZE.
+  const ProfileNode* last_profile() const { return last_profile_.get(); }
+
  private:
   friend class PreparedQuery;
 
@@ -153,6 +157,7 @@ class Database {
   DatabaseOptions options_;
   Catalog catalog_;
   EvalStats last_stats_;
+  std::unique_ptr<ProfileNode> last_profile_;
 };
 
 /// A compiled parameterized query form. Holds the instantiated application

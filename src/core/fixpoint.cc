@@ -23,6 +23,51 @@ SystemEvaluator::SystemEvaluator(const Catalog* catalog,
     pool_ = std::make_unique<ThreadPool>(options_.exec.num_threads);
     options_.exec.pool = pool_.get();
   }
+  if (options_.profile) {
+    profile_ = std::make_unique<ProfileNode>("evaluation");
+  }
+}
+
+std::unique_ptr<ProfileNode> SystemEvaluator::TakeProfile() {
+  if (profile_ != nullptr) profile_->set_elapsed_ns(lifetime_.ElapsedNs());
+  cur_ = nullptr;
+  return std::move(profile_);
+}
+
+std::string SystemEvaluator::ComponentLabel(
+    const std::vector<int>& component) const {
+  std::string label = "[";
+  for (size_t i = 0; i < component.size(); ++i) {
+    if (i > 0) label += ", ";
+    label += graph_->nodes()[static_cast<size_t>(component[i])].key;
+  }
+  return label + "]";
+}
+
+void SystemEvaluator::RecordBranchExec(const BranchExecStats& exec,
+                                       bool count_inserted) {
+  stats_.tuples_considered += exec.env_count;
+  if (count_inserted) stats_.tuples_inserted += exec.inserted;
+  stats_.outer_tuples += exec.outer_tuples;
+  stats_.index_builds += exec.index_builds;
+  stats_.index_probes += exec.index_probes;
+  stats_.snapshot_materializations += exec.snapshots;
+  stats_.chunks_dispatched += exec.chunks;
+  if (cur_ == nullptr) return;
+  CounterSet& c = cur_->counters();
+  c.Add("tuples_considered", static_cast<int64_t>(exec.env_count));
+  if (count_inserted) {
+    c.Add("tuples_inserted", static_cast<int64_t>(exec.inserted));
+  }
+  c.Add("outer_scans", static_cast<int64_t>(exec.outer_tuples));
+  c.Add("index_builds", static_cast<int64_t>(exec.index_builds));
+  c.Add("index_probes", static_cast<int64_t>(exec.index_probes));
+  if (exec.snapshots > 0) {
+    cur_->exec().Add("snapshots", static_cast<int64_t>(exec.snapshots));
+  }
+  if (exec.chunks > 0) {
+    cur_->exec().Add("chunks", static_cast<int64_t>(exec.chunks));
+  }
 }
 
 Status SystemEvaluator::InstallNodeRelation(int node,
@@ -62,14 +107,34 @@ Status SystemEvaluator::MaterializeAll() {
       }
     }
     if (installed) continue;
-    if (!scc.cyclic[static_cast<size_t>(comp)]) {
-      DATACON_RETURN_IF_ERROR(EvaluateAcyclicNode(members[0]));
-    } else if (options_.unchecked ||
-               options_.strategy == FixpointStrategy::kNaive) {
-      DATACON_RETURN_IF_ERROR(NaiveFixpoint(members));
-    } else {
-      DATACON_RETURN_IF_ERROR(SemiNaiveFixpoint(members));
+    const bool cyclic = scc.cyclic[static_cast<size_t>(comp)];
+    const bool naive =
+        options_.unchecked || options_.strategy == FixpointStrategy::kNaive;
+    ProfileNode* comp_node = nullptr;
+    Timer comp_timer;
+    if (profile_ != nullptr) {
+      std::string name =
+          cyclic ? "component " + ComponentLabel(members) +
+                       (naive ? " (naive)" : " (semi-naive)")
+                 : "node [" +
+                       graph_->nodes()[static_cast<size_t>(members[0])].key +
+                       "]";
+      comp_node = profile_->AddChild(std::move(name));
+      cur_ = comp_node;
     }
+    Status status;
+    if (!cyclic) {
+      status = EvaluateAcyclicNode(members[0]);
+    } else if (naive) {
+      status = NaiveFixpoint(members);
+    } else {
+      status = SemiNaiveFixpoint(members);
+    }
+    if (comp_node != nullptr) {
+      comp_node->set_elapsed_ns(comp_timer.ElapsedNs());
+      cur_ = nullptr;
+    }
+    DATACON_RETURN_IF_ERROR(status);
   }
   materialized_ = true;
   return Status::OK();
@@ -87,9 +152,26 @@ Result<const Relation*> SystemEvaluator::NodeRelation(int node) const {
 Result<Relation> SystemEvaluator::EvaluateExpr(const CalcExpr& expr,
                                                const Schema& result_schema) {
   Relation out(result_schema);
-  for (const BranchPtr& branch : expr.branches()) {
-    DATACON_RETURN_IF_ERROR(EvaluateBranch(*branch, &out));
+  ProfileNode* query_node = nullptr;
+  Timer timer;
+  if (profile_ != nullptr) {
+    query_node = profile_->AddChild("query");
+    cur_ = query_node;
   }
+  Status status = Status::OK();
+  for (const BranchPtr& branch : expr.branches()) {
+    status = EvaluateBranch(*branch, &out);
+    if (!status.ok()) break;
+  }
+  if (query_node != nullptr) {
+    if (status.ok()) {
+      query_node->counters().Add("result_tuples",
+                                 static_cast<int64_t>(out.size()));
+    }
+    query_node->set_elapsed_ns(timer.ElapsedNs());
+    cur_ = nullptr;
+  }
+  DATACON_RETURN_IF_ERROR(status);
   return out;
 }
 
@@ -98,12 +180,18 @@ Status SystemEvaluator::EvaluateAcyclicNode(int node) {
   const ApplicationGraph::Node& n = graph_->nodes()[static_cast<size_t>(node)];
   totals_[static_cast<size_t>(node)] =
       std::make_unique<Relation>(n.result_schema);
-  return EvaluateNodeBody(node, totals_[static_cast<size_t>(node)].get());
+  Relation* out = totals_[static_cast<size_t>(node)].get();
+  DATACON_RETURN_IF_ERROR(EvaluateNodeBody(node, out));
+  if (cur_ != nullptr) {
+    cur_->counters().Add("total_tuples", static_cast<int64_t>(out->size()));
+  }
+  return Status::OK();
 }
 
 Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
   iterating_nodes_.clear();
   iterating_nodes_.insert(component.begin(), component.end());
+  ProfileNode* comp_node = cur_;
 
   // Section 3.1: Ahead := {}; Above := {}.
   for (int n : component) {
@@ -127,6 +215,10 @@ Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
           "'nonsense' has no limit)");
     }
     scratch_.clear();
+    Timer round_timer;
+    if (comp_node != nullptr) {
+      cur_ = comp_node->AddChild("round " + std::to_string(round));
+    }
 
     std::vector<std::unique_ptr<Relation>> fresh;
     fresh.reserve(component.size());
@@ -144,10 +236,23 @@ Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
         break;
       }
     }
+    if (comp_node != nullptr) {
+      for (size_t i = 0; i < component.size(); ++i) {
+        cur_->counters().Add(
+            "total[" +
+                graph_->nodes()[static_cast<size_t>(component[i])].key + "]",
+            static_cast<int64_t>(fresh[i]->size()));
+      }
+      cur_->set_elapsed_ns(round_timer.ElapsedNs());
+    }
     for (size_t i = 0; i < component.size(); ++i) {
       totals_[static_cast<size_t>(component[i])] = std::move(fresh[i]);
     }
     if (!changed) break;
+  }
+  if (comp_node != nullptr) {
+    comp_node->counters().Add("rounds", static_cast<int64_t>(round));
+    cur_ = comp_node;
   }
   iterating_nodes_.clear();
   return Status::OK();
@@ -157,6 +262,7 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   iterating_nodes_.clear();
   iterating_nodes_.insert(component.begin(), component.end());
   std::set<int> in_component(component.begin(), component.end());
+  ProfileNode* comp_node = cur_;
 
   // Pre-analyze each branch: which bindings are recursive (range over an
   // in-component application) and whether the predicate itself references
@@ -225,6 +331,10 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   }
   std::map<int, std::unique_ptr<Relation>> deltas;
   scratch_.clear();
+  Timer seed_timer;
+  if (comp_node != nullptr) {
+    cur_ = comp_node->AddChild("round 1 (seed)");
+  }
   for (int n : component) {
     auto raw = std::make_unique<Relation>(
         graph_->nodes()[static_cast<size_t>(n)].result_schema);
@@ -235,6 +345,14 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   }
   overrides_.clear();
   ++stats_.iterations;
+  if (comp_node != nullptr) {
+    for (int n : component) {
+      cur_->counters().Add(
+          "delta[" + graph_->nodes()[static_cast<size_t>(n)].key + "]",
+          static_cast<int64_t>(deltas[n]->size()));
+    }
+    cur_->set_elapsed_ns(seed_timer.ElapsedNs());
+  }
 
   // Applies the trailing selector applications of `range` (if any) on top of
   // `base`, materializing intermediates into scratch_.
@@ -276,6 +394,10 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
           " iterations for one recursive component");
     }
     scratch_.clear();
+    Timer round_timer;
+    if (comp_node != nullptr) {
+      cur_ = comp_node->AddChild("round " + std::to_string(round));
+    }
 
     // Lazily computed pre-round approximations T_old = T \ delta, used by
     // recursive occurrences *before* the delta occurrence (see below).
@@ -305,7 +427,11 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
       if (!info.recursive) continue;  // contributes in round 0 only
       Relation* out = raws[info.owner].get();
       if (!info.differentiable) {
-        DATACON_RETURN_IF_ERROR(EvaluateBranch(*info.branch, out));
+        // Insertions land in a scratch `raws` relation and are counted from
+        // the deduplicated deltas below — counting exec.inserted here too
+        // would double-count.
+        DATACON_RETURN_IF_ERROR(
+            EvaluateBranch(*info.branch, out, /*count_inserted=*/false));
         continue;
       }
       // The standard non-linear differential rewrite: one evaluation per
@@ -345,7 +471,7 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
         DATACON_RETURN_IF_ERROR(ExecuteBranch(*info.branch, resolved, eval,
                                               params_, out, &exec_stats,
                                               options_.exec));
-        stats_.tuples_considered += exec_stats.env_count;
+        RecordBranchExec(exec_stats, /*count_inserted=*/false);
       }
     }
 
@@ -365,12 +491,28 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
         DATACON_RETURN_IF_ERROR(
             totals_[static_cast<size_t>(n)]->InsertAll(*new_delta));
         stats_.tuples_inserted += new_delta->size();
+        if (cur_ != nullptr && cur_ != comp_node) {
+          cur_->counters().Add("tuples_inserted",
+                               static_cast<int64_t>(new_delta->size()));
+        }
       }
       deltas[n] = std::move(new_delta);
+    }
+    if (comp_node != nullptr) {
+      for (int n : component) {
+        cur_->counters().Add(
+            "delta[" + graph_->nodes()[static_cast<size_t>(n)].key + "]",
+            static_cast<int64_t>(deltas[n]->size()));
+      }
+      cur_->set_elapsed_ns(round_timer.ElapsedNs());
     }
     if (!grew) break;
   }
 
+  if (comp_node != nullptr) {
+    comp_node->counters().Add("rounds", static_cast<int64_t>(round));
+    cur_ = comp_node;
+  }
   iterating_nodes_.clear();
   return Status::OK();
 }
@@ -383,7 +525,8 @@ Status SystemEvaluator::EvaluateNodeBody(int node, Relation* out) {
   return Status::OK();
 }
 
-Status SystemEvaluator::EvaluateBranch(const Branch& branch, Relation* out) {
+Status SystemEvaluator::EvaluateBranch(const Branch& branch, Relation* out,
+                                       bool count_inserted) {
   std::vector<ResolvedBinding> resolved;
   resolved.reserve(branch.bindings().size());
   for (const Binding& b : branch.bindings()) {
@@ -394,8 +537,7 @@ Status SystemEvaluator::EvaluateBranch(const Branch& branch, Relation* out) {
   BranchExecStats exec_stats;
   DATACON_RETURN_IF_ERROR(ExecuteBranch(branch, resolved, eval, params_, out,
                                         &exec_stats, options_.exec));
-  stats_.tuples_considered += exec_stats.env_count;
-  stats_.tuples_inserted += exec_stats.inserted;
+  RecordBranchExec(exec_stats, count_inserted);
   return Status::OK();
 }
 

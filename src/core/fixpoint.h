@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ast/branch.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/catalog.h"
@@ -18,6 +19,8 @@
 #include "storage/relation.h"
 
 namespace datacon {
+
+struct BranchExecStats;
 
 /// Evaluation strategy for recursive components (section 3.2 / section 4).
 enum class FixpointStrategy {
@@ -41,9 +44,15 @@ struct EvalOptions {
   /// Iteration bound per recursive component; 0 means unbounded. Exceeding
   /// it yields kDivergence.
   size_t max_iterations = 0;
+  /// Collect a per-component, per-round ProfileNode tree (wall times, delta
+  /// sizes, branch-level counters) alongside the flat EvalStats. Off by
+  /// default; EXPLAIN ANALYZE and `PRAGMA PROFILE = ON` turn it on.
+  bool profile = false;
 };
 
-/// Counters reported by evaluation, consumed by EXPLAIN and the benchmarks.
+/// Counters reported by evaluation, consumed by EXPLAIN ANALYZE and the
+/// benchmarks. All fields except the two marked "execution detail" are
+/// deterministic: bit-identical at every thread-count setting.
 struct EvalStats {
   /// Fixpoint rounds summed over all recursive components.
   size_t iterations = 0;
@@ -51,6 +60,16 @@ struct EvalStats {
   size_t tuples_considered = 0;
   /// Tuples actually added across all application relations.
   size_t tuples_inserted = 0;
+  /// Tuples scanned at the outermost level of every branch execution.
+  size_t outer_tuples = 0;
+  /// Hash indexes built for inner join levels.
+  size_t index_builds = 0;
+  /// Probe calls against those indexes.
+  size_t index_probes = 0;
+  /// Execution detail: snapshot materializations before parallel fan-outs.
+  size_t snapshot_materializations = 0;
+  /// Execution detail: chunks dispatched to the worker pool.
+  size_t chunks_dispatched = 0;
 };
 
 /// Evaluates an instantiated application system (level 3 of the paper's
@@ -95,6 +114,15 @@ class SystemEvaluator : public RelationResolver {
 
   const EvalStats& stats() const { return stats_; }
 
+  /// The profile tree collected so far (null unless options.profile). The
+  /// database layer also appends capture-rule nodes through this.
+  ProfileNode* profile() { return profile_.get(); }
+  const ProfileNode* profile() const { return profile_.get(); }
+
+  /// Transfers ownership of the profile tree (null unless options.profile);
+  /// stamps the root with the evaluator's total lifetime.
+  std::unique_ptr<ProfileNode> TakeProfile();
+
  private:
   /// Single-pass evaluation of a non-recursive node.
   Status EvaluateAcyclicNode(int node);
@@ -109,8 +137,18 @@ class SystemEvaluator : public RelationResolver {
   /// through `this` (honouring `overrides_`).
   Status EvaluateNodeBody(int node, Relation* out);
 
-  /// Evaluates a single branch into `out`.
-  Status EvaluateBranch(const Branch& branch, Relation* out);
+  /// Evaluates a single branch into `out`. `count_inserted` is false inside
+  /// semi-naive differential rounds, where insertions are counted from the
+  /// deduplicated deltas instead of the raw per-branch output.
+  Status EvaluateBranch(const Branch& branch, Relation* out,
+                        bool count_inserted = true);
+
+  /// Folds one branch execution's counters into the flat stats and, when
+  /// profiling, into the current profile node.
+  void RecordBranchExec(const BranchExecStats& exec, bool count_inserted);
+
+  /// The display key of a component: "[k1, k2]" over the member node keys.
+  std::string ComponentLabel(const std::vector<int>& component) const;
 
   /// Materializes the base relation + selector chain of a split range.
   Result<const Relation*> ResolveSource(const RangeSplit& split,
@@ -148,6 +186,12 @@ class SystemEvaluator : public RelationResolver {
   std::unique_ptr<ThreadPool> pool_;
 
   EvalStats stats_;
+
+  /// Profile tree (only when options.profile) and the node branch-level
+  /// counters currently flow into (a component, round, or query node).
+  std::unique_ptr<ProfileNode> profile_;
+  ProfileNode* cur_ = nullptr;
+  Timer lifetime_;
 };
 
 }  // namespace datacon

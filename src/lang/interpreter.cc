@@ -83,7 +83,35 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
   }
   if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
     DATACON_ASSIGN_OR_RETURN(std::string text, db_->Explain(explain->range));
-    results_.push_back(QueryResult{std::move(text), Relation()});
+    if (!explain->analyze) {
+      results_.push_back(QueryResult{std::move(text), Relation()});
+      return Status::OK();
+    }
+    // EXPLAIN ANALYZE: actually evaluate the range with profiling forced on
+    // (restoring the PRAGMA PROFILE setting afterwards) and render the
+    // collected profile tree below the plan.
+    bool saved_profile = db_->options().eval.profile;
+    db_->options().eval.profile = true;
+    Result<Relation> value = db_->EvalRange(explain->range);
+    db_->options().eval.profile = saved_profile;
+    DATACON_RETURN_IF_ERROR(value.status());
+    const EvalStats& stats = db_->last_stats();
+    text += "analyze:\n";
+    if (db_->last_profile() != nullptr) {
+      std::string profile_text = db_->last_profile()->ToText();
+      size_t start = 0;
+      while (start < profile_text.size()) {
+        size_t end = profile_text.find('\n', start);
+        if (end == std::string::npos) end = profile_text.size();
+        text += "  " + profile_text.substr(start, end - start) + "\n";
+        start = end + 1;
+      }
+    }
+    text += "result: " + std::to_string(value->size()) + " tuple(s), " +
+            std::to_string(stats.iterations) + " round(s), " +
+            std::to_string(stats.tuples_considered) + " considered, " +
+            std::to_string(stats.tuples_inserted) + " inserted\n";
+    results_.push_back(QueryResult{std::move(text), std::move(value).value()});
     return Status::OK();
   }
   if (const auto* pragma = std::get_if<PragmaStmt>(&stmt)) {
@@ -93,6 +121,13 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       }
       db_->options().eval.exec.num_threads =
           static_cast<size_t>(pragma->value);
+      return Status::OK();
+    }
+    if (pragma->name == "PROFILE") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA PROFILE requires ON or OFF");
+      }
+      db_->options().eval.profile = pragma->value != 0;
       return Status::OK();
     }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");

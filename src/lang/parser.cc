@@ -322,6 +322,7 @@ class Parser {
   Result<ScriptStmt> ParseExplain() {
     DATACON_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
     ExplainStmt stmt;
+    stmt.analyze = MatchKeyword("ANALYZE");
     DATACON_ASSIGN_OR_RETURN(stmt.range, ParseRange());
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));
@@ -332,8 +333,14 @@ class Parser {
     PragmaStmt stmt;
     DATACON_ASSIGN_OR_RETURN(stmt.name, ExpectIdent("pragma name"));
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kEq, "'='").status());
-    if (!Check(TokenKind::kInt)) return Error("expected an integer value");
-    stmt.value = Advance().int_value;
+    if (Check(TokenKind::kInt)) {
+      stmt.value = Advance().int_value;
+    } else if (Check(TokenKind::kIdent) &&
+               (Peek().text == "ON" || Peek().text == "OFF")) {
+      stmt.value = Advance().text == "ON" ? 1 : 0;
+    } else {
+      return Error("expected an integer, ON, or OFF");
+    }
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));
   }

@@ -66,14 +66,18 @@ struct QueryStmt {
   RelationExpr value;
 };
 
-/// `EXPLAIN Infront {ahead};`
+/// `EXPLAIN Infront {ahead};` — or, with `analyze`, `EXPLAIN ANALYZE
+/// Infront {ahead};`, which also evaluates the range and renders the
+/// collected profile tree next to the plan.
 struct ExplainStmt {
   RangePtr range;
+  bool analyze = false;
 };
 
-/// `PRAGMA THREADS = 4;` — engine knobs settable from a script. Only
-/// `THREADS` exists today (worker threads for branch execution; 0 = use the
-/// hardware's concurrency).
+/// `PRAGMA THREADS = 4;` — engine knobs settable from a script. `THREADS`
+/// sets worker threads for branch execution (0 = use the hardware's
+/// concurrency); `PROFILE = ON|OFF` (or 1|0) toggles profile collection for
+/// subsequent queries.
 struct PragmaStmt {
   std::string name;
   int64_t value = 0;

@@ -1,5 +1,6 @@
 #include "ra/branch_exec.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
@@ -105,6 +106,7 @@ struct BranchPipeline {
   Status TryTuple(size_t level, const Tuple& t, const Evaluator& eval,
                   Environment& env, Relation* out,
                   BranchExecStats* stats) const {
+    if (level == 0) ++stats->outer_tuples;
     const ResolvedBinding& b = (*bindings)[level];
     env.Bind(b.var, &t, &b.relation->schema());
     for (const PredPtr& f : (*levels)[level].filters) {
@@ -142,13 +144,21 @@ struct BranchPipeline {
 
     if ((*indexes)[level] != nullptr) {
       // Hash-join probe: evaluate the outer sides of the key equalities,
-      // fetch exactly the matching tuples.
+      // fetch exactly the matching tuples. A stale index (its relation grew
+      // after the build) would silently miss the new tuples, so it is a
+      // hard error — callers must never mutate a bound relation mid-branch.
+      if (!(*indexes)[level]->InSync()) {
+        return Status::Internal(
+            "hash index over binding '" + (*bindings)[level].var +
+            "' is stale: the relation grew after the index was built");
+      }
       std::vector<Value> key_values;
       key_values.reserve(lv.keys.size());
       for (const BranchLevelPlan::KeyEquality& k : lv.keys) {
         DATACON_ASSIGN_OR_RETURN(Value v, eval.EvalTerm(*k.outer, env));
         key_values.push_back(std::move(v));
       }
+      ++stats->index_probes;
       for (const Tuple* t :
            (*indexes)[level]->Probe(Tuple(std::move(key_values)))) {
         DATACON_RETURN_IF_ERROR(TryTuple(level, *t, eval, env, out, stats));
@@ -188,8 +198,22 @@ Status ExecuteBranch(const Branch& branch,
   DATACON_ASSIGN_OR_RETURN(std::vector<BranchLevelPlan> levels,
                            PlanBranchLevels(branch, schemas, options));
 
+  // The pipeline inserts into `out` while scanning and probing the bound
+  // relations, so the output must not alias any of them: a probe against an
+  // index built before the insert would silently miss tuples, and growing
+  // an unordered_set mid-scan invalidates the scan. No engine code path
+  // aliases; reject rather than miscompute if one ever does.
+  for (size_t i = 0; i < n; ++i) {
+    if (bindings[i].relation == out) {
+      return Status::Internal(
+          "branch output aliases binding '" + bindings[i].var +
+          "': inserts during execution would bypass the hash index");
+    }
+  }
+
   // Build hash indexes for inner levels with key equalities. Shared
   // read-only by all workers of a fan-out (HashIndex::Probe is const).
+  BranchExecStats build_stats;
   std::vector<std::unique_ptr<HashIndex>> indexes(n);
   for (size_t i = 1; i < n; ++i) {
     if (levels[i].keys.empty()) continue;
@@ -199,6 +223,7 @@ Status ExecuteBranch(const Branch& branch,
       cols.push_back(k.inner_field_index);
     }
     indexes[i] = std::make_unique<HashIndex>(*bindings[i].relation, cols);
+    ++build_stats.index_builds;
   }
 
   BranchPipeline pipeline{&branch, &bindings, &levels, &indexes, n};
@@ -210,7 +235,7 @@ Status ExecuteBranch(const Branch& branch,
   if (num_threads <= 1 || outer.size() < options.min_parallel_tuples) {
     // Serial path: exactly the historical single-threaded pipeline.
     Environment env = base_env;
-    BranchExecStats local_stats;
+    BranchExecStats local_stats = build_stats;
     DATACON_RETURN_IF_ERROR(
         pipeline.Descend(0, eval, env, out, &local_stats));
     if (stats != nullptr) *stats = local_stats;
@@ -250,6 +275,12 @@ Status ExecuteBranch(const Branch& branch,
     chunk_outs.emplace_back(out->schema());
   }
 
+  // A runtime error in any chunk makes the whole fan-out moot: `failed` is
+  // a cooperative abort flag so the remaining chunks stop scanning instead
+  // of burning the pool on a doomed branch. It never influences the result
+  // or the counters of a successful execution (it is only set on error).
+  std::atomic<bool> failed{false};
+
   const size_t total = outer_tuples.size();
   for (size_t c = 0; c < chunk_count; ++c) {
     const size_t begin = total * c / chunk_count;
@@ -259,26 +290,56 @@ Status ExecuteBranch(const Branch& branch,
       Relation* chunk_out = &chunk_outs[c];
       BranchExecStats* cs = &chunk_stats[c];
       Status status = Status::OK();
-      for (size_t i = begin; i < end && status.ok(); ++i) {
+      for (size_t i = begin;
+           i < end && status.ok() && !failed.load(std::memory_order_relaxed);
+           ++i) {
         status = pipeline.TryTuple(0, *outer_tuples[i], worker_eval, env,
                                    chunk_out, cs);
       }
+      if (!status.ok()) failed.store(true, std::memory_order_relaxed);
       chunk_status[c] = std::move(status);
     });
   }
   pool->Wait();
 
-  for (size_t c = 0; c < chunk_count; ++c) {
-    DATACON_RETURN_IF_ERROR(chunk_status[c]);
+  // Error determinism: which chunk fails first depends on worker timing
+  // (the abort flag may have stopped a low chunk before it reached its own
+  // error), so on any failure the error to surface is recomputed by a
+  // serial scan in tuple order — the same first-by-tuple-order error the
+  // THREADS=1 path reports, at the cost of one extra scan on the (already
+  // doomed) error path only.
+  bool any_failed = false;
+  for (size_t c = 0; c < chunk_count && !any_failed; ++c) {
+    any_failed = !chunk_status[c].ok();
+  }
+  if (any_failed) {
+    Environment env = base_env;
+    Relation scratch(out->schema());
+    BranchExecStats discard;
+    Status serial = Status::OK();
+    for (size_t i = 0; i < total && serial.ok(); ++i) {
+      serial = pipeline.TryTuple(0, *outer_tuples[i], worker_eval, env,
+                                 &scratch, &discard);
+    }
+    if (!serial.ok()) return serial;
+    // The serial re-scan did not reproduce the failure (it cannot see
+    // cross-chunk effects); fall back to the lowest failed chunk.
+    for (size_t c = 0; c < chunk_count; ++c) {
+      DATACON_RETURN_IF_ERROR(chunk_status[c]);
+    }
   }
 
   // Merge. `inserted` is counted against the shared output, not the chunk
   // outputs: two chunks may both derive a tuple (each locally "new"), but
   // the branch contributed it once.
   const size_t before = out->size();
-  BranchExecStats merged;
+  BranchExecStats merged = build_stats;
+  merged.snapshots = 1;
+  merged.chunks = chunk_count;
   for (size_t c = 0; c < chunk_count; ++c) {
     merged.env_count += chunk_stats[c].env_count;
+    merged.outer_tuples += chunk_stats[c].outer_tuples;
+    merged.index_probes += chunk_stats[c].index_probes;
     DATACON_RETURN_IF_ERROR(out->InsertAll(chunk_outs[c]));
   }
   merged.inserted = out->size() - before;

@@ -21,12 +21,27 @@ struct ResolvedBinding {
   const Relation* relation;
 };
 
-/// Statistics of one branch execution, reported to benchmarks and EXPLAIN.
+/// Statistics of one branch execution, reported to benchmarks, EXPLAIN
+/// ANALYZE, and the fixpoint profile. All counters except the two marked
+/// "execution detail" are deterministic: bit-identical at every thread
+/// count, because they count logical work (which tuples were scanned,
+/// probed, considered), not how that work was scheduled.
 struct BranchExecStats {
   /// Environments reaching the innermost level (tuples considered).
   size_t env_count = 0;
   /// Tuples inserted into the output (new, after deduplication).
   size_t inserted = 0;
+  /// Tuples scanned at the outermost level (serial or summed over chunks).
+  size_t outer_tuples = 0;
+  /// Hash indexes built for inner join levels.
+  size_t index_builds = 0;
+  /// Probe calls against those indexes (one per key lookup).
+  size_t index_probes = 0;
+  /// Execution detail: snapshot-resolver materializations before a fan-out.
+  /// Varies with the thread count (0 on the serial path).
+  size_t snapshots = 0;
+  /// Execution detail: chunks dispatched to the worker pool.
+  size_t chunks = 0;
 };
 
 /// Executes one constructive branch:

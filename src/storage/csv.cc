@@ -21,16 +21,34 @@ std::string QuoteField(const std::string& s) {
   return out;
 }
 
-std::string ValueToCsv(const Value& v) {
+Result<std::string> ValueToCsv(const Value& v) {
   switch (v.type()) {
     case ValueType::kInt:
       return std::to_string(v.AsInt());
     case ValueType::kString:
       return QuoteField(v.AsString());
     case ValueType::kBool:
-      return v.AsBool() ? "TRUE" : "FALSE";
+      return std::string(v.AsBool() ? "TRUE" : "FALSE");
   }
-  return "";
+  // Reachable only through memory corruption or an unhandled ValueType
+  // added later — either way an engine bug, not bad user input, and never
+  // silently an empty cell.
+  return Status::Internal("ValueToCsv: unknown value type " +
+                          std::to_string(static_cast<int>(v.type())));
+}
+
+/// Removes one trailing '\r' (a CRLF line read by getline) in place.
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+/// Removes a leading UTF-8 byte-order mark in place (files exported by
+/// Windows tooling routinely start with one).
+void StripUtf8Bom(std::string* line) {
+  if (line->size() >= 3 && (*line)[0] == '\xEF' && (*line)[1] == '\xBB' &&
+      (*line)[2] == '\xBF') {
+    line->erase(0, 3);
+  }
 }
 
 /// Splits one CSV line into raw cells honouring quoting. Returns an error
@@ -65,7 +83,6 @@ Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
       current.clear();
       continue;
     }
-    if (c == '\r') continue;
     current.push_back(c);
   }
   if (in_quotes) {
@@ -111,7 +128,8 @@ Status WriteCsv(const Relation& rel, std::ostream* out) {
   for (const Tuple& t : rel.SortedTuples()) {
     for (int i = 0; i < t.arity(); ++i) {
       if (i > 0) *out << ",";
-      *out << ValueToCsv(t.value(i));
+      DATACON_ASSIGN_OR_RETURN(std::string cell, ValueToCsv(t.value(i)));
+      *out << cell;
     }
     *out << "\n";
   }
@@ -124,6 +142,8 @@ Result<Relation> ReadCsv(std::istream* in, const Schema& schema) {
   if (!std::getline(*in, line)) {
     return Status::ParseError("CSV input has no header row");
   }
+  StripUtf8Bom(&line);
+  StripTrailingCr(&line);
   DATACON_ASSIGN_OR_RETURN(std::vector<std::string> header,
                            SplitCsvLine(line));
   if (static_cast<int>(header.size()) != schema.arity()) {
@@ -145,6 +165,7 @@ Result<Relation> ReadCsv(std::istream* in, const Schema& schema) {
   size_t line_number = 1;
   while (std::getline(*in, line)) {
     ++line_number;
+    StripTrailingCr(&line);
     if (line.empty()) continue;
     DATACON_ASSIGN_OR_RETURN(std::vector<std::string> cells,
                              SplitCsvLine(line));

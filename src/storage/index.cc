@@ -3,7 +3,7 @@
 namespace datacon {
 
 HashIndex::HashIndex(const Relation& rel, std::vector<int> columns)
-    : columns_(std::move(columns)) {
+    : rel_(&rel), size_at_build_(rel.size()), columns_(std::move(columns)) {
   buckets_.reserve(rel.size());
   for (const Tuple& t : rel.tuples()) {
     buckets_[t.Project(columns_)].push_back(&t);
@@ -15,5 +15,7 @@ const std::vector<const Tuple*>& HashIndex::Probe(const Tuple& key) const {
   if (it == buckets_.end()) return empty_;
   return it->second;
 }
+
+bool HashIndex::InSync() const { return rel_->size() == size_at_build_; }
 
 }  // namespace datacon

@@ -16,7 +16,10 @@ namespace datacon {
 /// access paths, section 4). The index holds pointers into the indexed
 /// relation's tuple set; it is valid as long as no tuple is erased from the
 /// relation (inserts do not invalidate unordered_set element pointers, but
-/// tuples inserted after construction are of course not indexed).
+/// tuples inserted after construction are not indexed — a probe would
+/// silently miss them). `rel` must outlive the index; InSync() lets the
+/// join machinery detect the grown-after-build hazard instead of
+/// miscomputing.
 class HashIndex {
  public:
   /// Builds an index of `rel` on the given column positions.
@@ -31,7 +34,17 @@ class HashIndex {
   /// Number of distinct keys.
   size_t key_count() const { return buckets_.size(); }
 
+  /// Tuples the indexed relation held when the index was built.
+  size_t size_at_build() const { return size_at_build_; }
+
+  /// True while the indexed relation still has exactly the tuples that were
+  /// indexed. False once it grew (or shrank) — probing then returns stale
+  /// results and must be treated as an error by the caller.
+  bool InSync() const;
+
  private:
+  const Relation* rel_;
+  size_t size_at_build_;
   std::vector<int> columns_;
   std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets_;
   std::vector<const Tuple*> empty_;

@@ -1,0 +1,130 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace datacon {
+namespace {
+
+TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
+  Timer t;
+  int64_t a = t.ElapsedNs();
+  int64_t b = t.ElapsedNs();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  // Burn a little time so the pre-reset reading is strictly positive.
+  volatile int64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  int64_t before = t.ElapsedNs();
+  t.Reset();
+  EXPECT_LE(t.ElapsedNs(), before + 1'000'000'000);
+  EXPECT_GT(before, 0);
+}
+
+TEST(FormatDuration, PicksUnitByMagnitude) {
+  EXPECT_EQ(FormatDurationNs(0), "0 ns");
+  EXPECT_EQ(FormatDurationNs(412), "412 ns");
+  EXPECT_EQ(FormatDurationNs(9'999), "9999 ns");
+  EXPECT_EQ(FormatDurationNs(3'210'000), "3210.00 us");
+  EXPECT_EQ(FormatDurationNs(12'500), "12.50 us");
+  EXPECT_EQ(FormatDurationNs(12'500'000), "12.50 ms");
+  EXPECT_EQ(FormatDurationNs(12'500'000'000), "12.50 s");
+  EXPECT_EQ(FormatDurationNs(-1), "-");
+}
+
+TEST(CounterSet, AddAndGet) {
+  CounterSet c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.Get("missing"), 0);
+  c.Add("probes", 3);
+  c.Add("probes", 4);
+  c.Add("builds", 1);
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c.Get("probes"), 7);
+  EXPECT_EQ(c.Get("builds"), 1);
+}
+
+TEST(CounterSet, PreservesInsertionOrder) {
+  CounterSet c;
+  c.Add("z", 1);
+  c.Add("a", 2);
+  c.Add("m", 3);
+  c.Add("z", 1);  // update must not reorder
+  ASSERT_EQ(c.entries().size(), 3u);
+  EXPECT_EQ(c.entries()[0].first, "z");
+  EXPECT_EQ(c.entries()[1].first, "a");
+  EXPECT_EQ(c.entries()[2].first, "m");
+  EXPECT_EQ(c.entries()[0].second, 2);
+}
+
+TEST(ProfileNode, TreeConstructionAndFind) {
+  ProfileNode root("evaluation");
+  ProfileNode* comp = root.AddChild("component [E {tc}]");
+  ProfileNode* round = comp->AddChild("round 1");
+  round->counters().Add("tuples_considered", 5);
+  EXPECT_EQ(root.Find("round 1"), round);
+  EXPECT_EQ(root.Find("component [E {tc}]"), comp);
+  EXPECT_EQ(root.Find("evaluation"), &root);
+  EXPECT_EQ(root.Find("absent"), nullptr);
+}
+
+TEST(ProfileNode, ToTextIndentsAndMarksExecCounters) {
+  ProfileNode root("evaluation");
+  root.set_elapsed_ns(5000);
+  ProfileNode* child = root.AddChild("round 1");
+  child->counters().Add("delta", 7);
+  child->exec().Add("chunks", 4);
+  std::string text = root.ToText();
+  EXPECT_NE(text.find("evaluation  (5000 ns)\n"), std::string::npos);
+  EXPECT_NE(text.find("  round 1  delta=7  ~chunks=4"), std::string::npos);
+}
+
+TEST(ProfileNode, ToJsonShape) {
+  ProfileNode root("q");
+  root.set_elapsed_ns(42);
+  root.counters().Add("rounds", 3);
+  root.AddChild("child");
+  EXPECT_EQ(root.ToJson(),
+            "{\"name\":\"q\",\"elapsed_ns\":42,\"counters\":{\"rounds\":3},"
+            "\"exec\":{},\"children\":[{\"name\":\"child\",\"elapsed_ns\":-1,"
+            "\"counters\":{},\"exec\":{},\"children\":[]}]}");
+}
+
+TEST(ProfileNode, JsonEscapesSpecialCharacters) {
+  ProfileNode root("a \"b\" \\ c\n");
+  std::string json = root.ToJson();
+  EXPECT_NE(json.find("\\\"b\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\ c\\n"), std::string::npos);
+}
+
+TEST(ProfileNode, CounterDigestIgnoresTimingAndExec) {
+  // Two trees identical in logical counters but with different wall times
+  // and scheduling detail must produce the same digest — this is the
+  // contract the cross-thread-count determinism test relies on.
+  ProfileNode a("evaluation");
+  a.set_elapsed_ns(100);
+  ProfileNode* ra = a.AddChild("round 1");
+  ra->counters().Add("delta", 9);
+  ra->exec().Add("chunks", 1);
+
+  ProfileNode b("evaluation");
+  b.set_elapsed_ns(999'999);
+  ProfileNode* rb = b.AddChild("round 1");
+  rb->counters().Add("delta", 9);
+  rb->exec().Add("chunks", 8);
+  rb->exec().Add("snapshots", 2);
+
+  EXPECT_EQ(a.CounterDigest(), b.CounterDigest());
+  EXPECT_NE(a.ToJson(), b.ToJson());
+
+  // A logical-counter difference must change the digest.
+  rb->counters().Add("delta", 1);
+  EXPECT_NE(a.CounterDigest(), b.CounterDigest());
+}
+
+}  // namespace
+}  // namespace datacon

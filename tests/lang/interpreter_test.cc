@@ -110,6 +110,76 @@ TEST(Interpreter, ExplainProducesReport) {
   EXPECT_NE(text.find("capture rule"), std::string::npos);
 }
 
+TEST(Interpreter, ExplainAnalyzeRendersProfileAndResult) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  Status s = interp.Execute("EXPLAIN ANALYZE Infront {ahead};");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(interp.results().size(), 1u);
+  const std::string& text = interp.results()[0].text;
+  // The plan part is still there...
+  EXPECT_NE(text.find("Infront {ahead}"), std::string::npos);
+  // ...followed by the profile tree and the result summary.
+  EXPECT_NE(text.find("analyze:"), std::string::npos);
+  EXPECT_NE(text.find("evaluation"), std::string::npos);
+  EXPECT_NE(text.find("result: 6 tuple(s)"), std::string::npos);
+  // Unlike plain EXPLAIN, the query was actually evaluated.
+  EXPECT_EQ(interp.results()[0].relation.size(), 6u);
+  // EXPLAIN ANALYZE forces profiling per query; it must not leave the
+  // session-wide setting on.
+  EXPECT_FALSE(db.options().eval.profile);
+}
+
+TEST(Interpreter, ExplainAnalyzeShowsFixpointRounds) {
+  // A doubly-recursive constructor dodges the transitive-closure capture
+  // rule, so the generic semi-naive engine runs and the profile must list
+  // each round with its delta size.
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(R"(
+TYPE t = RELATION OF RECORD a, b: INTEGER END;
+VAR E: t;
+CONSTRUCTOR tc2 FOR Rel: t (): t;
+BEGIN EACH r IN Rel: TRUE,
+      <x.a, y.b> OF EACH x IN Rel {tc2}, EACH y IN Rel {tc2}: x.b = y.a
+END tc2;
+INSERT INTO E <1, 2>, <2, 3>, <3, 4>;
+)").ok());
+  Status s = interp.Execute("EXPLAIN ANALYZE E {tc2};");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::string& text = interp.results()[0].text;
+  EXPECT_NE(text.find("component [E {tc2}] (semi-naive)"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rounds=4"), std::string::npos) << text;
+  EXPECT_NE(text.find("round 1 (seed)"), std::string::npos) << text;
+  EXPECT_NE(text.find("delta[E {tc2}]=2"), std::string::npos) << text;
+  EXPECT_NE(text.find("result: 6 tuple(s), 4 round(s)"), std::string::npos)
+      << text;
+}
+
+TEST(Interpreter, PragmaProfileTogglesCollection) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  EXPECT_FALSE(db.options().eval.profile);
+  ASSERT_TRUE(interp.Execute("PRAGMA PROFILE = ON;").ok());
+  EXPECT_TRUE(db.options().eval.profile);
+  ASSERT_TRUE(interp.Execute("QUERY Infront {ahead};").ok());
+  EXPECT_NE(db.last_profile(), nullptr);
+  ASSERT_TRUE(interp.Execute("PRAGMA PROFILE = OFF;").ok());
+  EXPECT_FALSE(db.options().eval.profile);
+  ASSERT_TRUE(interp.Execute("QUERY Infront {ahead};").ok());
+  EXPECT_EQ(db.last_profile(), nullptr);
+}
+
+TEST(Interpreter, PragmaProfileRejectsOtherIntegers) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_EQ(interp.Execute("PRAGMA PROFILE = 2;").code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(Interpreter, SymbolsPersistAcrossExecuteCalls) {
   Database db;
   Interpreter interp(&db);

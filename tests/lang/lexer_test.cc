@@ -33,6 +33,13 @@ TEST(Lexer, KeywordsAreCaseSensitive) {
   EXPECT_TRUE(tokens[1].IsKeyword("EACH"));
 }
 
+TEST(Lexer, AnalyzeIsAKeyword) {
+  std::vector<Token> tokens = MustLex("EXPLAIN ANALYZE analyze");
+  EXPECT_TRUE(tokens[0].IsKeyword("EXPLAIN"));
+  EXPECT_TRUE(tokens[1].IsKeyword("ANALYZE"));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+}
+
 TEST(Lexer, IntegerLiterals) {
   std::vector<Token> tokens = MustLex("0 42 100");
   EXPECT_EQ(tokens[0].int_value, 0);

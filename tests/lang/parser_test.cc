@@ -228,8 +228,35 @@ TEST(Parser, AssignThroughSelector) {
 TEST(Parser, ExplainStatement) {
   SymbolSeed seed = CadSeed();
   Script s = MustParse("EXPLAIN Infront {ahead};", &seed);
-  EXPECT_EQ(ToString(*std::get<ExplainStmt>(s.stmts[0]).range),
-            "Infront {ahead}");
+  const auto& stmt = std::get<ExplainStmt>(s.stmts[0]);
+  EXPECT_EQ(ToString(*stmt.range), "Infront {ahead}");
+  EXPECT_FALSE(stmt.analyze);
+}
+
+TEST(Parser, ExplainAnalyzeStatement) {
+  SymbolSeed seed = CadSeed();
+  Script s = MustParse("EXPLAIN ANALYZE Infront {ahead};", &seed);
+  const auto& stmt = std::get<ExplainStmt>(s.stmts[0]);
+  EXPECT_EQ(ToString(*stmt.range), "Infront {ahead}");
+  EXPECT_TRUE(stmt.analyze);
+}
+
+TEST(Parser, PragmaAcceptsIntegerAndOnOff) {
+  Script s = MustParse(
+      "PRAGMA THREADS = 4; PRAGMA PROFILE = ON; PRAGMA PROFILE = OFF;");
+  ASSERT_EQ(s.stmts.size(), 3u);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[0]).name, "THREADS");
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[0]).value, 4);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[1]).name, "PROFILE");
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[1]).value, 1);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[2]).value, 0);
+}
+
+TEST(Parser, PragmaRejectsOtherValues) {
+  EXPECT_EQ(ParseScript("PRAGMA PROFILE = maybe;").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseScript("PRAGMA PROFILE = \"ON\";").status().code(),
+            StatusCode::kParseError);
 }
 
 TEST(Parser, QuantifierPredicates) {

@@ -101,6 +101,63 @@ TEST(Csv, BlankLinesSkipped) {
   EXPECT_EQ(loaded->size(), 1u);
 }
 
+TEST(Csv, CrlfLineEndingsAccepted) {
+  // Files written on Windows terminate lines with \r\n; getline leaves the
+  // \r on the line and the reader must strip it — including on the header
+  // and on a blank \r\n line.
+  std::istringstream in(
+      "name,count,flag\r\n\"a\",1,TRUE\r\n\r\n\"b\",-2,FALSE\r\n");
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_TRUE(loaded->Contains(
+      Tuple({Value::String("b"), Value::Int(-2), Value::Bool(false)})));
+}
+
+TEST(Csv, CarriageReturnInsideQuotedFieldSurvives) {
+  // Only the line terminator's \r may be stripped; a literal \r embedded
+  // in a quoted string field is data.
+  std::istringstream in("name,count,flag\n\"a\rb\",1,TRUE\n");
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->Contains(
+      Tuple({Value::String("a\rb"), Value::Int(1), Value::Bool(true)})));
+}
+
+TEST(Csv, Utf8BomStripped) {
+  std::istringstream in("\xEF\xBB\xBFname,count,flag\n\"a\",1,TRUE\n");
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(Csv, BomOnlyStrippedFromHeader) {
+  // A BOM-looking byte sequence in a data cell is content, not an
+  // encoding marker.
+  std::istringstream in("name,count,flag\n\"\xEF\xBB\xBFx\",1,TRUE\n");
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->Contains(Tuple(
+      {Value::String("\xEF\xBB\xBFx"), Value::Int(1), Value::Bool(true)})));
+}
+
+TEST(Csv, CrlfRoundTrip) {
+  Relation r = SampleRelation();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(r, &out).ok());
+  // Simulate a Windows transfer: rewrite every \n as \r\n, then re-read.
+  std::string text = out.str();
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf.push_back(c);
+  }
+  std::istringstream in(crlf);
+  Result<Relation> loaded = ReadCsv(&in, MixedSchema());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->SameTuples(r));
+}
+
 TEST(Csv, FileRoundTrip) {
   Relation r = SampleRelation();
   const std::string path = ::testing::TempDir() + "/datacon_csv_test.csv";

@@ -59,5 +59,28 @@ TEST(HashIndex, ColumnsAccessor) {
   EXPECT_EQ(index.columns(), (std::vector<int>{1, 0}));
 }
 
+TEST(HashIndex, InSyncTracksRelationSize) {
+  Relation r = EdgeRelation({{1, 2}, {2, 3}});
+  HashIndex index(r, {0});
+  EXPECT_EQ(index.size_at_build(), 2u);
+  EXPECT_TRUE(index.InSync());
+
+  // Growing the relation after the build makes the index stale: a probe
+  // silently misses the new tuple, which is exactly the bug the InSync
+  // guard exists to catch.
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(9)})).ok());
+  EXPECT_FALSE(index.InSync());
+  EXPECT_EQ(index.Probe(Tuple({Value::Int(1)})).size(), 1u);
+}
+
+TEST(HashIndex, InSyncAfterDuplicateInsert) {
+  // Set semantics: re-inserting an existing tuple does not grow the
+  // relation, so the index stays in sync.
+  Relation r = EdgeRelation({{1, 2}});
+  HashIndex index(r, {0});
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_TRUE(index.InSync());
+}
+
 }  // namespace
 }  // namespace datacon
