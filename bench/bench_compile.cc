@@ -130,6 +130,22 @@ void BM_Level1Analysis(benchmark::State& state) {
 
 BENCHMARK(BM_Level1Analysis)->Arg(1)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
 
+// The lint pipeline is level-1 work too: name resolution, rule-safety,
+// constant folding, and per-SCC recursion classification over the whole
+// catalog. Expected shape: linear in m, dominated by branch walking.
+void BM_LintPipeline(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Database db;
+  Interpreter interp(&db);
+  Must(interp.Execute(DefinitionFamily(m)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Lint().diagnostics.size());
+  }
+  state.counters["constructors"] = static_cast<double>(m);
+}
+
+BENCHMARK(BM_LintPipeline)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
 void BM_DefinitionPartitioning(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
   Database db;

@@ -9,16 +9,23 @@
 //   ....>   <f.a, b.b> OF EACH f IN Rel, EACH b IN Rel {tc}: f.b = b.a
 //   ....>   END tc;
 //   dbpl> QUERY E {tc};
+//   dbpl> CHECK tc;
+//   dbpl> PRAGMA LINT = ON;
 //
 // Statements end with ';'; multi-line input is accumulated until the
 // declaration-aware heuristic sees a complete statement (declarations end
 // at the ';' after 'END <name>'). Reads from stdin, so it also runs
 // scripts: ./build/examples/dbpl_repl < program.dbpl
+//
+// Lint diagnostics (from CHECK statements or definitions under
+// `PRAGMA LINT = ON;`) print with their line:column span, colored by
+// severity when stdout is a terminal.
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
+#include "analysis/diagnostic.h"
 #include "lang/interpreter.h"
 
 namespace {
@@ -43,12 +50,28 @@ bool StatementComplete(const std::string& buffer) {
   return last != std::string::npos && buffer[last] == ';';
 }
 
+/// "line:col: severity CODE: message" with the severity colored (errors
+/// red, warnings yellow) when printing to a terminal.
+void PrintDiagnostic(const datacon::Diagnostic& d, bool color) {
+  const char* tint = !color ? ""
+                     : d.severity == datacon::Severity::kError ? "\x1b[31m"
+                                                               : "\x1b[33m";
+  const char* reset = color ? "\x1b[0m" : "";
+  if (d.loc.valid()) {
+    std::printf("%s: ", d.loc.ToString().c_str());
+  }
+  std::printf("%s%s %s%s: %s\n", tint,
+              std::string(datacon::SeverityName(d.severity)).c_str(),
+              d.code.c_str(), reset, d.message.c_str());
+}
+
 }  // namespace
 
 int main() {
   datacon::Database db;
   datacon::Interpreter interp(&db);
   bool interactive = isatty(0);
+  bool color = isatty(1);
 
   std::string buffer;
   std::string line;
@@ -69,6 +92,10 @@ int main() {
     }
     datacon::Status status = interp.Execute(buffer);
     buffer.clear();
+    for (const datacon::Diagnostic& d : interp.diagnostics()) {
+      PrintDiagnostic(d, color);
+    }
+    interp.ClearDiagnostics();
     if (!status.ok()) {
       std::printf("error: %s\n", status.ToString().c_str());
     }

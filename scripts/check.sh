@@ -13,6 +13,11 @@ cmake --build build -j
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j)
 
+echo "== lint: example corpus =="
+# Every shipped example must be clean even with warnings promoted (the
+# lint_example_* ctest entries check the same thing file by file).
+./build/tools/datacon-lint --werror examples/dbpl/*.dbpl
+
 echo "== tsan: build =="
 cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Optional static-analysis pass: runs clang-tidy (config in .clang-tidy)
+# over the library, tool, and example sources against the compile commands
+# of a normal build. Not part of tier-1 — advisory output only, but the
+# exit status is clang-tidy's, so CI jobs may opt in to enforcing it.
+#
+# Usage: scripts/tidy.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not found; skipping (install it to run this pass)" >&2
+  exit 0
+fi
+
+build_dir="${1:-build}"
+cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# Sources only — headers are covered through HeaderFilterRegex.
+mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tools/*.cc' \
+  'examples/*.cpp')
+
+clang-tidy -p "$build_dir" "${sources[@]}"

@@ -1,0 +1,46 @@
+// Definitions of the Database lint entry points declared in core/database.h.
+// They live in datacon_analysis (not datacon_core) so that core does not
+// depend on the analysis library; only callers of Database::Lint link it.
+
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "core/database.h"
+
+namespace datacon {
+
+namespace {
+
+LintOptions OptionsOf(const DatabaseOptions& db_options) {
+  LintOptions options;
+  options.allow_stratified_negation = db_options.allow_stratified_negation;
+  return options;
+}
+
+}  // namespace
+
+LintReport Database::Lint() const {
+  return LintCatalogDecls(catalog_, OptionsOf(options_));
+}
+
+Result<LintReport> Database::Lint(const std::string& name) const {
+  LintReport report;
+  Result<const SelectorDecl*> selector = catalog_.LookupSelector(name);
+  if (selector.ok()) {
+    report.Append(LintSelector(*selector.value(), catalog_));
+  } else {
+    auto it = catalog_.constructors().find(name);
+    if (it == catalog_.constructors().end()) {
+      return Status::NotFound("no selector or constructor named '" + name +
+                              "'");
+    }
+    // The group API so recursion classification sees the whole catalog.
+    report.Append(
+        LintConstructorGroup({it->second}, catalog_, OptionsOf(options_)));
+  }
+  report.SortBySpan();
+  return report;
+}
+
+}  // namespace datacon

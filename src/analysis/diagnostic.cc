@@ -1,0 +1,240 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <utility>
+
+namespace datacon {
+
+namespace {
+
+struct CodeEntry {
+  std::string_view code;
+  std::string_view meaning;
+};
+
+/// The registry behind DiagnosticCodeMeaning/AllDiagnosticCodes. Order is
+/// errors first, numerically — the order DESIGN.md documents them in.
+constexpr std::array<CodeEntry, 16> kCodeTable = {{
+    {kDiagParseError, "the source fragment failed to parse"},
+    {kDiagUnknownName,
+     "a relation, selector, constructor, or parameter name is not declared"},
+    {kDiagTypeError, "the declaration failed the level-1 type checker"},
+    {kDiagNonStratifiable,
+     "a constructed range occurs under an odd number of NOTs/ALLs inside its "
+     "own recursive component (no stratification can evaluate it)"},
+    {kDiagRedefinition, "the name is already defined"},
+    {kDiagUnsafeVariable,
+     "a target or predicate variable is not bound by any range"},
+    {kDiagUnusedBinding,
+     "a tuple variable is bound by EACH but used neither in the predicate "
+     "nor in the target list"},
+    {kDiagUnusedParameter,
+     "a declared scalar or relation parameter is never referenced"},
+    {kDiagShadowedName,
+     "a tuple or quantifier variable shadows a scalar parameter or an "
+     "enclosing variable"},
+    {kDiagCrossProduct,
+     "a branch's bindings are not connected by any shared conjunct; the "
+     "branch enumerates a cross product"},
+    {kDiagAlwaysFalseBranch,
+     "the branch predicate folds to FALSE; the branch never produces tuples"},
+    {kDiagConstantConjunct,
+     "a conjunct folds to TRUE and never restricts the branch"},
+    {kDiagDuplicateBranch, "the branch repeats an earlier branch verbatim"},
+    {kDiagNonDifferentiable,
+     "a recursive reference occurs inside the branch predicate; semi-naive "
+     "evaluation falls back to full re-evaluation for this branch"},
+    {kDiagNonLinearRecursion,
+     "the branch binds two or more recursive ranges (non-linear recursion); "
+     "each fixpoint round is quadratic in the new tuples"},
+    {kDiagStratifiedNegation,
+     "a constructed range of a lower stratum occurs under an odd number of "
+     "NOTs/ALLs; accepted only with allow_stratified_negation"},
+}};
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(c >> 4) & 0xf]);
+          out->push_back(kHex[c & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string_view SeverityName(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string_view DiagnosticCodeMeaning(std::string_view code) {
+  for (const CodeEntry& entry : kCodeTable) {
+    if (entry.code == code) return entry.meaning;
+  }
+  return {};
+}
+
+std::vector<std::string_view> AllDiagnosticCodes() {
+  std::vector<std::string_view> out;
+  out.reserve(kCodeTable.size());
+  for (const CodeEntry& entry : kCodeTable) out.push_back(entry.code);
+  return out;
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out;
+  if (loc.valid()) out += loc.ToString() + ": ";
+  out += SeverityName(severity);
+  out += " ";
+  out += code;
+  out += ": ";
+  out += message;
+  return out;
+}
+
+std::string Diagnostic::ToJson() const {
+  std::string out = "{\"code\":";
+  AppendJsonString(&out, code);
+  out += ",\"severity\":";
+  AppendJsonString(&out, SeverityName(severity));
+  out += ",\"line\":" + std::to_string(loc.line);
+  out += ",\"column\":" + std::to_string(loc.column);
+  out += ",\"message\":";
+  AppendJsonString(&out, message);
+  out += "}";
+  return out;
+}
+
+Diagnostic MakeDiagnostic(std::string_view code, std::string message,
+                          SourceLoc loc) {
+  Diagnostic d;
+  d.code = std::string(code);
+  d.severity = !code.empty() && code[0] == 'E' ? Severity::kError
+                                               : Severity::kWarning;
+  d.message = std::move(message);
+  d.loc = loc;
+  return d;
+}
+
+Diagnostic DiagnosticFromStatus(const Status& status) {
+  std::string_view code;
+  switch (status.code()) {
+    case StatusCode::kParseError:
+      code = kDiagParseError;
+      break;
+    case StatusCode::kNotFound:
+      code = kDiagUnknownName;
+      break;
+    case StatusCode::kAlreadyExists:
+      code = kDiagRedefinition;
+      break;
+    case StatusCode::kPositivityViolation:
+      code = kDiagNonStratifiable;
+      break;
+    default:
+      code = kDiagTypeError;
+      break;
+  }
+  // Parser and lexer errors embed "at line L, column C"; recover the span so
+  // E100 points at the offending token.
+  SourceLoc loc;
+  const std::string& msg = status.message();
+  size_t at = msg.rfind("at line ");
+  if (at != std::string::npos) {
+    int line = 0, column = 0;
+    size_t p = at + 8;
+    while (p < msg.size() && std::isdigit(static_cast<unsigned char>(msg[p]))) {
+      line = line * 10 + (msg[p++] - '0');
+    }
+    size_t col = msg.find("column ", p);
+    if (col != std::string::npos) {
+      p = col + 7;
+      while (p < msg.size() &&
+             std::isdigit(static_cast<unsigned char>(msg[p]))) {
+        column = column * 10 + (msg[p++] - '0');
+      }
+    }
+    loc = SourceLoc{line, column};
+  }
+  return MakeDiagnostic(code, status.message(), loc);
+}
+
+bool LintReport::HasErrors() const { return error_count() > 0; }
+
+size_t LintReport::error_count() const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t LintReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+void LintReport::Append(std::vector<Diagnostic> ds) {
+  for (Diagnostic& d : ds) diagnostics.push_back(std::move(d));
+}
+
+void LintReport::SortBySpan() {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.valid() != b.loc.valid()) return a.loc.valid();
+                     if (a.loc.line != b.loc.line) return a.loc.line < b.loc.line;
+                     if (a.loc.column != b.loc.column) {
+                       return a.loc.column < b.loc.column;
+                     }
+                     return a.code < b.code;
+                   });
+}
+
+std::string LintReport::ToText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.ToString();
+    out += "\n";
+  }
+  if (!diagnostics.empty()) {
+    out += std::to_string(error_count()) + " error(s), " +
+           std::to_string(warning_count()) + " warning(s)\n";
+  }
+  return out;
+}
+
+std::string LintReport::ToJson() const {
+  std::string out = "{\"diagnostics\":[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    if (i > 0) out += ",";
+    out += diagnostics[i].ToJson();
+  }
+  out += "],\"errors\":" + std::to_string(error_count());
+  out += ",\"warnings\":" + std::to_string(warning_count());
+  out += "}";
+  return out;
+}
+
+}  // namespace datacon

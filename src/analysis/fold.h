@@ -1,0 +1,40 @@
+#ifndef DATACON_ANALYSIS_FOLD_H_
+#define DATACON_ANALYSIS_FOLD_H_
+
+#include <optional>
+
+#include "ast/pred.h"
+#include "ast/term.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Outcome of folding a predicate without data: provably TRUE, provably
+/// FALSE, or dependent on bindings/relation contents.
+enum class FoldOutcome {
+  kTrue,
+  kFalse,
+  kUnknown,
+};
+
+/// Evaluates `term` when it is constant: literals fold to themselves,
+/// integer arithmetic over foldable operands is computed (DIV/MOD by zero
+/// stays unfoldable), field and parameter references do not fold.
+std::optional<Value> FoldTerm(const Term& term);
+
+/// Folds `pred` without consulting any relation:
+///
+///  * TRUE/FALSE literals;
+///  * comparisons of two foldable terms of the same type;
+///  * comparisons of a term with itself (`x.a = x.a` is TRUE, `x.a # x.a`
+///    is FALSE) — detected syntactically on field references;
+///  * AND/OR/NOT by three-valued logic;
+///  * `SOME v IN r (FALSE)` is FALSE and `ALL v IN r (TRUE)` is TRUE
+///    regardless of the range's contents.
+///
+/// Membership tests and all other quantifiers are kUnknown.
+FoldOutcome FoldPred(const Pred& pred);
+
+}  // namespace datacon
+
+#endif  // DATACON_ANALYSIS_FOLD_H_

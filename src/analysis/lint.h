@@ -1,0 +1,62 @@
+#ifndef DATACON_ANALYSIS_LINT_H_
+#define DATACON_ANALYSIS_LINT_H_
+
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "core/catalog.h"
+
+namespace datacon {
+
+/// Knobs of the lint pipeline.
+struct LintOptions {
+  /// Mirrors DatabaseOptions::allow_stratified_negation: when set, an
+  /// odd-parity constructed range over a *different* recursion component is
+  /// reported as W212 (informative) instead of E103.
+  bool allow_stratified_negation = false;
+};
+
+/// Lints one selector declaration against `catalog` (which supplies the
+/// relations and selectors/constructors its predicate may reference).
+/// Reports E101 unknown names, E110 unsafe variables, W202 unused
+/// parameters, W203 shadowing, W205 always-false predicate, and W206
+/// constant conjuncts.
+std::vector<Diagnostic> LintSelector(const SelectorDecl& decl,
+                                     const Catalog& catalog);
+
+/// Lints a set of (possibly mutually recursive) constructors. Group members
+/// may reference each other and themselves even when not yet registered in
+/// `catalog` — the pre-definition path of `PRAGMA LINT = ON`. On top of the
+/// branch-level passes this classifies recursion per strongly connected
+/// component: W210 non-differentiable branches, W211 non-linear recursion,
+/// and E103/W212 for constructed ranges under odd NOT/ALL parity.
+std::vector<Diagnostic> LintConstructorGroup(
+    const std::vector<ConstructorDeclPtr>& group, const Catalog& catalog,
+    const LintOptions& options = {});
+
+/// LintConstructorGroup for a single constructor.
+std::vector<Diagnostic> LintConstructor(const ConstructorDecl& decl,
+                                        const Catalog& catalog,
+                                        const LintOptions& options = {});
+
+/// Lints a free-standing query expression (the branch-level passes only —
+/// a query cannot introduce recursion).
+std::vector<Diagnostic> LintQueryExpr(const CalcExpr& expr,
+                                      const Catalog& catalog);
+
+/// Lints a query range expression: E101 for unknown relation/selector/
+/// constructor names.
+std::vector<Diagnostic> LintQueryRange(const Range& range,
+                                       const Catalog& catalog);
+
+/// Lints every selector and constructor registered in `catalog`, sorted by
+/// source span. The whole-database entry point behind `Database::Lint` and
+/// `CHECK SCRIPT;`.
+LintReport LintCatalogDecls(const Catalog& catalog,
+                            const LintOptions& options = {});
+
+}  // namespace datacon
+
+#endif  // DATACON_ANALYSIS_LINT_H_

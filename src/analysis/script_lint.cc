@@ -1,0 +1,97 @@
+#include "analysis/script_lint.h"
+
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/catalog.h"
+
+namespace datacon {
+
+namespace {
+
+/// Stamps `loc` onto every diagnostic that has no span of its own (range
+/// expressions carry no positions; the statement's does).
+std::vector<Diagnostic> WithLoc(std::vector<Diagnostic> ds, SourceLoc loc) {
+  for (Diagnostic& d : ds) {
+    if (!d.loc.valid()) d.loc = loc;
+  }
+  return ds;
+}
+
+}  // namespace
+
+LintReport LintScript(const Script& script, const LintOptions& options) {
+  LintReport report;
+  Catalog catalog;
+  std::vector<ConstructorDeclPtr> group;
+
+  auto flush_group = [&] {
+    if (group.empty()) return;
+    report.Append(LintConstructorGroup(group, catalog, options));
+    for (const ConstructorDeclPtr& decl : group) {
+      // A duplicate name already produced E104 above; keep the first decl.
+      (void)catalog.DefineConstructor(decl);
+    }
+    group.clear();
+  };
+
+  auto lint_value = [&](const RelationExpr& value, SourceLoc loc) {
+    if (value.range != nullptr) {
+      report.Append(WithLoc(LintQueryRange(*value.range, catalog), loc));
+    }
+    if (value.expr != nullptr) {
+      report.Append(WithLoc(LintQueryExpr(*value.expr, catalog), loc));
+    }
+  };
+
+  for (const ScriptStmt& stmt : script.stmts) {
+    if (!std::holds_alternative<ConstructorStmt>(stmt)) flush_group();
+
+    if (const auto* type_decl = std::get_if<TypeDeclStmt>(&stmt)) {
+      if (type_decl->is_relation) {
+        Status s =
+            catalog.DefineRelationType(type_decl->name, type_decl->schema);
+        if (!s.ok()) report.Append(DiagnosticFromStatus(s));
+      }
+    } else if (const auto* var_decl = std::get_if<VarDeclStmt>(&stmt)) {
+      Status s = catalog.CreateRelation(var_decl->name, var_decl->type_name);
+      if (!s.ok()) report.Append(DiagnosticFromStatus(s));
+    } else if (const auto* selector = std::get_if<SelectorStmt>(&stmt)) {
+      report.Append(LintSelector(*selector->decl, catalog));
+      (void)catalog.DefineSelector(selector->decl);
+    } else if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
+      group.push_back(ctor->decl);
+    } else if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+      if (!catalog.LookupRelation(insert->relation).ok()) {
+        report.Append(MakeDiagnostic(
+            kDiagUnknownName, "unknown relation '" + insert->relation + "'",
+            insert->loc));
+      }
+    } else if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+      if (!catalog.LookupRelation(assign->relation).ok()) {
+        report.Append(MakeDiagnostic(
+            kDiagUnknownName, "unknown relation '" + assign->relation + "'",
+            assign->loc));
+      }
+      if (assign->selector.has_value() &&
+          !catalog.LookupSelector(*assign->selector).ok()) {
+        report.Append(MakeDiagnostic(
+            kDiagUnknownName, "unknown selector '" + *assign->selector + "'",
+            assign->loc));
+      }
+      lint_value(assign->value, assign->loc);
+    } else if (const auto* query = std::get_if<QueryStmt>(&stmt)) {
+      lint_value(query->value, query->loc);
+    } else if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
+      report.Append(
+          WithLoc(LintQueryRange(*explain->range, catalog), explain->loc));
+    }
+    // CheckStmt and PragmaStmt introduce no names and need no lint.
+  }
+  flush_group();
+  report.SortBySpan();
+  return report;
+}
+
+}  // namespace datacon

@@ -1,0 +1,21 @@
+#ifndef DATACON_ANALYSIS_SCRIPT_LINT_H_
+#define DATACON_ANALYSIS_SCRIPT_LINT_H_
+
+#include "analysis/diagnostic.h"
+#include "analysis/lint.h"
+#include "lang/script.h"
+
+namespace datacon {
+
+/// Lints a whole parsed program without executing it: declarations are
+/// registered into a scratch catalog in statement order (consecutive
+/// CONSTRUCTOR statements form one mutually recursive group, mirroring the
+/// interpreter), every declaration runs the definition passes, and
+/// QUERY/EXPLAIN/assignment expressions run the query passes. INSERT and
+/// PRAGMA statements only have their names resolved — no data is touched.
+/// The backend of `CHECK SCRIPT;` and the datacon-lint CLI.
+LintReport LintScript(const Script& script, const LintOptions& options = {});
+
+}  // namespace datacon
+
+#endif  // DATACON_ANALYSIS_SCRIPT_LINT_H_

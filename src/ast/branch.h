@@ -8,6 +8,7 @@
 
 #include "ast/pred.h"
 #include "ast/range.h"
+#include "ast/source_loc.h"
 #include "ast/term.h"
 
 namespace datacon {
@@ -16,6 +17,8 @@ namespace datacon {
 struct Binding {
   std::string var;
   RangePtr range;
+  /// Position of the binding's EACH keyword (invalid for built ASTs).
+  SourceLoc loc;
 };
 
 class Branch;
@@ -30,10 +33,12 @@ using BranchPtr = std::shared_ptr<const Branch>;
 class Branch {
  public:
   Branch(std::vector<Binding> bindings, PredPtr pred,
-         std::optional<std::vector<TermPtr>> targets = std::nullopt)
+         std::optional<std::vector<TermPtr>> targets = std::nullopt,
+         SourceLoc loc = {})
       : bindings_(std::move(bindings)),
         pred_(std::move(pred)),
-        targets_(std::move(targets)) {}
+        targets_(std::move(targets)),
+        loc_(loc) {}
 
   const std::vector<Binding>& bindings() const { return bindings_; }
   const PredPtr& pred() const { return pred_; }
@@ -44,10 +49,14 @@ class Branch {
     return targets_;
   }
 
+  /// Position where the branch starts (invalid for built ASTs).
+  const SourceLoc& loc() const { return loc_; }
+
  private:
   std::vector<Binding> bindings_;
   PredPtr pred_;
   std::optional<std::vector<TermPtr>> targets_;
+  SourceLoc loc_;
 };
 
 class CalcExpr;

@@ -104,7 +104,7 @@ inline PredPtr In(std::vector<TermPtr> tuple, RangePtr range) {
 // --- Branches and expressions ---
 
 inline Binding Each(std::string var, RangePtr range) {
-  return Binding{std::move(var), std::move(range)};
+  return Binding{std::move(var), std::move(range), SourceLoc{}};
 }
 
 /// A branch with an explicit target list.

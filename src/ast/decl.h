@@ -7,6 +7,7 @@
 
 #include "ast/branch.h"
 #include "ast/pred.h"
+#include "ast/source_loc.h"
 #include "types/value.h"
 
 namespace datacon {
@@ -34,12 +35,14 @@ struct FormalRelation {
 class SelectorDecl {
  public:
   SelectorDecl(std::string name, FormalRelation base,
-               std::vector<FormalScalar> params, std::string var, PredPtr pred)
+               std::vector<FormalScalar> params, std::string var, PredPtr pred,
+               SourceLoc loc = {})
       : name_(std::move(name)),
         base_(std::move(base)),
         params_(std::move(params)),
         var_(std::move(var)),
-        pred_(std::move(pred)) {}
+        pred_(std::move(pred)),
+        loc_(loc) {}
 
   const std::string& name() const { return name_; }
   const FormalRelation& base() const { return base_; }
@@ -47,6 +50,8 @@ class SelectorDecl {
   /// The element variable bound over the base relation.
   const std::string& var() const { return var_; }
   const PredPtr& pred() const { return pred_; }
+  /// Position of the SELECTOR keyword (invalid for built ASTs).
+  const SourceLoc& loc() const { return loc_; }
 
  private:
   std::string name_;
@@ -54,6 +59,7 @@ class SelectorDecl {
   std::vector<FormalScalar> params_;
   std::string var_;
   PredPtr pred_;
+  SourceLoc loc_;
 };
 
 using SelectorDeclPtr = std::shared_ptr<const SelectorDecl>;
@@ -72,13 +78,15 @@ class ConstructorDecl {
   ConstructorDecl(std::string name, FormalRelation base,
                   std::vector<FormalRelation> rel_params,
                   std::vector<FormalScalar> scalar_params,
-                  std::string result_type_name, CalcExprPtr body)
+                  std::string result_type_name, CalcExprPtr body,
+                  SourceLoc loc = {})
       : name_(std::move(name)),
         base_(std::move(base)),
         rel_params_(std::move(rel_params)),
         scalar_params_(std::move(scalar_params)),
         result_type_name_(std::move(result_type_name)),
-        body_(std::move(body)) {}
+        body_(std::move(body)),
+        loc_(loc) {}
 
   const std::string& name() const { return name_; }
   const FormalRelation& base() const { return base_; }
@@ -88,6 +96,8 @@ class ConstructorDecl {
   }
   const std::string& result_type_name() const { return result_type_name_; }
   const CalcExprPtr& body() const { return body_; }
+  /// Position of the CONSTRUCTOR keyword (invalid for built ASTs).
+  const SourceLoc& loc() const { return loc_; }
 
  private:
   std::string name_;
@@ -96,6 +106,7 @@ class ConstructorDecl {
   std::vector<FormalScalar> scalar_params_;
   std::string result_type_name_;
   CalcExprPtr body_;
+  SourceLoc loc_;
 };
 
 using ConstructorDeclPtr = std::shared_ptr<const ConstructorDecl>;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ast/range.h"
+#include "ast/source_loc.h"
 #include "ast/term.h"
 
 namespace datacon {
@@ -106,23 +107,28 @@ class NotPred : public Pred {
 /// under the ALL, while names occurring only in `pred` do not.
 class QuantPred : public Pred {
  public:
-  QuantPred(Quantifier quantifier, std::string var, RangePtr range, PredPtr body)
+  QuantPred(Quantifier quantifier, std::string var, RangePtr range,
+            PredPtr body, SourceLoc loc = {})
       : Pred(Kind::kQuant),
         quantifier_(quantifier),
         var_(std::move(var)),
         range_(std::move(range)),
-        body_(std::move(body)) {}
+        body_(std::move(body)),
+        loc_(loc) {}
 
   Quantifier quantifier() const { return quantifier_; }
   const std::string& var() const { return var_; }
   const RangePtr& range() const { return range_; }
   const PredPtr& body() const { return body_; }
+  /// Position of the SOME/ALL keyword (invalid for built ASTs).
+  const SourceLoc& loc() const { return loc_; }
 
  private:
   Quantifier quantifier_;
   std::string var_;
   RangePtr range_;
   PredPtr body_;
+  SourceLoc loc_;
 };
 
 /// Membership test `<t1, ..., tk> IN range` (a single term denotes the whole

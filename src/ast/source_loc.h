@@ -1,0 +1,35 @@
+#ifndef DATACON_AST_SOURCE_LOC_H_
+#define DATACON_AST_SOURCE_LOC_H_
+
+#include <string>
+
+namespace datacon {
+
+/// A source position (1-based line/column) carried from lexer tokens into
+/// AST nodes, so diagnostics can point at the offending branch or binding
+/// rather than at the enclosing statement. Programmatically built ASTs
+/// (tests, the build:: helpers) leave it invalid; every consumer must
+/// tolerate that.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+
+  /// Renders "line:column", or "?" when the location is unknown.
+  std::string ToString() const {
+    if (!valid()) return "?";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend bool operator!=(const SourceLoc& a, const SourceLoc& b) {
+    return !(a == b);
+  }
+};
+
+}  // namespace datacon
+
+#endif  // DATACON_AST_SOURCE_LOC_H_

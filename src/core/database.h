@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/lint.h"
 #include "ast/branch.h"
 #include "ast/decl.h"
 #include "ast/range.h"
@@ -94,6 +95,18 @@ class Database {
   /// reproduce the section 3.3 examples (`nonsense`, `strange`) in
   /// unchecked evaluation mode; not part of the paper's DBPL surface.
   Status DefineConstructorUnchecked(ConstructorDeclPtr decl);
+
+  // --- Static analysis ---
+
+  /// Runs the lint pipeline (analysis/lint.h) over every selector and
+  /// constructor defined so far; allow_stratified_negation follows
+  /// options(). The backend of `CHECK SCRIPT;` and the datacon-lint CLI.
+  /// Defined in the datacon_analysis library — callers must link it.
+  LintReport Lint() const;
+
+  /// Lints one defined selector or constructor by name (`CHECK name;`).
+  /// kNotFound when the catalog knows no such declaration.
+  Result<LintReport> Lint(const std::string& name) const;
 
   // --- Queries (levels 2 + 3) ---
 

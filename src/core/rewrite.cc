@@ -114,8 +114,8 @@ BranchPtr RenameVars(const BranchPtr& branch,
   std::vector<Binding> bindings;
   bindings.reserve(branch->bindings().size());
   for (const Binding& b : branch->bindings()) {
-    bindings.push_back(
-        Binding{Renamed(renames, b.var), RenameRangeVars(b.range, renames)});
+    bindings.push_back(Binding{Renamed(renames, b.var),
+                               RenameRangeVars(b.range, renames), b.loc});
   }
   std::optional<std::vector<TermPtr>> targets;
   if (branch->targets().has_value()) {
@@ -126,7 +126,7 @@ BranchPtr RenameVars(const BranchPtr& branch,
   }
   return std::make_shared<Branch>(std::move(bindings),
                                   RenamePredVars(branch->pred(), renames),
-                                  std::move(targets));
+                                  std::move(targets), branch->loc());
 }
 
 namespace {

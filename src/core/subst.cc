@@ -109,7 +109,7 @@ BranchPtr SubstituteBranch(const BranchPtr& branch, const Substitution& subst) {
   std::vector<Binding> bindings;
   bindings.reserve(branch->bindings().size());
   for (const Binding& b : branch->bindings()) {
-    bindings.push_back(Binding{b.var, SubstituteRange(b.range, subst)});
+    bindings.push_back(Binding{b.var, SubstituteRange(b.range, subst), b.loc});
   }
   std::optional<std::vector<TermPtr>> targets;
   if (branch->targets().has_value()) {
@@ -120,7 +120,7 @@ BranchPtr SubstituteBranch(const BranchPtr& branch, const Substitution& subst) {
   }
   return std::make_shared<Branch>(std::move(bindings),
                                   SubstitutePred(branch->pred(), subst),
-                                  std::move(targets));
+                                  std::move(targets), branch->loc());
 }
 
 CalcExprPtr SubstituteExpr(const CalcExprPtr& expr, const Substitution& subst) {

@@ -5,6 +5,28 @@
 
 namespace datacon {
 
+LintOptions Interpreter::lint_options() const {
+  LintOptions options;
+  options.allow_stratified_negation =
+      db_->options().allow_stratified_negation;
+  return options;
+}
+
+Status Interpreter::ReportDefinitionLint(std::vector<Diagnostic> found) {
+  LintReport report;
+  report.Append(std::move(found));
+  report.SortBySpan();
+  std::string errors;
+  for (const Diagnostic& d : report.diagnostics) {
+    diagnostics_.push_back(d);
+    if (d.severity == Severity::kError) errors += d.ToString() + "\n";
+  }
+  if (!errors.empty()) {
+    return Status::TypeError("rejected by lint:\n" + errors);
+  }
+  return Status::OK();
+}
+
 Status Interpreter::Execute(std::string_view source) {
   SymbolSeed seed;
   seed.scalar_types = scalar_aliases_;
@@ -27,6 +49,12 @@ Status Interpreter::Execute(std::string_view source) {
              std::holds_alternative<ConstructorStmt>(script.stmts[i])) {
         group.push_back(std::get<ConstructorStmt>(script.stmts[i]).decl);
         ++i;
+      }
+      if (lint_enabled_) {
+        // Lint BEFORE defining: an error rejects the whole group and leaves
+        // the catalog untouched.
+        DATACON_RETURN_IF_ERROR(ReportDefinitionLint(
+            LintConstructorGroup(group, db_->catalog(), lint_options())));
       }
       DATACON_RETURN_IF_ERROR(db_->DefineConstructorGroup(group));
       continue;
@@ -54,9 +82,17 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
     return db_->CreateRelation(var_decl->name, var_decl->type_name);
   }
   if (const auto* selector = std::get_if<SelectorStmt>(&stmt)) {
+    if (lint_enabled_) {
+      DATACON_RETURN_IF_ERROR(ReportDefinitionLint(
+          LintSelector(*selector->decl, db_->catalog())));
+    }
     return db_->DefineSelector(selector->decl);
   }
   if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
+    if (lint_enabled_) {
+      DATACON_RETURN_IF_ERROR(ReportDefinitionLint(LintConstructorGroup(
+          {ctor->decl}, db_->catalog(), lint_options())));
+    }
     return db_->DefineConstructor(ctor->decl);
   }
   if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
@@ -114,6 +150,21 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
     results_.push_back(QueryResult{std::move(text), std::move(value).value()});
     return Status::OK();
   }
+  if (const auto* check = std::get_if<CheckStmt>(&stmt)) {
+    LintReport report;
+    if (check->name.has_value()) {
+      DATACON_ASSIGN_OR_RETURN(report, db_->Lint(*check->name));
+    } else {
+      report = db_->Lint();
+    }
+    for (const Diagnostic& d : report.diagnostics) diagnostics_.push_back(d);
+    std::string header =
+        check->name.has_value() ? "CHECK " + *check->name : "CHECK SCRIPT";
+    std::string text = report.empty() ? header + ": no diagnostics\n"
+                                      : header + ":\n" + report.ToText();
+    results_.push_back(QueryResult{std::move(text), Relation()});
+    return Status::OK();
+  }
   if (const auto* pragma = std::get_if<PragmaStmt>(&stmt)) {
     if (pragma->name == "THREADS") {
       if (pragma->value < 0) {
@@ -121,6 +172,13 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       }
       db_->options().eval.exec.num_threads =
           static_cast<size_t>(pragma->value);
+      return Status::OK();
+    }
+    if (pragma->name == "LINT") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA LINT requires ON or OFF");
+      }
+      lint_enabled_ = pragma->value != 0;
       return Status::OK();
     }
     if (pragma->name == "PROFILE") {

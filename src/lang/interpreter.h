@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/diagnostic.h"
+#include "analysis/lint.h"
 #include "common/status.h"
 #include "core/database.h"
 #include "lang/script.h"
@@ -35,12 +37,31 @@ class Interpreter {
   const std::vector<QueryResult>& results() const { return results_; }
   void ClearResults() { results_.clear(); }
 
+  /// Diagnostics produced since the last ClearDiagnostics: the findings of
+  /// CHECK statements plus, under `PRAGMA LINT = ON`, the definition-time
+  /// findings of every SELECTOR/CONSTRUCTOR statement. Statement order,
+  /// spans sorted within one statement.
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  void ClearDiagnostics() { diagnostics_.clear(); }
+
+  /// True between `PRAGMA LINT = ON;` and `PRAGMA LINT = OFF;`.
+  bool lint_enabled() const { return lint_enabled_; }
+
  private:
   Status Run(const ScriptStmt& stmt);
   Result<Relation> EvalRelationExpr(const RelationExpr& value);
 
+  /// Appends `found` to the diagnostics channel; under PRAGMA LINT any
+  /// error rejects the pending definition (kTypeError) — the catalog is
+  /// only touched after this returns OK.
+  Status ReportDefinitionLint(std::vector<Diagnostic> found);
+
+  LintOptions lint_options() const;
+
   Database* db_;
   std::vector<QueryResult> results_;
+  std::vector<Diagnostic> diagnostics_;
+  bool lint_enabled_ = false;
   /// Scalar aliases live here; relation types/variables live in the catalog.
   std::map<std::string, ValueType> scalar_aliases_;
 };

@@ -56,7 +56,7 @@ struct Token {
 /// True iff `word` is one of the reserved keywords (TYPE, VAR, RELATION,
 /// KEY, OF, RECORD, END, SELECTOR, CONSTRUCTOR, FOR, BEGIN, EACH, IN, SOME,
 /// ALL, AND, OR, NOT, TRUE, FALSE, INTEGER, CARDINAL, STRING, BOOLEAN, DIV,
-/// MOD, QUERY, INSERT, INTO, EXPLAIN, PRAGMA, ANALYZE).
+/// MOD, QUERY, INSERT, INTO, EXPLAIN, PRAGMA, ANALYZE, CHECK, SCRIPT).
 bool IsKeyword(std::string_view word);
 
 /// Tokenizes `source`. Comments run `(*` ... `*)` and may nest. The final

@@ -68,6 +68,9 @@ class Parser {
     return Advance().text;
   }
 
+  /// The source location of the next token.
+  SourceLoc Loc() const { return SourceLoc{Peek().line, Peek().column}; }
+
   // --- Scalar types ---
 
   Result<ValueType> ParseScalarTypeName() {
@@ -105,6 +108,7 @@ class Parser {
     if (CheckKeyword("INSERT")) return ParseInsert();
     if (CheckKeyword("QUERY")) return ParseQuery();
     if (CheckKeyword("EXPLAIN")) return ParseExplain();
+    if (CheckKeyword("CHECK")) return ParseCheck();
     if (CheckKeyword("PRAGMA")) return ParsePragma();
     if (Check(TokenKind::kIdent)) return ParseAssign();
     return Error("expected a declaration or statement");
@@ -182,6 +186,7 @@ class Parser {
   }
 
   Result<ScriptStmt> ParseSelectorDecl() {
+    SourceLoc loc = Loc();
     DATACON_RETURN_IF_ERROR(ExpectKeyword("SELECTOR"));
     DATACON_ASSIGN_OR_RETURN(std::string name, ExpectIdent("selector name"));
     std::vector<FormalScalar> params;
@@ -230,11 +235,12 @@ class Parser {
     SelectorStmt stmt;
     stmt.decl = std::make_shared<SelectorDecl>(
         name, FormalRelation{base_name, base_type}, std::move(params),
-        std::move(var), std::move(pred));
+        std::move(var), std::move(pred), loc);
     return ScriptStmt(std::move(stmt));
   }
 
   Result<ScriptStmt> ParseConstructorDecl() {
+    SourceLoc loc = Loc();
     DATACON_RETURN_IF_ERROR(ExpectKeyword("CONSTRUCTOR"));
     DATACON_ASSIGN_OR_RETURN(std::string name, ExpectIdent("constructor name"));
     DATACON_RETURN_IF_ERROR(ExpectKeyword("FOR"));
@@ -294,14 +300,15 @@ class Parser {
     stmt.decl = std::make_shared<ConstructorDecl>(
         name, FormalRelation{base_name, base_type}, std::move(rel_params),
         std::move(scalar_params), std::move(result_type),
-        std::make_shared<CalcExpr>(std::move(branches)));
+        std::make_shared<CalcExpr>(std::move(branches)), loc);
     return ScriptStmt(std::move(stmt));
   }
 
   Result<ScriptStmt> ParseInsert() {
+    InsertStmt stmt;
+    stmt.loc = Loc();
     DATACON_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
     DATACON_RETURN_IF_ERROR(ExpectKeyword("INTO"));
-    InsertStmt stmt;
     DATACON_ASSIGN_OR_RETURN(stmt.relation, ExpectIdent("relation name"));
     do {
       DATACON_ASSIGN_OR_RETURN(Tuple t, ParseTupleLiteral());
@@ -312,18 +319,33 @@ class Parser {
   }
 
   Result<ScriptStmt> ParseQuery() {
-    DATACON_RETURN_IF_ERROR(ExpectKeyword("QUERY"));
     QueryStmt stmt;
+    stmt.loc = Loc();
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("QUERY"));
     DATACON_ASSIGN_OR_RETURN(stmt.value, ParseRelationExpr());
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));
   }
 
   Result<ScriptStmt> ParseExplain() {
-    DATACON_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
     ExplainStmt stmt;
+    stmt.loc = Loc();
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("EXPLAIN"));
     stmt.analyze = MatchKeyword("ANALYZE");
     DATACON_ASSIGN_OR_RETURN(stmt.range, ParseRange());
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseCheck() {
+    CheckStmt stmt;
+    stmt.loc = Loc();
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("CHECK"));
+    if (!MatchKeyword("SCRIPT")) {
+      DATACON_ASSIGN_OR_RETURN(
+          std::string name, ExpectIdent("a selector/constructor name or SCRIPT"));
+      stmt.name = std::move(name);
+    }
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));
   }
@@ -347,6 +369,7 @@ class Parser {
 
   Result<ScriptStmt> ParseAssign() {
     AssignStmt stmt;
+    stmt.loc = Loc();
     DATACON_ASSIGN_OR_RETURN(stmt.relation, ExpectIdent("relation name"));
     if (Match(TokenKind::kLBracket)) {
       DATACON_ASSIGN_OR_RETURN(std::string sel, ExpectIdent("selector name"));
@@ -387,6 +410,7 @@ class Parser {
   }
 
   Result<BranchPtr> ParseBranch() {
+    SourceLoc branch_loc = Loc();
     std::optional<std::vector<TermPtr>> targets;
     // `<t1, ..., tk> OF` prefix?
     if (Check(TokenKind::kLess)) {
@@ -401,11 +425,12 @@ class Parser {
     }
     std::vector<Binding> bindings;
     do {
+      SourceLoc binding_loc = Loc();
       DATACON_RETURN_IF_ERROR(ExpectKeyword("EACH"));
       DATACON_ASSIGN_OR_RETURN(std::string var, ExpectIdent("tuple variable"));
       DATACON_RETURN_IF_ERROR(ExpectKeyword("IN"));
       DATACON_ASSIGN_OR_RETURN(RangePtr range, ParseRange());
-      bindings.push_back(Binding{std::move(var), std::move(range)});
+      bindings.push_back(Binding{std::move(var), std::move(range), binding_loc});
       // A comma followed by EACH continues the bindings; a comma followed
       // by anything else separates branches (handled by the caller).
       if (Check(TokenKind::kComma) && PeekAt(1).IsKeyword("EACH")) {
@@ -417,7 +442,7 @@ class Parser {
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
     DATACON_ASSIGN_OR_RETURN(PredPtr pred, ParsePred());
     return BranchPtr(std::make_shared<Branch>(
-        std::move(bindings), std::move(pred), std::move(targets)));
+        std::move(bindings), std::move(pred), std::move(targets), branch_loc));
   }
 
   Result<std::vector<TermPtr>> ParseAngleTermList() {
@@ -549,6 +574,7 @@ class Parser {
       return build::Not(std::move(operand));
     }
     if (CheckKeyword("SOME") || CheckKeyword("ALL")) {
+      SourceLoc quant_loc = Loc();
       Quantifier q =
           Peek().IsKeyword("SOME") ? Quantifier::kSome : Quantifier::kAll;
       Advance();
@@ -559,7 +585,7 @@ class Parser {
       DATACON_ASSIGN_OR_RETURN(PredPtr body, ParsePred());
       DATACON_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'").status());
       return PredPtr(std::make_shared<QuantPred>(
-          q, std::move(var), std::move(range), std::move(body)));
+          q, std::move(var), std::move(range), std::move(body), quant_loc));
     }
     // `<t1, ..., tk> IN range` — membership.
     if (Check(TokenKind::kLess)) {

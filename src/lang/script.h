@@ -11,6 +11,7 @@
 #include "ast/branch.h"
 #include "ast/decl.h"
 #include "ast/range.h"
+#include "ast/source_loc.h"
 #include "storage/tuple.h"
 #include "types/schema.h"
 
@@ -51,6 +52,7 @@ struct ConstructorStmt {
 struct InsertStmt {
   std::string relation;
   std::vector<Tuple> tuples;
+  SourceLoc loc;
 };
 
 /// `Ahead := Infront {ahead};` or `Infront [refint] := {...};`
@@ -59,11 +61,13 @@ struct AssignStmt {
   std::optional<std::string> selector;
   std::vector<Value> selector_args;
   RelationExpr value;
+  SourceLoc loc;
 };
 
 /// `QUERY Infront {ahead};`
 struct QueryStmt {
   RelationExpr value;
+  SourceLoc loc;
 };
 
 /// `EXPLAIN Infront {ahead};` — or, with `analyze`, `EXPLAIN ANALYZE
@@ -72,12 +76,23 @@ struct QueryStmt {
 struct ExplainStmt {
   RangePtr range;
   bool analyze = false;
+  SourceLoc loc;
+};
+
+/// `CHECK ahead;` runs the lint pipeline over one defined selector or
+/// constructor; `CHECK SCRIPT;` lints every declaration made so far. Both
+/// report structured diagnostics without evaluating anything.
+struct CheckStmt {
+  /// Absent for `CHECK SCRIPT;`.
+  std::optional<std::string> name;
+  SourceLoc loc;
 };
 
 /// `PRAGMA THREADS = 4;` — engine knobs settable from a script. `THREADS`
 /// sets worker threads for branch execution (0 = use the hardware's
 /// concurrency); `PROFILE = ON|OFF` (or 1|0) toggles profile collection for
-/// subsequent queries.
+/// subsequent queries; `LINT = ON|OFF` makes every subsequent DEFINE run
+/// the lint pipeline (warnings reported, errors reject the definition).
 struct PragmaStmt {
   std::string name;
   int64_t value = 0;
@@ -85,7 +100,8 @@ struct PragmaStmt {
 
 using ScriptStmt =
     std::variant<TypeDeclStmt, VarDeclStmt, SelectorStmt, ConstructorStmt,
-                 InsertStmt, AssignStmt, QueryStmt, ExplainStmt, PragmaStmt>;
+                 InsertStmt, AssignStmt, QueryStmt, ExplainStmt, CheckStmt,
+                 PragmaStmt>;
 
 /// A parsed program: the statement sequence in source order.
 struct Script {

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "lang/interpreter.h"
+
+namespace datacon {
+namespace {
+
+constexpr const char* kCadSetup = R"(
+TYPE parttype = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+VAR Infront: infrontrel;
+
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (): infrontrel;
+BEGIN EACH r IN Rel: TRUE,
+      <f.front, b.back> OF EACH f IN Rel,
+      EACH b IN Rel {ahead}: f.back = b.front
+END ahead;
+)";
+
+TEST(DatabaseLint, CleanCatalogProducesNoDiagnostics) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  LintReport report = db.Lint();
+  EXPECT_TRUE(report.empty()) << report.ToText();
+}
+
+TEST(DatabaseLint, NamedSelectorLint) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  Result<LintReport> report = db.Lint("hidden_by");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().empty()) << report.value().ToText();
+}
+
+TEST(DatabaseLint, NamedConstructorLint) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  Result<LintReport> report = db.Lint("ahead");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().empty()) << report.value().ToText();
+}
+
+TEST(DatabaseLint, UnknownNameIsNotFound) {
+  Database db;
+  Result<LintReport> report = db.Lint("nope");
+  EXPECT_EQ(report.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseLint, CatalogLintSurfacesFindings) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  // An unused scalar parameter: legal, so the define succeeds, but W202.
+  ASSERT_TRUE(interp
+                  .Execute("SELECTOR shady (P: parttype) FOR Rel: infrontrel;\n"
+                           "BEGIN EACH r IN Rel: r.front = r.front "
+                           "END shady;\n")
+                  .ok());
+  LintReport report = db.Lint();
+  bool has_w202 = false;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == kDiagUnusedParameter) has_w202 = true;
+  }
+  EXPECT_TRUE(has_w202) << report.ToText();
+
+  Result<LintReport> named = db.Lint("shady");
+  ASSERT_TRUE(named.ok());
+  EXPECT_FALSE(named.value().empty());
+}
+
+}  // namespace
+}  // namespace datacon

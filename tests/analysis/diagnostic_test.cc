@@ -1,0 +1,103 @@
+#include "analysis/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "lang/parser.h"
+
+namespace datacon {
+namespace {
+
+TEST(Diagnostic, SeverityDerivedFromCode) {
+  Diagnostic e = MakeDiagnostic(kDiagUnknownName, "boom");
+  EXPECT_EQ(e.severity, Severity::kError);
+  Diagnostic w = MakeDiagnostic(kDiagUnusedBinding, "meh");
+  EXPECT_EQ(w.severity, Severity::kWarning);
+}
+
+TEST(Diagnostic, ToStringIncludesSpanWhenValid) {
+  Diagnostic d = MakeDiagnostic(kDiagUnsafeVariable, "variable 'x' unbound",
+                                SourceLoc{4, 7});
+  EXPECT_EQ(d.ToString(), "4:7: error E110: variable 'x' unbound");
+  Diagnostic no_span = MakeDiagnostic(kDiagUnusedParameter, "p unused");
+  EXPECT_EQ(no_span.ToString(), "warning W202: p unused");
+}
+
+TEST(Diagnostic, ToJsonEscapesAndOrdersKeys) {
+  Diagnostic d = MakeDiagnostic(kDiagTypeError, "bad \"name\"\n",
+                                SourceLoc{2, 3});
+  EXPECT_EQ(d.ToJson(),
+            "{\"code\":\"E102\",\"severity\":\"error\",\"line\":2,"
+            "\"column\":3,\"message\":\"bad \\\"name\\\"\\n\"}");
+}
+
+TEST(Diagnostic, CodeTableIsCompleteAndOrdered) {
+  std::vector<std::string_view> codes = AllDiagnosticCodes();
+  ASSERT_GE(codes.size(), 8u);
+  EXPECT_EQ(codes.front(), kDiagParseError);
+  for (std::string_view code : codes) {
+    EXPECT_FALSE(DiagnosticCodeMeaning(code).empty()) << code;
+  }
+  // Errors precede warnings, numerically within each block.
+  for (size_t i = 1; i < codes.size(); ++i) {
+    EXPECT_LT(std::string(codes[i - 1]), std::string(codes[i]));
+  }
+  EXPECT_TRUE(DiagnosticCodeMeaning("E999").empty());
+}
+
+TEST(Diagnostic, FromStatusMapsCodes) {
+  EXPECT_EQ(DiagnosticFromStatus(Status::NotFound("x")).code, kDiagUnknownName);
+  EXPECT_EQ(DiagnosticFromStatus(Status::AlreadyExists("x")).code,
+            kDiagRedefinition);
+  EXPECT_EQ(DiagnosticFromStatus(Status::PositivityViolation("x")).code,
+            kDiagNonStratifiable);
+  EXPECT_EQ(DiagnosticFromStatus(Status::TypeError("x")).code, kDiagTypeError);
+  EXPECT_EQ(DiagnosticFromStatus(Status::ParseError("x")).code,
+            kDiagParseError);
+}
+
+TEST(Diagnostic, FromParseFailureRecoversSpan) {
+  Result<Script> script = ParseScript("TYPE t = RELATION OF RECORD a: "
+                                      "INTEGER END;\nQUERY ;\n");
+  ASSERT_FALSE(script.ok());
+  Diagnostic d = DiagnosticFromStatus(script.status());
+  EXPECT_EQ(d.code, kDiagParseError);
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.loc.line, 2);
+  EXPECT_GT(d.loc.column, 0);
+}
+
+TEST(LintReport, CountsAndRender) {
+  LintReport report;
+  report.Append(MakeDiagnostic(kDiagUnusedBinding, "b", SourceLoc{5, 1}));
+  report.Append(MakeDiagnostic(kDiagUnknownName, "a", SourceLoc{2, 3}));
+  report.Append(MakeDiagnostic(kDiagCrossProduct, "c"));
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 2u);
+  EXPECT_TRUE(report.HasErrors());
+
+  report.SortBySpan();
+  EXPECT_EQ(report.diagnostics[0].code, kDiagUnknownName);
+  EXPECT_EQ(report.diagnostics[1].code, kDiagUnusedBinding);
+  // Unknown spans sort last.
+  EXPECT_EQ(report.diagnostics[2].code, kDiagCrossProduct);
+
+  std::string text = report.ToText();
+  EXPECT_NE(text.find("2:3: error E101: a"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 2 warning(s)"), std::string::npos);
+
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":2"), std::string::npos);
+}
+
+TEST(LintReport, EmptyReportRendersEmpty) {
+  LintReport report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_FALSE(report.HasErrors());
+  EXPECT_EQ(report.ToText(), "");
+  EXPECT_EQ(report.ToJson(), "{\"diagnostics\":[],\"errors\":0,\"warnings\":0}");
+}
+
+}  // namespace
+}  // namespace datacon

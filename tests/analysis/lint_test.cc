@@ -1,0 +1,420 @@
+#include "analysis/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/script_lint.h"
+#include "lang/parser.h"
+
+namespace datacon {
+namespace {
+
+/// Two lines of shared declarations; test sources start at line 3.
+constexpr char kPrelude[] =
+    "TYPE t = RELATION OF RECORD a, b: INTEGER END;\n"
+    "VAR E: t;\n";
+
+LintReport LintSource(const std::string& body, const LintOptions& options = {}) {
+  std::string source = std::string(kPrelude) + body;
+  Result<Script> script = ParseScript(source);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  if (!script.ok()) return {};
+  return LintScript(script.value(), options);
+}
+
+testing::AssertionResult HasDiag(const LintReport& report,
+                                 std::string_view code, int line, int column) {
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code && d.loc.line == line && d.loc.column == column) {
+      return testing::AssertionSuccess();
+    }
+  }
+  return testing::AssertionFailure()
+         << "no " << code << " at " << line << ":" << column << " in:\n"
+         << report.ToText();
+}
+
+size_t CountDiag(const LintReport& report, std::string_view code) {
+  size_t n = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+// --- Clean programs ---------------------------------------------------------
+
+TEST(Lint, CleanFig2ProgramIsSilent) {
+  // The paper's running example: the hidden_by selector (Fig. 1) and the
+  // recursive ahead constructor (Fig. 2).
+  LintReport report = LintSource(
+      "SELECTOR hidden_by (Obj: STRING) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: r.a = 1 AND Obj = \"x\" END hidden_by;\n"
+      "CONSTRUCTOR ahead FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.a, b.b> OF EACH f IN Rel,\n"
+      "      EACH b IN Rel {ahead}: f.b = b.a\n"
+      "END ahead;\n"
+      "QUERY E {ahead};\n"
+      "QUERY E [hidden_by(7)] {ahead};\n");
+  EXPECT_TRUE(report.empty()) << report.ToText();
+}
+
+TEST(Lint, CleanMutualRecursionIsSilent) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR up FOR Rel: t (Other: t): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.a, b.b> OF EACH f IN Rel,\n"
+      "      EACH b IN Other {down(Rel)}: f.b = b.a\n"
+      "END up;\n"
+      "CONSTRUCTOR down FOR Rel: t (Other: t): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.a, b.b> OF EACH f IN Rel,\n"
+      "      EACH b IN Other {up(Rel)}: f.b = b.a\n"
+      "END down;\n"
+      "QUERY E {up(E)};\n");
+  EXPECT_TRUE(report.empty()) << report.ToText();
+}
+
+// --- E101: unknown names ----------------------------------------------------
+
+TEST(Lint, E101UnknownNamesInQueryRanges) {
+  LintReport report = LintSource(
+      "QUERY E {tc};\n"     // line 3: unknown constructor
+      "QUERY Nope;\n"       // line 4: unknown relation
+      "QUERY E [sel(1)];\n"  // line 5: unknown selector
+  );
+  EXPECT_TRUE(HasDiag(report, kDiagUnknownName, 3, 1));
+  EXPECT_TRUE(HasDiag(report, kDiagUnknownName, 4, 1));
+  EXPECT_TRUE(HasDiag(report, kDiagUnknownName, 5, 1));
+  EXPECT_EQ(CountDiag(report, kDiagUnknownName), 3u);
+}
+
+TEST(Lint, E101AbsentForDeclaredNames) {
+  LintReport report = LintSource("QUERY E;\n");
+  EXPECT_EQ(CountDiag(report, kDiagUnknownName), 0u);
+}
+
+// --- E103 / W212: positivity and stratification -----------------------------
+
+TEST(Lint, E103RecursionThroughOwnNegation) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR bad FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: NOT SOME s IN Rel {bad} (s.a = r.a)\n"
+      "END bad;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagNonStratifiable, 4, 7));
+  // The recursive reference also sits inside the predicate, so the branch
+  // is flagged non-differentiable too.
+  EXPECT_TRUE(HasDiag(report, kDiagNonDifferentiable, 4, 7));
+  EXPECT_EQ(CountDiag(report, kDiagStratifiedNegation), 0u);
+}
+
+TEST(Lint, E103LowerStratumNegationWithoutOptIn) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR base FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE\n"
+      "END base;\n"
+      "CONSTRUCTOR top FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: NOT SOME s IN Rel {base} (s.a = r.a)\n"
+      "END top;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagNonStratifiable, 7, 7));
+  EXPECT_EQ(CountDiag(report, kDiagStratifiedNegation), 0u);
+}
+
+TEST(Lint, W212LowerStratumNegationWithOptIn) {
+  LintOptions options;
+  options.allow_stratified_negation = true;
+  LintReport report = LintSource(
+      "CONSTRUCTOR base FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE\n"
+      "END base;\n"
+      "CONSTRUCTOR top FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: NOT SOME s IN Rel {base} (s.a = r.a)\n"
+      "END top;\n",
+      options);
+  EXPECT_TRUE(HasDiag(report, kDiagStratifiedNegation, 7, 7));
+  EXPECT_EQ(CountDiag(report, kDiagNonStratifiable), 0u);
+}
+
+TEST(Lint, W212NeverDowngradesOwnComponentNegation) {
+  // Opting in to stratified negation must not legalise recursion through
+  // the constructor's own negation.
+  LintOptions options;
+  options.allow_stratified_negation = true;
+  LintReport report = LintSource(
+      "CONSTRUCTOR bad FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: NOT SOME s IN Rel {bad} (s.a = r.a)\n"
+      "END bad;\n",
+      options);
+  EXPECT_TRUE(HasDiag(report, kDiagNonStratifiable, 4, 7));
+  EXPECT_EQ(CountDiag(report, kDiagStratifiedNegation), 0u);
+}
+
+// --- E104: redefinition -----------------------------------------------------
+
+TEST(Lint, E104DuplicateSelector) {
+  LintReport report = LintSource(
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: r.a = P END s;\n"
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: r.b = P END s;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagRedefinition, 5, 1));
+  EXPECT_EQ(CountDiag(report, kDiagRedefinition), 1u);
+}
+
+TEST(Lint, E104DuplicateConstructorWithinGroup) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE\n"
+      "END c;\n"
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: r.a = 1\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagRedefinition, 6, 1));
+  EXPECT_EQ(CountDiag(report, kDiagRedefinition), 1u);
+}
+
+// --- E110: unsafe variables -------------------------------------------------
+
+TEST(Lint, E110UnboundVariableInSelectorPredicate) {
+  LintReport report = LintSource(
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: q.a = P END s;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnsafeVariable, 3, 1));
+}
+
+TEST(Lint, E110UnboundVariableInTargetList) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN <r.a, z.b> OF EACH r IN Rel: TRUE\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnsafeVariable, 4, 7));
+  EXPECT_EQ(CountDiag(report, kDiagUnsafeVariable), 1u);
+}
+
+TEST(Lint, E110AbsentWhenAllVariablesBound) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN <r.a, r.b> OF EACH r IN Rel: r.a = 1\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagUnsafeVariable), 0u);
+}
+
+// --- W201: unused bindings --------------------------------------------------
+
+TEST(Lint, W201UnusedBindingWithTargets) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN <f.a, f.b> OF EACH f IN Rel,\n"
+      "      EACH g IN Rel: f.a = 1\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnusedBinding, 5, 7));
+  // The disconnected binding also makes the branch a cross product.
+  EXPECT_TRUE(HasDiag(report, kDiagCrossProduct, 4, 7));
+}
+
+TEST(Lint, W201AbsentForIdentityBranch) {
+  // An identity branch's single binding is the implicit target.
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagUnusedBinding), 0u);
+  EXPECT_TRUE(report.empty()) << report.ToText();
+}
+
+// --- W202: unused parameters ------------------------------------------------
+
+TEST(Lint, W202UnusedScalarParameter) {
+  LintReport report = LintSource(
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: r.a = 1 END s;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnusedParameter, 3, 1));
+}
+
+TEST(Lint, W202UnusedRelationParameter) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (Other: t): t;\n"
+      "BEGIN EACH r IN Rel: r.a = 1\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnusedParameter, 3, 1));
+}
+
+TEST(Lint, W202UnusedBaseRelation) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (Other: t): t;\n"
+      "BEGIN EACH r IN Other: TRUE\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnusedParameter, 3, 1));
+  EXPECT_EQ(CountDiag(report, kDiagUnusedParameter), 1u);
+}
+
+TEST(Lint, W202AbsentWhenParametersUsed) {
+  LintReport report = LintSource(
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: r.a = P END s;\n");
+  EXPECT_EQ(CountDiag(report, kDiagUnusedParameter), 0u);
+}
+
+// --- W203: shadowing --------------------------------------------------------
+
+TEST(Lint, W203BindingShadowsScalarParameter) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (n: INTEGER): t;\n"
+      "BEGIN EACH n IN Rel: n.a = 1\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagShadowedName, 4, 7));
+}
+
+TEST(Lint, W203QuantifierShadowsEnclosingVariable) {
+  LintReport report = LintSource(
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel:\n"
+      "SOME r IN Rel (r.a = P) END s;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagShadowedName, 5, 1));
+}
+
+TEST(Lint, W203AbsentForDistinctNames) {
+  LintReport report = LintSource(
+      "SELECTOR s (P: INTEGER) FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel:\n"
+      "SOME q IN Rel (q.a = P AND q.b = r.b) END s;\n");
+  EXPECT_EQ(CountDiag(report, kDiagShadowedName), 0u);
+}
+
+// --- W204: cross products ---------------------------------------------------
+
+TEST(Lint, W204DisconnectedBindings) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN <f.a, g.b> OF EACH f IN Rel,\n"
+      "      EACH g IN Rel: TRUE\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagCrossProduct, 4, 7));
+}
+
+TEST(Lint, W204AbsentWhenConjunctLinksBindings) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN <f.a, g.b> OF EACH f IN Rel,\n"
+      "      EACH g IN Rel: f.b = g.a\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagCrossProduct), 0u);
+}
+
+// --- W205 / W206: dead branches and constant conjuncts ----------------------
+
+TEST(Lint, W205AlwaysFalseBranch) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      EACH s IN Rel: 1 = 2\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagAlwaysFalseBranch, 5, 7));
+}
+
+TEST(Lint, W205AlwaysFalseSelector) {
+  LintReport report = LintSource(
+      "SELECTOR s FOR Rel: t;\n"
+      "BEGIN EACH r IN Rel: FALSE END s;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagAlwaysFalseBranch, 3, 1));
+}
+
+TEST(Lint, W205AbsentForSatisfiablePredicate) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: r.a = 2\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagAlwaysFalseBranch), 0u);
+}
+
+TEST(Lint, W206ConstantConjunct) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: r.a = r.a AND r.b = 1\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagConstantConjunct, 4, 7));
+}
+
+TEST(Lint, W206WholePredicateFoldsTrue) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: r.a = r.a\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagConstantConjunct, 4, 7));
+}
+
+TEST(Lint, W206AbsentForLiteralTrueCopyBranch) {
+  // `EACH r IN Rel: TRUE` is the idiomatic copy branch, not an accident.
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagConstantConjunct), 0u);
+}
+
+// --- W207: duplicate branches -----------------------------------------------
+
+TEST(Lint, W207DuplicateBranch) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: r.a = 1,\n"
+      "      EACH r IN Rel: r.a = 1\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagDuplicateBranch, 5, 7));
+}
+
+TEST(Lint, W207AbsentForDistinctBranches) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: r.a = 1,\n"
+      "      EACH r IN Rel: r.a = 2\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagDuplicateBranch), 0u);
+}
+
+// --- W210 / W211: recursion classification ----------------------------------
+
+TEST(Lint, W210NonDifferentiableRecursion) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      EACH f IN Rel: SOME s IN Rel {c} (s.a = f.b)\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagNonDifferentiable, 5, 7));
+  // The reference sits under an even number of NOTs/ALLs, so the program
+  // is still stratifiable.
+  EXPECT_EQ(CountDiag(report, kDiagNonStratifiable), 0u);
+}
+
+TEST(Lint, W211NonLinearRecursion) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.a, g.b> OF EACH f IN Rel {c},\n"
+      "      EACH g IN Rel {c}: f.b = g.a\n"
+      "END c;\n");
+  EXPECT_TRUE(HasDiag(report, kDiagNonLinearRecursion, 5, 7));
+}
+
+TEST(Lint, W210W211AbsentForLinearBindingRecursion) {
+  LintReport report = LintSource(
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.a, b.b> OF EACH f IN Rel,\n"
+      "      EACH b IN Rel {c}: f.b = b.a\n"
+      "END c;\n");
+  EXPECT_EQ(CountDiag(report, kDiagNonDifferentiable), 0u);
+  EXPECT_EQ(CountDiag(report, kDiagNonLinearRecursion), 0u);
+}
+
+// --- Query expressions ------------------------------------------------------
+
+TEST(Lint, QueryCalcExprBranchesAreLinted) {
+  LintReport report = LintSource("QUERY {EACH r IN E: q.a = 1};\n");
+  EXPECT_TRUE(HasDiag(report, kDiagUnsafeVariable, 3, 8));
+}
+
+}  // namespace
+}  // namespace datacon

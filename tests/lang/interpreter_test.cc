@@ -307,5 +307,118 @@ TEST(Interpreter, UnknownPragmaIsRejected) {
   EXPECT_FALSE(interp.Execute("PRAGMA THREADS = -2;").ok());
 }
 
+TEST(Interpreter, CheckScriptOnCleanCatalogReportsNothing) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("CHECK SCRIPT;").ok());
+  ASSERT_EQ(interp.results().size(), 1u);
+  EXPECT_EQ(interp.results()[0].text, "CHECK SCRIPT: no diagnostics\n");
+  EXPECT_TRUE(interp.diagnostics().empty());
+}
+
+TEST(Interpreter, CheckNamedObjectReportsFindings) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  // Legal but sloppy: the parameter is never referenced.
+  ASSERT_TRUE(interp
+                  .Execute("SELECTOR shady (P: parttype) FOR Rel: infrontrel;\n"
+                           "BEGIN EACH r IN Rel: r.front = \"x\" END shady;")
+                  .ok());
+  ASSERT_TRUE(interp.Execute("CHECK shady;").ok());
+  ASSERT_EQ(interp.results().size(), 1u);
+  EXPECT_NE(interp.results()[0].text.find("CHECK shady:\n"), std::string::npos);
+  EXPECT_NE(interp.results()[0].text.find("W202"), std::string::npos);
+  ASSERT_FALSE(interp.diagnostics().empty());
+  EXPECT_EQ(interp.diagnostics()[0].code, "W202");
+}
+
+TEST(Interpreter, CheckUnknownNameFails) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_EQ(interp.Execute("CHECK nope;").code(), StatusCode::kNotFound);
+}
+
+TEST(Interpreter, PragmaLintTogglesDefinitionLint) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_FALSE(interp.lint_enabled());
+  ASSERT_TRUE(interp.Execute("PRAGMA LINT = ON;").ok());
+  EXPECT_TRUE(interp.lint_enabled());
+  ASSERT_TRUE(interp.Execute("PRAGMA LINT = OFF;").ok());
+  EXPECT_FALSE(interp.lint_enabled());
+  EXPECT_EQ(interp.Execute("PRAGMA LINT = 2;").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Interpreter, PragmaLintRejectsUnsafeDefinitionAndLeavesCatalogUnchanged) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("PRAGMA LINT = ON;").ok());
+  // `q` is bound by no range: E110 rejects the definition.
+  Status s = interp.Execute(
+      "SELECTOR bad (P: parttype) FOR Rel: infrontrel;\n"
+      "BEGIN EACH r IN Rel: q.front = P END bad;");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_NE(s.message().find("rejected by lint"), std::string::npos);
+  EXPECT_NE(s.message().find("E110"), std::string::npos);
+  // The catalog must be exactly as before the failed DEFINE.
+  EXPECT_FALSE(db.catalog().LookupSelector("bad").ok());
+  // The findings still reach the diagnostics channel.
+  bool has_e110 = false;
+  for (const Diagnostic& d : interp.diagnostics()) {
+    if (d.code == kDiagUnsafeVariable) has_e110 = true;
+  }
+  EXPECT_TRUE(has_e110);
+}
+
+TEST(Interpreter, PragmaLintRejectsWholeConstructorGroup) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("PRAGMA LINT = ON;").ok());
+  // The second constructor of the group has an unbound target variable;
+  // the error must reject the whole group, including the clean first one.
+  Status s = interp.Execute(
+      "CONSTRUCTOR good FOR Rel: infrontrel (): infrontrel;\n"
+      "BEGIN EACH r IN Rel: TRUE\n"
+      "END good;\n"
+      "CONSTRUCTOR bad FOR Rel: infrontrel (): infrontrel;\n"
+      "BEGIN <z.front, r.back> OF EACH r IN Rel: TRUE\n"
+      "END bad;\n");
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_FALSE(db.catalog().LookupConstructor("good").ok());
+  EXPECT_FALSE(db.catalog().LookupConstructor("bad").ok());
+}
+
+TEST(Interpreter, PragmaLintWarningsDoNotReject) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("PRAGMA LINT = ON;").ok());
+  Status s = interp.Execute(
+      "SELECTOR shady (P: parttype) FOR Rel: infrontrel;\n"
+      "BEGIN EACH r IN Rel: r.front = \"x\" END shady;");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(db.catalog().LookupSelector("shady").ok());
+  ASSERT_FALSE(interp.diagnostics().empty());
+  EXPECT_EQ(interp.diagnostics()[0].code, "W202");
+}
+
+TEST(Interpreter, PragmaLintOffSkipsDefinitionLint) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  // Lint disabled: even an unsafe definition is only caught by the
+  // level-1 checks, which do not implement the range-restriction rule.
+  Status s = interp.Execute(
+      "SELECTOR shady (P: parttype) FOR Rel: infrontrel;\n"
+      "BEGIN EACH r IN Rel: r.front = \"x\" END shady;");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(interp.diagnostics().empty());
+}
+
 }  // namespace
 }  // namespace datacon

@@ -40,6 +40,14 @@ TEST(Lexer, AnalyzeIsAKeyword) {
   EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
 }
 
+TEST(Lexer, CheckAndScriptAreKeywords) {
+  std::vector<Token> tokens = MustLex("CHECK SCRIPT check script");
+  EXPECT_TRUE(tokens[0].IsKeyword("CHECK"));
+  EXPECT_TRUE(tokens[1].IsKeyword("SCRIPT"));
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdent);
+}
+
 TEST(Lexer, IntegerLiterals) {
   std::vector<Token> tokens = MustLex("0 42 100");
   EXPECT_EQ(tokens[0].int_value, 0);
@@ -133,7 +141,7 @@ TEST(IsKeyword, CoversLanguageSurface) {
        {"TYPE", "VAR", "RELATION", "OF", "RECORD", "END", "SELECTOR",
         "CONSTRUCTOR", "FOR", "BEGIN", "EACH", "IN", "SOME", "ALL", "AND",
         "OR", "NOT", "TRUE", "FALSE", "QUERY", "INSERT", "INTO", "EXPLAIN",
-        "DIV", "MOD", "KEY"}) {
+        "DIV", "MOD", "KEY", "CHECK", "SCRIPT"}) {
     EXPECT_TRUE(IsKeyword(kw)) << kw;
   }
   EXPECT_FALSE(IsKeyword("ahead"));

@@ -306,6 +306,57 @@ TEST(Parser, UnknownStatementFails) {
             StatusCode::kParseError);
 }
 
+TEST(Parser, CheckStatements) {
+  Script s = MustParse("CHECK ahead;\nCHECK SCRIPT;");
+  ASSERT_EQ(s.stmts.size(), 2u);
+  const auto& named = std::get<CheckStmt>(s.stmts[0]);
+  ASSERT_TRUE(named.name.has_value());
+  EXPECT_EQ(*named.name, "ahead");
+  EXPECT_EQ(named.loc, (SourceLoc{1, 1}));
+  const auto& whole = std::get<CheckStmt>(s.stmts[1]);
+  EXPECT_FALSE(whole.name.has_value());
+  EXPECT_EQ(whole.loc, (SourceLoc{2, 1}));
+}
+
+TEST(Parser, CheckWithoutNameFails) {
+  EXPECT_EQ(ParseScript("CHECK ;").status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, PragmaLintAcceptsOnOff) {
+  Script s = MustParse("PRAGMA LINT = ON;\nPRAGMA LINT = OFF;");
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[0]).value, 1);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[1]).value, 0);
+}
+
+TEST(Parser, StatementLocsPointAtLeadingToken) {
+  Script s = MustParse(
+      "TYPE t = RELATION OF RECORD a, b: INTEGER END;\n"
+      "VAR E: t;\n"
+      "INSERT INTO E <1, 2>;\n"
+      "QUERY E;\n");
+  EXPECT_EQ(std::get<InsertStmt>(s.stmts[2]).loc, (SourceLoc{3, 1}));
+  EXPECT_EQ(std::get<QueryStmt>(s.stmts[3]).loc, (SourceLoc{4, 1}));
+}
+
+TEST(Parser, BranchAndBindingLocs) {
+  Script s = MustParse(
+      "TYPE t = RELATION OF RECORD a, b: INTEGER END;\n"
+      "CONSTRUCTOR c FOR Rel: t (): t;\n"
+      "BEGIN EACH r IN Rel: TRUE,\n"
+      "      <f.a, b.b> OF EACH f IN Rel,\n"
+      "      EACH b IN Rel {c}: f.b = b.a\n"
+      "END c;\n");
+  const auto& decl = *std::get<ConstructorStmt>(s.stmts[1]).decl;
+  EXPECT_EQ(decl.loc(), (SourceLoc{2, 1}));
+  const Branch& first = *decl.body()->branches()[0];
+  EXPECT_EQ(first.loc(), (SourceLoc{3, 7}));
+  EXPECT_EQ(first.bindings()[0].loc, (SourceLoc{3, 7}));
+  const Branch& second = *decl.body()->branches()[1];
+  EXPECT_EQ(second.loc(), (SourceLoc{4, 7}));
+  EXPECT_EQ(second.bindings()[0].loc, (SourceLoc{4, 21}));
+  EXPECT_EQ(second.bindings()[1].loc, (SourceLoc{5, 7}));
+}
+
 TEST(Parser, SymbolsAccumulateWithinOneSource) {
   // The relation variable declared mid-script is visible to the later
   // constructor argument classification.

@@ -92,5 +92,45 @@ TEST(ConjunctsToPred, RoundTrip) {
   EXPECT_EQ(FlattenConjuncts(rebuilt).size(), 2u);
 }
 
+TEST(FlattenConjuncts, ThreeLevelNestingPreservesOrder) {
+  PredPtr p =
+      And({And({Eq(FieldRef("a", "x"), Int(1)),
+                And({Eq(FieldRef("b", "x"), Int(2)), True()})}),
+           Eq(FieldRef("c", "x"), Int(3))});
+  std::vector<PredPtr> cs = FlattenConjuncts(p);
+  ASSERT_EQ(cs.size(), 3u);
+  EXPECT_EQ(FreeVars(*cs[0]), (std::set<std::string>{"a"}));
+  EXPECT_EQ(FreeVars(*cs[1]), (std::set<std::string>{"b"}));
+  EXPECT_EQ(FreeVars(*cs[2]), (std::set<std::string>{"c"}));
+}
+
+TEST(FlattenConjuncts, RoundTripPrintsIdentically) {
+  PredPtr p = And({Eq(FieldRef("r", "a"), Int(1)),
+                   And({Lt(FieldRef("r", "b"), Int(9)),
+                        Ne(FieldRef("r", "a"), FieldRef("r", "b"))})});
+  PredPtr rebuilt = ConjunctsToPred(FlattenConjuncts(p));
+  // Flattening canonicalises the nesting but keeps the conjunct order, so
+  // the printed form of the flat AND lists the same conjuncts in order.
+  EXPECT_EQ(ToString(*rebuilt),
+            ToString(*And({Eq(FieldRef("r", "a"), Int(1)),
+                           Lt(FieldRef("r", "b"), Int(9)),
+                           Ne(FieldRef("r", "a"), FieldRef("r", "b"))})));
+}
+
+TEST(FreeVars, ShadowReleasedOutsideQuantifier) {
+  // `n` is bound inside the quantifier body but free in the other conjunct.
+  PredPtr p = And({Some("n", Rel("A"), Eq(FieldRef("n", "x"), Int(1))),
+                   Eq(FieldRef("n", "y"), Int(2))});
+  EXPECT_EQ(FreeVars(*p), (std::set<std::string>{"n"}));
+}
+
+TEST(FreeVars, MembershipRangeArgumentsCount) {
+  // Constructor scalar arguments inside a membership range reference outer
+  // tuple variables.
+  PredPtr p = In({FieldRef("r", "a")},
+                 Constructed(Rel("R"), "c", {}, {FieldRef("o", "k")}));
+  EXPECT_EQ(FreeVars(*p), (std::set<std::string>{"r", "o"}));
+}
+
 }  // namespace
 }  // namespace datacon

@@ -1,0 +1,103 @@
+// datacon-lint: standalone lint driver for DBPL programs.
+//
+//   datacon-lint [--json] [--werror] [--codes] file.dbpl...
+//
+// Each file is parsed and run through the static-analysis pipeline
+// (analysis/script_lint.h) without executing anything. Diagnostics print as
+// `file:line:col: severity CODE: message`; with --json, one JSON object per
+// file in the metrics conventions. Exit status: 0 when no file has errors
+// (under --werror, when no file has any diagnostic at all), 1 otherwise,
+// 2 on usage or I/O failure.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/script_lint.h"
+#include "lang/parser.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: datacon-lint [--json] [--werror] [--codes] "
+               "file.dbpl...\n";
+  return 2;
+}
+
+void PrintCodes() {
+  for (std::string_view code : datacon::AllDiagnosticCodes()) {
+    std::cout << code << "  " << datacon::DiagnosticCodeMeaning(code) << "\n";
+  }
+}
+
+/// Lints one source file; parse failures become a single E100 report.
+datacon::LintReport LintFile(const std::string& source) {
+  datacon::Result<datacon::Script> script = datacon::ParseScript(source);
+  datacon::LintReport report;
+  if (!script.ok()) {
+    report.Append(datacon::DiagnosticFromStatus(script.status()));
+    return report;
+  }
+  return datacon::LintScript(script.value());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool werror = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--codes") {
+      PrintCodes();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "datacon-lint: unknown option '" << arg << "'\n";
+      return Usage();
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) return Usage();
+
+  bool failed = false;
+  bool first = true;
+  if (json) std::cout << "{\"files\":[";
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "datacon-lint: cannot read '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    datacon::LintReport report = LintFile(buffer.str());
+    if (report.HasErrors() || (werror && !report.empty())) failed = true;
+
+    if (json) {
+      if (!first) std::cout << ",";
+      first = false;
+      std::cout << "{\"file\":\"" << path
+                << "\",\"report\":" << report.ToJson() << "}";
+    } else {
+      for (const datacon::Diagnostic& d : report.diagnostics) {
+        std::cout << path << ":" << d.ToString() << "\n";
+      }
+    }
+  }
+  if (json) {
+    std::cout << "],\"ok\":" << (failed ? "false" : "true") << "}\n";
+  }
+  return failed ? 1 : 0;
+}
