@@ -15,8 +15,17 @@ echo "== tier-1: ctest =="
 
 echo "== lint: example corpus =="
 # Every shipped example must be clean even with warnings promoted (the
-# lint_example_* ctest entries check the same thing file by file).
-./build/tools/datacon-lint --werror examples/dbpl/*.dbpl
+# lint_example_* ctest entries check the same thing file by file),
+# adornment findings included.
+./build/tools/datacon-lint --werror --adorn examples/dbpl/*.dbpl
+
+echo "== bench: parallel + specialize (smoke, --json artifacts) =="
+# Quick single-repetition passes over the two engine-level benchmarks; the
+# runs double as correctness smoke tests (bench bodies abort on evaluation
+# errors) and leave BENCH_parallel.json / BENCH_specialize.json behind as
+# the EXPERIMENTS.md artifacts.
+./build/bench/bench_parallel --json --benchmark_min_time=0.01
+./build/bench/bench_specialize --json --benchmark_min_time=0.01
 
 echo "== tsan: build =="
 cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null

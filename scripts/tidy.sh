@@ -4,7 +4,11 @@
 # of a normal build. Not part of tier-1 — advisory output only, but the
 # exit status is clang-tidy's, so CI jobs may opt in to enforcing it.
 #
-# Usage: scripts/tidy.sh [build-dir]   (default: build)
+# Usage: scripts/tidy.sh [build-dir] [path-prefix...]
+#   build-dir      compile-commands directory (default: build)
+#   path-prefix... restrict the pass to sources under these prefixes, e.g.
+#                  `scripts/tidy.sh build src/analysis src/core` — the CI
+#                  tidy job scopes itself to the analysis and core layers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,10 +18,28 @@ if ! command -v clang-tidy >/dev/null 2>&1; then
 fi
 
 build_dir="${1:-build}"
+if [ "$#" -gt 0 ]; then shift; fi
 cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 
 # Sources only — headers are covered through HeaderFilterRegex.
 mapfile -t sources < <(git ls-files 'src/**/*.cc' 'tools/*.cc' \
   'examples/*.cpp')
+
+# Path filters: keep only sources under one of the given prefixes.
+if [ "$#" -gt 0 ]; then
+  filtered=()
+  for src in "${sources[@]}"; do
+    for prefix in "$@"; do
+      case "$src" in
+        "$prefix"/*) filtered+=("$src"); break ;;
+      esac
+    done
+  done
+  if [ "${#filtered[@]}" -eq 0 ]; then
+    echo "tidy.sh: no sources match the given path filters: $*" >&2
+    exit 2
+  fi
+  sources=("${filtered[@]}")
+fi
 
 clang-tidy -p "$build_dir" "${sources[@]}"

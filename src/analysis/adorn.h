@@ -1,0 +1,129 @@
+#ifndef DATACON_ANALYSIS_ADORN_H_
+#define DATACON_ANALYSIS_ADORN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/branch.h"
+#include "ast/range.h"
+#include "common/result.h"
+#include "core/catalog.h"
+#include "core/instantiate.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Compile-time adornment and relevance analysis over an instantiated
+/// application graph (level 2 of the paper's framework, following the
+/// magic-sets tradition of LDL++ / Souffle).
+///
+/// An application-site equality on a result attribute — a trailing selector
+/// whose predicate pins an attribute to a constant, or a query conjunct
+/// `v.attr = <literal|parameter>` on a constructed binding — makes that
+/// attribute *bound* ('b'); everything else stays *free* ('f'). Boundness is
+/// propagated interprocedurally, consumer to producer, over the SCC
+/// condensation of the constructor dependency graph: an attribute of a node
+/// is bound only when EVERY use site of the node constrains it (restricting
+/// the node must not starve any consumer). Per constructive branch the
+/// analysis then decides whether the bound attribute can be pushed into the
+/// branch's ranges (a compile-time restriction plus, for recursive
+/// bindings, a magic transfer that seeds the relevant-value closure), and
+/// emits W220/W221/W222 diagnostics when an adorned application is provably
+/// unspecializable.
+
+/// One equality constraint discovered at a use site: result attribute
+/// `attr` must equal a literal or a prepared-query parameter.
+struct AdornSeed {
+  int attr = -1;
+  std::optional<Value> literal;
+  std::optional<std::string> param;
+};
+
+/// Classification of one constructive branch of an adorned node.
+struct AdornBranch {
+  enum class Kind {
+    /// Every needed restriction maps onto non-recursive bindings; the bound
+    /// value pushes straight into their ranges (exit/seed branches).
+    kPushable,
+    /// The bound value flows through the (single) recursive binding —
+    /// verbatim or across one equi-join hop — giving the step of the
+    /// magic-seed iteration.
+    kPropagating,
+    /// Boundness is lost; the branch (and thus its component) cannot be
+    /// restricted. `lost_code` carries the W22x cause.
+    kLost,
+  };
+
+  /// A compile-time range restriction: binding `binding` of the branch may
+  /// be filtered to tuples whose field `field` is relevant for node
+  /// `magic_node`.
+  struct Filter {
+    size_t binding = 0;
+    int field = -1;
+    int magic_node = -1;
+  };
+
+  /// A magic edge: values relevant for the owner induce values relevant for
+  /// `target_node` — verbatim when `via_base` is null, otherwise one hop
+  /// through the constructor-free range `via_base` (each base tuple t with
+  /// t[from_field] relevant makes t[to_field] relevant for the target).
+  struct Transfer {
+    int target_node = -1;
+    RangePtr via_base;
+    int from_field = -1;
+    int to_field = -1;
+  };
+
+  Kind kind = Kind::kLost;
+  /// W220/W221/W222 when kLost, empty otherwise.
+  std::string lost_code;
+  /// One-line human rendering for the EXPLAIN adornment table.
+  std::string detail;
+  std::vector<Filter> filters;
+  std::vector<Transfer> transfers;
+  /// Static seeds contributed by this branch (literal equalities on a
+  /// recursive binding's bound attribute).
+  std::vector<AdornSeed> seeds;
+};
+
+/// Adornment of one application-graph node.
+struct AdornNode {
+  /// Adornment pattern over the result attributes (true = bound).
+  std::vector<bool> bound;
+  /// The driving bound attribute specialization keys on; -1 when unadorned.
+  int bound_attr = -1;
+  /// True when the node's whole component can be restricted: every branch
+  /// of every member is kPushable or kPropagating.
+  bool specializable = false;
+  /// Aligned with the node body's branch list (empty when bound_attr < 0).
+  std::vector<AdornBranch> branches;
+  /// Root constants feeding the magic-value closure (query-site equalities).
+  std::vector<AdornSeed> seeds;
+
+  /// "bf"-style pattern string; "-" per attribute when unadorned.
+  std::string AdornmentString() const;
+};
+
+/// The analysis result: per-node adornment plus structured W22x findings.
+struct AdornmentAnalysis {
+  std::vector<AdornNode> nodes;  // indexed by application-graph node id
+  std::vector<Diagnostic> diagnostics;
+  bool any_specializable = false;
+
+  /// The EXPLAIN adornment table: one block per node with its pattern and
+  /// per-branch classification.
+  std::string ToText(const ApplicationGraph& graph) const;
+};
+
+/// Runs the adornment/relevance analysis for a query expression over its
+/// instantiated application graph. `graph` must already contain every node
+/// reachable from `expr` (ApplicationGraph::AddRoots).
+Result<AdornmentAnalysis> AnalyzeAdornment(const CalcExpr& expr,
+                                           const ApplicationGraph& graph,
+                                           const Catalog& catalog);
+
+}  // namespace datacon
+
+#endif  // DATACON_ANALYSIS_ADORN_H_

@@ -16,7 +16,7 @@ struct CodeEntry {
 
 /// The registry behind DiagnosticCodeMeaning/AllDiagnosticCodes. Order is
 /// errors first, numerically — the order DESIGN.md documents them in.
-constexpr std::array<CodeEntry, 16> kCodeTable = {{
+constexpr std::array<CodeEntry, 19> kCodeTable = {{
     {kDiagParseError, "the source fragment failed to parse"},
     {kDiagUnknownName,
      "a relation, selector, constructor, or parameter name is not declared"},
@@ -52,6 +52,17 @@ constexpr std::array<CodeEntry, 16> kCodeTable = {{
     {kDiagStratifiedNegation,
      "a constructed range of a lower stratum occurs under an odd number of "
      "NOTs/ALLs; accepted only with allow_stratified_negation"},
+    {kDiagAdornmentNonLinear,
+     "a bound attribute cannot be specialized: the adornment is lost across "
+     "a non-linear branch (two or more recursive bindings)"},
+    {kDiagAdornmentFreeJoin,
+     "a bound attribute cannot be specialized: the binding is dropped by a "
+     "free-variable join (no equality conjunct carries the bound value into "
+     "the recursive binding)"},
+    {kDiagAdornmentNegation,
+     "a bound attribute cannot be specialized: relevance propagation is "
+     "blocked by a recursive reference under negation or inside a branch "
+     "predicate"},
 }};
 
 void AppendJsonString(std::string* out, std::string_view s) {

@@ -41,6 +41,9 @@ inline constexpr std::string_view kDiagDuplicateBranch = "W207";
 inline constexpr std::string_view kDiagNonDifferentiable = "W210";
 inline constexpr std::string_view kDiagNonLinearRecursion = "W211";
 inline constexpr std::string_view kDiagStratifiedNegation = "W212";
+inline constexpr std::string_view kDiagAdornmentNonLinear = "W220";
+inline constexpr std::string_view kDiagAdornmentFreeJoin = "W221";
+inline constexpr std::string_view kDiagAdornmentNegation = "W222";
 
 /// One-line meaning of a diagnostic code, or empty for an unknown code.
 std::string_view DiagnosticCodeMeaning(std::string_view code);

@@ -16,6 +16,12 @@ struct LintOptions {
   /// odd-parity constructed range over a *different* recursion component is
   /// reported as W212 (informative) instead of E103.
   bool allow_stratified_negation = false;
+  /// Run the adornment/relevance analysis (analysis/adorn.h) over every
+  /// query/assignment/EXPLAIN expression and report W220/W221/W222 where an
+  /// adorned constructor application cannot be specialized. Off by default —
+  /// the findings only matter when PRAGMA SPECIALIZE performance is wanted.
+  /// The `datacon-lint --adorn` flag turns it on.
+  bool adorn = false;
 };
 
 /// Lints one selector declaration against `catalog` (which supplies the

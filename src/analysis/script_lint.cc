@@ -4,7 +4,10 @@
 #include <variant>
 #include <vector>
 
+#include "analysis/adorn.h"
+#include "ast/builder.h"
 #include "core/catalog.h"
+#include "core/instantiate.h"
 
 namespace datacon {
 
@@ -36,12 +39,31 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
     group.clear();
   };
 
+  // Adornment pass (--adorn): instantiate the expression's application
+  // graph against the scratch catalog and surface the W22x findings. Name
+  // or instantiation errors were already reported by the passes above, so
+  // failures here are silently skipped.
+  auto adorn_expr = [&](const CalcExprPtr& expr, SourceLoc loc) {
+    if (!options.adorn || expr == nullptr) return;
+    ApplicationGraph graph(&catalog);
+    if (!graph.AddRoots(*expr).ok()) return;
+    Result<AdornmentAnalysis> adornment =
+        AnalyzeAdornment(*expr, graph, catalog);
+    if (!adornment.ok()) return;
+    report.Append(WithLoc(std::move(adornment.value().diagnostics), loc));
+  };
+
   auto lint_value = [&](const RelationExpr& value, SourceLoc loc) {
     if (value.range != nullptr) {
       report.Append(WithLoc(LintQueryRange(*value.range, catalog), loc));
+      adorn_expr(
+          build::Union({build::IdentityBranch("__q", value.range,
+                                              build::True())}),
+          loc);
     }
     if (value.expr != nullptr) {
       report.Append(WithLoc(LintQueryExpr(*value.expr, catalog), loc));
+      adorn_expr(value.expr, loc);
     }
   };
 
@@ -86,6 +108,10 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
     } else if (const auto* explain = std::get_if<ExplainStmt>(&stmt)) {
       report.Append(
           WithLoc(LintQueryRange(*explain->range, catalog), explain->loc));
+      adorn_expr(
+          build::Union({build::IdentityBranch("__q", explain->range,
+                                              build::True())}),
+          explain->loc);
     }
     // CheckStmt and PragmaStmt introduce no names and need no lint.
   }

@@ -1,5 +1,6 @@
 #include "core/database.h"
 
+#include "analysis/adorn.h"
 #include "ast/builder.h"
 #include "ast/printer.h"
 #include "common/check.h"
@@ -156,9 +157,11 @@ Result<Relation> Database::EvalQueryAs(const CalcExprPtr& expr,
 }
 
 Status Database::InstallCaptures(const ApplicationGraph& graph,
-                                 SystemEvaluator* ev) {
+                                 SystemEvaluator* ev,
+                                 const SpecializationPlan* plan) {
   for (size_t i = 0; i < graph.nodes().size(); ++i) {
     const ApplicationGraph::Node& node = graph.nodes()[i];
+    if (plan != nullptr && plan->nodes[i].active) continue;
     if (node.base->ContainsConstructor()) continue;
     if (!DetectTransitiveClosure(*node.ctor).has_value()) continue;
     Timer timer;
@@ -306,8 +309,16 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   ApplicationGraph graph(&catalog_);
   DATACON_RETURN_IF_ERROR(graph.AddRoots(*expr));
   SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
+  std::optional<SpecializationPlan> plan;
+  if (options_.specialize) {
+    DATACON_ASSIGN_OR_RETURN(AdornmentAnalysis adornment,
+                             AnalyzeAdornment(*expr, graph, catalog_));
+    DATACON_ASSIGN_OR_RETURN(plan, BuildSpecializationPlan(adornment, graph));
+    if (plan.has_value()) ev.InstallSpecialization(&*plan);
+  }
   if (options_.use_capture_rules) {
-    DATACON_RETURN_IF_ERROR(InstallCaptures(graph, &ev));
+    DATACON_RETURN_IF_ERROR(
+        InstallCaptures(graph, &ev, plan.has_value() ? &*plan : nullptr));
   }
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
   DATACON_ASSIGN_OR_RETURN(Relation out, ev.EvaluateExpr(*expr, schema));
@@ -407,6 +418,21 @@ Result<std::string> Database::Explain(const RangePtr& range) const {
   }
   Result<SccDecomposition> scc = graph.Stratify();
   if (!scc.ok()) return scc.status();
+
+  // Adornment analysis over the identity query `EACH __q IN range: TRUE` —
+  // the same form EvalRange evaluates. The table is informational; the
+  // rewrite itself is gated by options().specialize (PRAGMA SPECIALIZE).
+  CalcExprPtr identity =
+      build::Union({build::IdentityBranch("__q", range, build::True())});
+  DATACON_ASSIGN_OR_RETURN(AdornmentAnalysis adornment,
+                           AnalyzeAdornment(*identity, graph, catalog_));
+  DATACON_ASSIGN_OR_RETURN(std::optional<SpecializationPlan> plan,
+                           BuildSpecializationPlan(adornment, graph));
+  auto specialized = [&](int n) {
+    return options_.specialize && plan.has_value() &&
+           plan->nodes[static_cast<size_t>(n)].active;
+  };
+
   for (int comp : scc->topological_order) {
     const std::vector<int>& members =
         scc->components[static_cast<size_t>(comp)];
@@ -416,7 +442,14 @@ Result<std::string> Database::Explain(const RangePtr& range) const {
       out += " [" + graph.nodes()[static_cast<size_t>(n)].key + "]";
     }
     if (!cyclic) {
-      out += " -> single pass\n";
+      out += specialized(members[0]) ? " -> single pass (restricted)\n"
+                                     : " -> single pass\n";
+      continue;
+    }
+    if (specialized(members[0])) {
+      out += options_.eval.strategy == FixpointStrategy::kSemiNaive
+                 ? " -> magic-seed specialized semi-naive fixpoint\n"
+                 : " -> magic-seed specialized naive fixpoint\n";
       continue;
     }
     bool captured = false;
@@ -435,6 +468,15 @@ Result<std::string> Database::Explain(const RangePtr& range) const {
                  ? " -> semi-naive fixpoint\n"
                  : " -> naive fixpoint\n";
     }
+  }
+
+  out += "level 2 (adornment & relevance):\n";
+  out += adornment.ToText(graph);
+  out += options_.specialize
+             ? "  specialization: ON (PRAGMA SPECIALIZE = OFF disables)\n"
+             : "  specialization: OFF (PRAGMA SPECIALIZE = ON enables)\n";
+  for (const Diagnostic& d : adornment.diagnostics) {
+    out += "  " + d.ToString() + "\n";
   }
 
   out += "level 3 (physical branch plans):\n";

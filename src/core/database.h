@@ -31,6 +31,10 @@ struct DatabaseOptions {
   /// Inline non-recursive constructor applications into queries (the
   /// section 4 propagation cases 1-3 over range-nested expressions).
   bool inline_nonrecursive = true;
+  /// Magic-seed specialization: run the compile-time adornment/relevance
+  /// analysis (analysis/adorn.h) per query and restrict eligible fixpoints
+  /// to tuples relevant for the bound attributes (`PRAGMA SPECIALIZE`).
+  bool specialize = true;
   /// Extension beyond the paper: accept constructors violating the strict
   /// positivity test as long as every negative dependency crosses strata
   /// (checked at query compilation). The paper's DBPL rejects these at
@@ -164,8 +168,11 @@ class Database {
   Status DefineConstructorGroup(const std::vector<ConstructorDeclPtr>& decls,
                                 bool check_positivity);
 
-  /// Installs capture-rule materializations for eligible nodes.
-  Status InstallCaptures(const ApplicationGraph& graph, SystemEvaluator* ev);
+  /// Installs capture-rule materializations for eligible nodes. Nodes the
+  /// specialization plan restricts are skipped — their pruned fixpoint
+  /// replaces the full-closure capture.
+  Status InstallCaptures(const ApplicationGraph& graph, SystemEvaluator* ev,
+                         const SpecializationPlan* plan);
 
   DatabaseOptions options_;
   Catalog catalog_;

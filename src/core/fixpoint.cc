@@ -86,6 +86,28 @@ Status SystemEvaluator::InstallNodeRelation(int node,
 Status SystemEvaluator::MaterializeAll() {
   DATACON_CHECK(!materialized_, "MaterializeAll called twice");
 
+  if (plan_ != nullptr) {
+    // Close the plan's seeds into per-node relevant-value sets before any
+    // component evaluates. A closure failure (e.g. an unbound seed
+    // parameter) degrades to unspecialized evaluation — specialization is
+    // an optimization and must never change observable behaviour.
+    Result<MagicSets> magic = ComputeMagicSets(*plan_, *this, params_);
+    if (magic.ok()) {
+      magic_ = std::move(magic).value();
+      stats_.specialized_branches = plan_->specialized_branches();
+      if (profile_ != nullptr) {
+        ProfileNode* spec = profile_->AddChild("specialization");
+        spec->counters().Add(
+            "specialized_branches",
+            static_cast<int64_t>(stats_.specialized_branches));
+        spec->counters().Add("magic_values",
+                             static_cast<int64_t>(magic_.TotalValues()));
+      }
+    } else {
+      plan_ = nullptr;
+    }
+  }
+
   SccDecomposition scc;
   if (options_.unchecked) {
     // Unchecked mode: no stratification guarantees; plain iteration only.
@@ -272,6 +294,7 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   struct BranchInfo {
     const Branch* branch;
     int owner;
+    size_t branch_index = 0;  // position within the owner's body
     std::vector<int> binding_nodes;  // in-component node id per binding, or -1
     bool differentiable = true;
     bool recursive = false;
@@ -280,10 +303,12 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   for (int n : component) {
     const ApplicationGraph::Node& node =
         graph_->nodes()[static_cast<size_t>(n)];
-    for (const BranchPtr& branch : node.body->branches()) {
+    for (size_t bi = 0; bi < node.body->branches().size(); ++bi) {
+      const BranchPtr& branch = node.body->branches()[bi];
       BranchInfo info;
       info.branch = branch.get();
       info.owner = n;
+      info.branch_index = bi;
       for (const Binding& b : branch->bindings()) {
         int id = -1;
         RangeSplit split = SplitAtLastConstructor(*b.range);
@@ -430,8 +455,9 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
         // Insertions land in a scratch `raws` relation and are counted from
         // the deduplicated deltas below — counting exec.inserted here too
         // would double-count.
-        DATACON_RETURN_IF_ERROR(
-            EvaluateBranch(*info.branch, out, /*count_inserted=*/false));
+        DATACON_RETURN_IF_ERROR(EvaluateBranch(*info.branch, out,
+                                               /*count_inserted=*/false,
+                                               info.owner, info.branch_index));
         continue;
       }
       // The standard non-linear differential rewrite: one evaluation per
@@ -464,6 +490,8 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
           } else {
             DATACON_ASSIGN_OR_RETURN(rel, Resolve(*bindings[j].range));
           }
+          DATACON_ASSIGN_OR_RETURN(
+              rel, FilteredBinding(info.owner, info.branch_index, j, rel));
           resolved.push_back(ResolvedBinding{bindings[j].var, rel});
         }
         Evaluator eval(this);
@@ -519,18 +547,59 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
 
 Status SystemEvaluator::EvaluateNodeBody(int node, Relation* out) {
   const ApplicationGraph::Node& n = graph_->nodes()[static_cast<size_t>(node)];
-  for (const BranchPtr& branch : n.body->branches()) {
-    DATACON_RETURN_IF_ERROR(EvaluateBranch(*branch, out));
+  const std::vector<BranchPtr>& branches = n.body->branches();
+  for (size_t bi = 0; bi < branches.size(); ++bi) {
+    DATACON_RETURN_IF_ERROR(EvaluateBranch(*branches[bi], out,
+                                           /*count_inserted=*/true, node, bi));
   }
   return Status::OK();
 }
 
+Result<const Relation*> SystemEvaluator::FilteredBinding(
+    int node, size_t branch_index, size_t binding_index,
+    const Relation* rel) {
+  if (plan_ == nullptr || node < 0) return rel;
+  const SpecializationPlan::NodePlan& node_plan =
+      plan_->nodes[static_cast<size_t>(node)];
+  if (!node_plan.active || branch_index >= node_plan.branch_filters.size()) {
+    return rel;
+  }
+  const SpecializationPlan::BindingFilter* filter = nullptr;
+  for (const SpecializationPlan::BindingFilter& f :
+       node_plan.branch_filters[branch_index]) {
+    if (f.binding == binding_index) {
+      filter = &f;
+      break;
+    }
+  }
+  if (filter == nullptr) return rel;
+  const std::unordered_set<Value>* relevant =
+      magic_.ValuesFor(filter->magic_node);
+  if (relevant == nullptr) return rel;
+  auto filtered = std::make_unique<Relation>(rel->schema());
+  for (const Tuple& t : rel->tuples()) {
+    if (relevant->count(t.value(filter->field)) == 0) continue;
+    DATACON_ASSIGN_OR_RETURN(bool inserted, filtered->Insert(t));
+    (void)inserted;
+  }
+  const size_t pruned = rel->size() - filtered->size();
+  stats_.seed_tuples_pruned += pruned;
+  if (cur_ != nullptr && pruned > 0) {
+    cur_->counters().Add("seed_tuples_pruned", static_cast<int64_t>(pruned));
+  }
+  scratch_.push_back(std::move(filtered));
+  return scratch_.back().get();
+}
+
 Status SystemEvaluator::EvaluateBranch(const Branch& branch, Relation* out,
-                                       bool count_inserted) {
+                                       bool count_inserted, int node,
+                                       size_t branch_index) {
   std::vector<ResolvedBinding> resolved;
   resolved.reserve(branch.bindings().size());
-  for (const Binding& b : branch.bindings()) {
+  for (size_t j = 0; j < branch.bindings().size(); ++j) {
+    const Binding& b = branch.bindings()[j];
     DATACON_ASSIGN_OR_RETURN(const Relation* rel, Resolve(*b.range));
+    DATACON_ASSIGN_OR_RETURN(rel, FilteredBinding(node, branch_index, j, rel));
     resolved.push_back(ResolvedBinding{b.var, rel});
   }
   Evaluator eval(this);

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/catalog.h"
 #include "core/instantiate.h"
+#include "core/specialize.h"
 #include "ra/branch_plan.h"
 #include "ra/env.h"
 #include "ra/resolver.h"
@@ -70,6 +71,11 @@ struct EvalStats {
   size_t snapshot_materializations = 0;
   /// Execution detail: chunks dispatched to the worker pool.
   size_t chunks_dispatched = 0;
+  /// Body branches restricted by the magic-seed specialization.
+  size_t specialized_branches = 0;
+  /// Tuples dropped from binding ranges by magic-set filters before the
+  /// branch executor ever saw them (summed over all rounds).
+  size_t seed_tuples_pruned = 0;
 };
 
 /// Evaluates an instantiated application system (level 3 of the paper's
@@ -93,6 +99,12 @@ class SystemEvaluator : public RelationResolver {
   /// transitive closure) is materialized by a specialized algorithm and the
   /// generic fixpoint skips it. Must be called before MaterializeAll.
   Status InstallNodeRelation(int node, std::unique_ptr<Relation> rel);
+
+  /// Installs a magic-seed specialization plan (core/specialize.h): active
+  /// nodes evaluate a restricted fixpoint whose binding ranges are filtered
+  /// to relevant tuples. `plan` must outlive the evaluator; must be called
+  /// before MaterializeAll (which computes the relevant-value closure).
+  void InstallSpecialization(const SpecializationPlan* plan) { plan_ = plan; }
 
   /// Materializes every application node not already installed. Must be
   /// called exactly once, before NodeRelation/EvaluateExpr.
@@ -139,9 +151,21 @@ class SystemEvaluator : public RelationResolver {
 
   /// Evaluates a single branch into `out`. `count_inserted` is false inside
   /// semi-naive differential rounds, where insertions are counted from the
-  /// deduplicated deltas instead of the raw per-branch output.
+  /// deduplicated deltas instead of the raw per-branch output. `node` and
+  /// `branch_index` locate the branch in the specialization plan (node -1:
+  /// a query branch, never filtered).
   Status EvaluateBranch(const Branch& branch, Relation* out,
-                        bool count_inserted = true);
+                        bool count_inserted = true, int node = -1,
+                        size_t branch_index = 0);
+
+  /// Applies the specialization plan's filter for (node, branch, binding)
+  /// to `rel`, materializing the restricted copy into scratch_ and counting
+  /// the dropped tuples. Returns `rel` unchanged when no filter applies.
+  /// The filter runs before the branch executor's parallel fan-out, so the
+  /// pruning counters stay deterministic at any thread count.
+  Result<const Relation*> FilteredBinding(int node, size_t branch_index,
+                                          size_t binding_index,
+                                          const Relation* rel);
 
   /// Folds one branch execution's counters into the flat stats and, when
   /// profiling, into the current profile node.
@@ -162,6 +186,11 @@ class SystemEvaluator : public RelationResolver {
   const ApplicationGraph* graph_;
   EvalOptions options_;
   Environment params_;
+
+  /// Magic-seed specialization (not owned; null when disabled) and the
+  /// relevant-value closure computed at the start of MaterializeAll.
+  const SpecializationPlan* plan_ = nullptr;
+  MagicSets magic_;
 
   std::vector<std::unique_ptr<Relation>> totals_;
   bool materialized_ = false;

@@ -1,0 +1,112 @@
+#ifndef DATACON_CORE_SPECIALIZE_H_
+#define DATACON_CORE_SPECIALIZE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/range.h"
+#include "common/result.h"
+#include "core/instantiate.h"
+#include "ra/env.h"
+#include "ra/resolver.h"
+#include "types/value.h"
+
+namespace datacon {
+
+struct AdornmentAnalysis;
+
+/// The magic-seed specialization of an application system, derived from the
+/// adornment analysis (analysis/adorn.h): which nodes may be restricted to
+/// their *relevant* tuples, which binding positions of which body branches
+/// carry the restriction, and how relevant values flow between nodes.
+///
+/// Soundness: a node is active only when every use site's demand is covered
+/// by a seed or a transfer edge, so the relevant-value closure computed by
+/// ComputeMagicSets over-approximates every value the restricted fixpoint
+/// can ask for — the specialized run derives a subset of the full fixpoint
+/// containing every tuple any consumer (including the query) selects.
+struct SpecializationPlan {
+  /// Restrict binding `binding` of a branch to tuples whose field `field`
+  /// is in the magic set of `magic_node`.
+  struct BindingFilter {
+    size_t binding = 0;
+    int field = -1;
+    int magic_node = -1;
+  };
+
+  struct NodePlan {
+    bool active = false;
+    int bound_attr = -1;
+    /// Aligned with the node body's branch list.
+    std::vector<std::vector<BindingFilter>> branch_filters;
+  };
+
+  /// A root relevant value for `node`: a literal, or a prepared-query
+  /// parameter resolved at evaluation time.
+  struct Seed {
+    int node = -1;
+    std::optional<Value> literal;
+    std::optional<std::string> param;
+  };
+
+  /// Relevant values of `from_node` induce relevant values of `to_node`:
+  /// verbatim when `via_base` is null, otherwise through one equi-join hop
+  /// over the constructor-free range `via_base` (a base tuple t with
+  /// t[from_field] relevant makes t[to_field] relevant).
+  struct Edge {
+    int from_node = -1;
+    int to_node = -1;
+    RangePtr via_base;
+    int from_field = -1;
+    int to_field = -1;
+  };
+
+  std::vector<NodePlan> nodes;
+  std::vector<Seed> seeds;
+  std::vector<Edge> edges;
+
+  bool any() const;
+  /// Branches of active nodes carrying at least one filter.
+  size_t specialized_branches() const;
+};
+
+/// Builds an executable plan from the adornment analysis; nullopt when no
+/// node is specializable.
+Result<std::optional<SpecializationPlan>> BuildSpecializationPlan(
+    const AdornmentAnalysis& adornment, const ApplicationGraph& graph);
+
+/// The relevant-value set of every active node: the closure of the plan's
+/// seeds under its edges, computed before any fixpoint runs (via_base
+/// ranges are constructor-free, so they resolve against stored relations).
+class MagicSets {
+ public:
+  /// The set for `node`, or nullptr when the node has no magic set (it is
+  /// not active and must not be filtered).
+  const std::unordered_set<Value>* ValuesFor(int node) const {
+    auto it = sets_.find(node);
+    return it == sets_.end() ? nullptr : &it->second;
+  }
+
+  size_t TotalValues() const;
+
+  const std::map<int, std::unordered_set<Value>>& sets() const {
+    return sets_;
+  }
+  std::map<int, std::unordered_set<Value>>& sets() { return sets_; }
+
+ private:
+  std::map<int, std::unordered_set<Value>> sets_;
+};
+
+/// Closes the plan's seeds under its transfer edges. `params` supplies
+/// prepared-query parameter values for parameter seeds.
+Result<MagicSets> ComputeMagicSets(const SpecializationPlan& plan,
+                                   const RelationResolver& resolver,
+                                   const Environment& params);
+
+}  // namespace datacon
+
+#endif  // DATACON_CORE_SPECIALIZE_H_

@@ -146,7 +146,14 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
     text += "result: " + std::to_string(value->size()) + " tuple(s), " +
             std::to_string(stats.iterations) + " round(s), " +
             std::to_string(stats.tuples_considered) + " considered, " +
-            std::to_string(stats.tuples_inserted) + " inserted\n";
+            std::to_string(stats.tuples_inserted) + " inserted";
+    if (stats.specialized_branches > 0) {
+      text += ", " + std::to_string(stats.specialized_branches) +
+              " specialized branch(es), " +
+              std::to_string(stats.seed_tuples_pruned) +
+              " seed tuple(s) pruned";
+    }
+    text += "\n";
     results_.push_back(QueryResult{std::move(text), std::move(value).value()});
     return Status::OK();
   }
@@ -186,6 +193,13 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
         return Status::InvalidArgument("PRAGMA PROFILE requires ON or OFF");
       }
       db_->options().eval.profile = pragma->value != 0;
+      return Status::OK();
+    }
+    if (pragma->name == "SPECIALIZE") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA SPECIALIZE requires ON or OFF");
+      }
+      db_->options().specialize = pragma->value != 0;
       return Status::OK();
     }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");

@@ -1,0 +1,266 @@
+#include "analysis/adorn.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ast/builder.h"
+#include "core/database.h"
+#include "core/instantiate.h"
+#include "lang/interpreter.h"
+
+namespace datacon {
+namespace {
+
+constexpr const char* kSetup = R"(
+TYPE parttype = STRING;
+TYPE infrontrel = RELATION OF RECORD front, back: parttype END;
+TYPE aheadrel = RELATION OF RECORD head, tail: parttype END;
+VAR Infront: infrontrel;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (): aheadrel;
+BEGIN EACH r IN Rel: TRUE,
+      <f.front, b.tail> OF EACH f IN Rel,
+      EACH b IN Rel {ahead}: f.back = b.head
+END ahead;
+)";
+
+/// Instantiates `expr` against `db` and runs the adornment analysis.
+AdornmentAnalysis Analyze(const Database& db, const CalcExprPtr& expr) {
+  ApplicationGraph graph(&db.catalog());
+  Status added = graph.AddRoots(*expr);
+  EXPECT_TRUE(added.ok()) << added.ToString();
+  Result<AdornmentAnalysis> analysis =
+      AnalyzeAdornment(*expr, graph, db.catalog());
+  EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
+  return std::move(analysis).value();
+}
+
+/// `{ EACH v IN Infront {ahead}: <pred> }` over the given constructor name.
+CalcExprPtr BoundQuery(const std::string& ctor, PredPtr pred) {
+  return build::Union({build::IdentityBranch(
+      "v", build::Constructed(build::Rel("Infront"), ctor),
+      std::move(pred))});
+}
+
+TEST(Adorn, LiteralEqualityAdornsAndSpecializes) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+
+  CalcExprPtr expr = BoundQuery(
+      "ahead",
+      build::Eq(build::FieldRef("v", "head"), build::Str("vase")));
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  const AdornNode& node = analysis.nodes[0];
+  EXPECT_EQ(node.AdornmentString(), "bf");
+  EXPECT_EQ(node.bound_attr, 0);
+  EXPECT_TRUE(node.specializable);
+  EXPECT_TRUE(analysis.any_specializable);
+  EXPECT_TRUE(analysis.diagnostics.empty());
+
+  // Branch 0 (the identity seed) pushes the restriction straight into its
+  // base range; branch 1 propagates it across the equi-join hop.
+  ASSERT_EQ(node.branches.size(), 2u);
+  EXPECT_EQ(node.branches[0].kind, AdornBranch::Kind::kPushable);
+  EXPECT_EQ(node.branches[1].kind, AdornBranch::Kind::kPropagating);
+  EXPECT_FALSE(node.branches[1].transfers.empty());
+
+  // The query-site literal seeds the relevant-value closure.
+  ASSERT_EQ(node.seeds.size(), 1u);
+  ASSERT_TRUE(node.seeds[0].literal.has_value());
+  EXPECT_EQ(*node.seeds[0].literal, Value::String("vase"));
+}
+
+TEST(Adorn, UnconstrainedQueryStaysFree) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+
+  CalcExprPtr expr = BoundQuery("ahead", build::True());
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_EQ(analysis.nodes[0].AdornmentString(), "ff");
+  EXPECT_FALSE(analysis.nodes[0].specializable);
+  EXPECT_FALSE(analysis.any_specializable);
+  // Nothing was requested, so nothing is reported.
+  EXPECT_TRUE(analysis.diagnostics.empty());
+}
+
+TEST(Adorn, TrailingSelectorConstantBindsAttribute) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+  ASSERT_TRUE(interp
+                  .Execute("SELECTOR from_head (Obj: parttype) FOR Rel: "
+                           "aheadrel;\n"
+                           "BEGIN EACH r IN Rel: r.head = Obj END from_head;")
+                  .ok());
+
+  // `Infront {ahead} [from_head("vase")]` — the constraint lives in the
+  // trailing selector application, not in a query conjunct.
+  RangePtr range = build::Selected(
+      build::Constructed(build::Rel("Infront"), "ahead"), "from_head",
+      {build::Str("vase")});
+  CalcExprPtr expr =
+      build::Union({build::IdentityBranch("v", range, build::True())});
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_EQ(analysis.nodes[0].AdornmentString(), "bf");
+  EXPECT_TRUE(analysis.nodes[0].specializable);
+}
+
+TEST(Adorn, MixedUseSitesIntersectToFree) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+
+  // One branch constrains head, the other leaves the application open: the
+  // must-intersection over use sites drops the adornment (restricting the
+  // node would starve the open site), and the dropped restriction is
+  // reported because it *was* requested somewhere.
+  CalcExprPtr expr = build::Union(
+      {build::IdentityBranch(
+           "v", build::Constructed(build::Rel("Infront"), "ahead"),
+           build::Eq(build::FieldRef("v", "head"), build::Str("vase"))),
+       build::IdentityBranch(
+           "w", build::Constructed(build::Rel("Infront"), "ahead"),
+           build::True())});
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_EQ(analysis.nodes[0].AdornmentString(), "ff");
+  EXPECT_FALSE(analysis.any_specializable);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].code, kDiagAdornmentFreeJoin);
+}
+
+TEST(Adorn, NonLinearBranchReportsW220) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+  // Both recursive bindings stay constrained through the constructor-free
+  // binding f, so the adornment survives — but the branch joins *two*
+  // recursive occurrences, which the magic-seed step cannot restrict.
+  ASSERT_TRUE(interp
+                  .Execute("CONSTRUCTOR dup FOR Rel: infrontrel (): "
+                           "aheadrel;\n"
+                           "BEGIN EACH r IN Rel: TRUE,\n"
+                           "      <f.front, b.tail> OF EACH f IN Rel,\n"
+                           "      EACH a IN Rel {dup},\n"
+                           "      EACH b IN Rel {dup}: f.back = a.head "
+                           "AND f.back = b.head\n"
+                           "END dup;")
+                  .ok());
+
+  CalcExprPtr expr = BoundQuery(
+      "dup", build::Eq(build::FieldRef("v", "head"), build::Str("vase")));
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_FALSE(analysis.nodes[0].specializable);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].code, kDiagAdornmentNonLinear);
+}
+
+TEST(Adorn, MisalignedJoinReportsW221) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+  // The join reaches the recursive binding through its *tail*, so a bound
+  // head cannot be carried into the recursion.
+  ASSERT_TRUE(interp
+                  .Execute("CONSTRUCTOR weird FOR Rel: infrontrel (): "
+                           "aheadrel;\n"
+                           "BEGIN EACH r IN Rel: TRUE,\n"
+                           "      <f.front, b.tail> OF EACH f IN Rel,\n"
+                           "      EACH b IN Rel {weird}: f.front = b.tail\n"
+                           "END weird;")
+                  .ok());
+
+  CalcExprPtr expr = BoundQuery(
+      "weird", build::Eq(build::FieldRef("v", "head"), build::Str("vase")));
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_FALSE(analysis.nodes[0].specializable);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].code, kDiagAdornmentFreeJoin);
+}
+
+TEST(Adorn, QuantifierUseSiteBlocksSpecialization) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+  // The recursive reference sits inside a (positive) quantifier, an
+  // unconstrained use site — the must-intersection empties and the dropped
+  // request is reported.
+  ASSERT_TRUE(interp
+                  .Execute("CONSTRUCTOR guarded FOR Rel: infrontrel (): "
+                           "aheadrel;\n"
+                           "BEGIN EACH r IN Rel: TRUE,\n"
+                           "      <f.front, f.back> OF EACH f IN Rel:\n"
+                           "        SOME b IN Rel {guarded} "
+                           "(f.back = b.head)\n"
+                           "END guarded;")
+                  .ok());
+
+  CalcExprPtr expr = BoundQuery(
+      "guarded",
+      build::Eq(build::FieldRef("v", "head"), build::Str("vase")));
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_FALSE(analysis.nodes[0].specializable);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].code, kDiagAdornmentFreeJoin);
+}
+
+TEST(Adorn, NegatedUseSiteReportsW222) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+
+  // The query both binds the head and re-ranges over the closure under NOT
+  // — an odd-parity use site, so relevance cannot be propagated.
+  CalcExprPtr expr = BoundQuery(
+      "ahead",
+      build::And(
+          {build::Eq(build::FieldRef("v", "head"), build::Str("vase")),
+           build::Not(build::Some(
+               "b", build::Constructed(build::Rel("Infront"), "ahead"),
+               build::Eq(build::FieldRef("v", "tail"),
+                         build::FieldRef("b", "head"))))}));
+  AdornmentAnalysis analysis = Analyze(db, expr);
+
+  ASSERT_EQ(analysis.nodes.size(), 1u);
+  EXPECT_FALSE(analysis.nodes[0].specializable);
+  ASSERT_EQ(analysis.diagnostics.size(), 1u);
+  EXPECT_EQ(analysis.diagnostics[0].code, kDiagAdornmentNegation);
+}
+
+TEST(Adorn, ToTextRendersAdornmentTable) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kSetup).ok());
+
+  CalcExprPtr expr = BoundQuery(
+      "ahead",
+      build::Eq(build::FieldRef("v", "head"), build::Str("vase")));
+  ApplicationGraph graph(&db.catalog());
+  ASSERT_TRUE(graph.AddRoots(*expr).ok());
+  Result<AdornmentAnalysis> analysis =
+      AnalyzeAdornment(*expr, graph, db.catalog());
+  ASSERT_TRUE(analysis.ok());
+
+  std::string text = analysis->ToText(graph);
+  EXPECT_NE(text.find("adornment: bf"), std::string::npos) << text;
+  EXPECT_NE(text.find("magic-seed"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace datacon

@@ -91,6 +91,43 @@ TEST(LintReport, CountsAndRender) {
   EXPECT_NE(json.find("\"warnings\":2"), std::string::npos);
 }
 
+TEST(LintReport, SpanOrderingIsStableOnSharedLine) {
+  // Diagnostics landing on the same source position must keep their
+  // pipeline emission order (SortBySpan is a stable sort): pass order is
+  // meaningful when several analyses flag one spot.
+  LintReport report;
+  report.Append(MakeDiagnostic(kDiagUnusedBinding, "first", SourceLoc{3, 5}));
+  report.Append(MakeDiagnostic(kDiagUnusedBinding, "second", SourceLoc{3, 5}));
+  report.Append(MakeDiagnostic(kDiagUnusedBinding, "third", SourceLoc{3, 5}));
+  // Same line, differing column: column wins over emission order.
+  report.Append(MakeDiagnostic(kDiagUnusedBinding, "early", SourceLoc{3, 1}));
+
+  report.SortBySpan();
+  ASSERT_EQ(report.diagnostics.size(), 4u);
+  EXPECT_EQ(report.diagnostics[0].message, "early");
+  EXPECT_EQ(report.diagnostics[1].message, "first");
+  EXPECT_EQ(report.diagnostics[2].message, "second");
+  EXPECT_EQ(report.diagnostics[3].message, "third");
+
+  // Sorting again must not reshuffle the shared-position block.
+  report.SortBySpan();
+  EXPECT_EQ(report.diagnostics[1].message, "first");
+  EXPECT_EQ(report.diagnostics[2].message, "second");
+  EXPECT_EQ(report.diagnostics[3].message, "third");
+}
+
+TEST(LintReport, SharedLineOrdersByCodeBeforeEmission) {
+  // On identical spans the code is the final sort key — an error code
+  // numerically below a warning code precedes it regardless of when the
+  // passes emitted them.
+  LintReport report;
+  report.Append(MakeDiagnostic(kDiagUnusedBinding, "warn", SourceLoc{7, 2}));
+  report.Append(MakeDiagnostic(kDiagUnknownName, "err", SourceLoc{7, 2}));
+  report.SortBySpan();
+  EXPECT_EQ(report.diagnostics[0].code, kDiagUnknownName);
+  EXPECT_EQ(report.diagnostics[1].code, kDiagUnusedBinding);
+}
+
 TEST(LintReport, EmptyReportRendersEmpty) {
   LintReport report;
   EXPECT_TRUE(report.empty());

@@ -142,6 +142,45 @@ TEST(FoldPred, ThreeValuedOr) {
   EXPECT_EQ(FoldPred(*Or({unknown, False()})), FoldOutcome::kUnknown);
 }
 
+TEST(FoldPred, MixedUnknownAndErrorOperands) {
+  // Two flavours of undecidable operand: a data-dependent comparison and a
+  // comparison whose term *errors* at fold time (division by zero). The
+  // three-valued connectives must treat both as unknown — an absorbing
+  // operand still decides the result, everything else stays kUnknown.
+  PredPtr unknown = Eq(FieldRef("r", "a"), Int(1));
+  PredPtr error = Eq(Arith(ArithOp::kDiv, Int(1), Int(0)), Int(1));
+  PredPtr mod_error = Ne(Arith(ArithOp::kMod, Int(7), Int(0)), Int(0));
+  EXPECT_EQ(FoldPred(*error), FoldOutcome::kUnknown);
+  EXPECT_EQ(FoldPred(*mod_error), FoldOutcome::kUnknown);
+
+  EXPECT_EQ(FoldPred(*And({error, False()})), FoldOutcome::kFalse);
+  EXPECT_EQ(FoldPred(*And({error, unknown})), FoldOutcome::kUnknown);
+  EXPECT_EQ(FoldPred(*And({error, True()})), FoldOutcome::kUnknown);
+  EXPECT_EQ(FoldPred(*And({error, mod_error})), FoldOutcome::kUnknown);
+
+  EXPECT_EQ(FoldPred(*Or({error, True()})), FoldOutcome::kTrue);
+  EXPECT_EQ(FoldPred(*Or({error, unknown})), FoldOutcome::kUnknown);
+  EXPECT_EQ(FoldPred(*Or({error, False()})), FoldOutcome::kUnknown);
+
+  EXPECT_EQ(FoldPred(*Not(error)), FoldOutcome::kUnknown);
+  EXPECT_EQ(FoldPred(*Not(Not(error))), FoldOutcome::kUnknown);
+}
+
+TEST(FoldPred, MixedOperandsNestDecidably) {
+  PredPtr unknown = Eq(FieldRef("r", "a"), Int(1));
+  PredPtr error = Eq(Arith(ArithOp::kDiv, Int(1), Int(0)), Int(1));
+  // Absorption cuts through nested mixtures of unknown and error operands.
+  EXPECT_EQ(FoldPred(*And({Or({error, unknown}), False()})),
+            FoldOutcome::kFalse);
+  EXPECT_EQ(FoldPred(*Or({And({error, unknown}), True()})),
+            FoldOutcome::kTrue);
+  EXPECT_EQ(FoldPred(*Not(And({error, False()}))), FoldOutcome::kTrue);
+  EXPECT_EQ(FoldPred(*Not(Or({unknown, True()}))), FoldOutcome::kFalse);
+  // ...but without an absorbing operand the mixture stays undecided.
+  EXPECT_EQ(FoldPred(*And({Or({error, False()}), True()})),
+            FoldOutcome::kUnknown);
+}
+
 TEST(FoldPred, NotInverts) {
   EXPECT_EQ(FoldPred(*Not(True())), FoldOutcome::kFalse);
   EXPECT_EQ(FoldPred(*Not(False())), FoldOutcome::kTrue);

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "core/fixpoint.h"
+#include "testutil.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+using testing::ReferenceClosure;
+using testing::ToPairSet;
+
+/// Evaluates `range` against `db`'s catalog with the given options,
+/// bypassing Database's optimizer.
+Result<Relation> EvalRaw(Database* db, const RangePtr& range,
+                         EvalOptions options, EvalStats* stats = nullptr) {
+  ApplicationGraph graph(&db->catalog());
+  DATACON_ASSIGN_OR_RETURN(int root, graph.AddRootRange(*range));
+  (void)root;
+  SystemEvaluator ev(&db->catalog(), &graph, options);
+  DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
+  DATACON_ASSIGN_OR_RETURN(const Relation* rel, ev.Resolve(*range));
+  if (stats != nullptr) *stats = ev.stats();
+  return *rel;
+}
+
+EvalOptions WithThreads(FixpointStrategy strategy, size_t threads) {
+  EvalOptions o;
+  o.strategy = strategy;
+  o.exec.num_threads = threads;
+  return o;
+}
+
+/// Every parallel execution must be bit-identical (same SortedTuples) to
+/// the serial one, and report the same deterministic statistics: env_count
+/// is partition-invariant and `inserted` is counted against the shared
+/// output after the merge.
+class ThreadCountTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ThreadCountTest, ClosureMatchesSerialBitForBit) {
+  size_t threads = GetParam();
+  workload::EdgeList g = workload::RandomDigraph(48, 160, 11);
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  for (FixpointStrategy strategy :
+       {FixpointStrategy::kNaive, FixpointStrategy::kSemiNaive}) {
+    EvalStats serial_stats, parallel_stats;
+    Result<Relation> serial =
+        EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"),
+                WithThreads(strategy, 1), &serial_stats);
+    Result<Relation> parallel =
+        EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"),
+                WithThreads(strategy, threads), &parallel_stats);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    EXPECT_EQ(serial->SortedTuples(), parallel->SortedTuples());
+    EXPECT_EQ(ToPairSet(*parallel), ReferenceClosure(g));
+    EXPECT_EQ(serial_stats.iterations, parallel_stats.iterations);
+    EXPECT_EQ(serial_stats.tuples_considered,
+              parallel_stats.tuples_considered);
+    EXPECT_EQ(serial_stats.tuples_inserted, parallel_stats.tuples_inserted);
+  }
+}
+
+TEST_P(ThreadCountTest, MutualRecursionMatchesSerialBitForBit) {
+  size_t threads = GetParam();
+  Database db;
+  ASSERT_TRUE(workload::SetupCadScene(&db, 24, 60, 60, 3).ok());
+
+  RangePtr range = Constructed(Rel("Infront"), "ahead", {Rel("Ontop")});
+  Result<Relation> serial =
+      EvalRaw(&db, range, WithThreads(FixpointStrategy::kSemiNaive, 1));
+  Result<Relation> parallel =
+      EvalRaw(&db, range, WithThreads(FixpointStrategy::kSemiNaive, threads));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(serial->SortedTuples(), parallel->SortedTuples());
+}
+
+TEST_P(ThreadCountTest, QuantifierRangesResolveInsideWorkers) {
+  // A recursive reference inside SOME exercises the snapshot resolver: the
+  // workers must see the pre-materialized relation, never the engine's
+  // cache-mutating resolver.
+  size_t threads = GetParam();
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  workload::EdgeList g = workload::RandomDigraph(24, 64, 5);
+  ASSERT_TRUE(workload::LoadEdges(&db, "E", g).ok());
+
+  auto body = Union(
+      {IdentityBranch("r", Rel("Rel"), True()),
+       MakeBranch(
+           {FieldRef("f", "src"), FieldRef("g", "dst")},
+           {Each("f", Rel("Rel")), Each("g", Rel("Rel"))},
+           Some("m", Constructed(Rel("Rel"), "c"),
+                And({Eq(FieldRef("f", "dst"), FieldRef("m", "src")),
+                     Eq(FieldRef("m", "dst"), FieldRef("g", "src"))})))});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "c", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "edge", body);
+  ASSERT_TRUE(db.DefineConstructor(decl).ok());
+
+  Result<Relation> serial = EvalRaw(
+      &db, Constructed(Rel("E"), "c"),
+      WithThreads(FixpointStrategy::kSemiNaive, 1));
+  Result<Relation> parallel = EvalRaw(
+      &db, Constructed(Rel("E"), "c"),
+      WithThreads(FixpointStrategy::kSemiNaive, threads));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(serial->SortedTuples(), parallel->SortedTuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCountTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(FixpointParallel, ZeroMeansHardwareConcurrency) {
+  Database db;
+  workload::EdgeList g = workload::RandomDigraph(32, 96, 9);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+  Result<Relation> r =
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"),
+              WithThreads(FixpointStrategy::kSemiNaive, 0));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ToPairSet(*r), ReferenceClosure(g));
+}
+
+TEST(FixpointParallel, KeyViolationSurvivesParallelMerge) {
+  // A key-violating construction must fail identically whether the
+  // conflicting tuples are derived by one worker or merged from two.
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.DefineRelationType(
+                    "keyed", Schema({{"src", ValueType::kInt},
+                                     {"dst", ValueType::kInt}},
+                                    {0}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        db.Insert("E", Tuple({Value::Int(i % 20), Value::Int(i)})).ok());
+  }
+
+  auto body = Union({IdentityBranch("r", Rel("Rel"), True())});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "copy", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "keyed", body);
+  ASSERT_TRUE(db.DefineConstructor(decl).ok());
+
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    Result<Relation> r =
+        EvalRaw(&db, Constructed(Rel("E"), "copy"),
+                WithThreads(FixpointStrategy::kSemiNaive, threads));
+    EXPECT_EQ(r.status().code(), StatusCode::kKeyViolation)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace datacon

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "ast/builder.h"
+#include "core/fixpoint.h"
+#include "testutil.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+using testing::ReferenceClosure;
+using testing::ToPairSet;
+
+/// Evaluates `range` against `db`'s catalog with the given options,
+/// bypassing Database's optimizer (so no capture rules fire).
+Result<Relation> EvalRaw(Database* db, const RangePtr& range,
+                         EvalOptions options, EvalStats* stats = nullptr) {
+  ApplicationGraph graph(&db->catalog());
+  DATACON_ASSIGN_OR_RETURN(int root, graph.AddRootRange(*range));
+  (void)root;
+  SystemEvaluator ev(&db->catalog(), &graph, options);
+  DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
+  DATACON_ASSIGN_OR_RETURN(const Relation* rel, ev.Resolve(*range));
+  if (stats != nullptr) *stats = ev.stats();
+  return *rel;
+}
+
+Status DefineNonLinearClosure(Database* db) {
+  DATACON_RETURN_IF_ERROR(db->DefineRelationType(
+      "edge",
+      Schema({{"src", ValueType::kInt}, {"dst", ValueType::kInt}})));
+  DATACON_RETURN_IF_ERROR(db->CreateRelation("E", "edge"));
+  auto body = Union(
+      {IdentityBranch("r", Rel("Rel"), True()),
+       MakeBranch({FieldRef("x", "src"), FieldRef("y", "dst")},
+                  {Each("x", Constructed(Rel("Rel"), "tc2")),
+                   Each("y", Constructed(Rel("Rel"), "tc2"))},
+                  Eq(FieldRef("x", "dst"), FieldRef("y", "src")))});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "tc2", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "edge", body);
+  return db->DefineConstructor(decl);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned counters. These values are load-bearing: they encode the exact
+// amount of logical work the semi-naive engine performs after the PR1
+// fixes (non-linear differential rewrite; no double-counting of inserts
+// from non-differentiable branches). A change here is a change to the
+// evaluation algorithm, not noise.
+// ---------------------------------------------------------------------------
+
+TEST(FixpointStats, LinearClosureSemiNaivePinned) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kSemiNaive;
+  EvalStats stats;
+  Result<Relation> r =
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"), options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ToPairSet(*r), ReferenceClosure(workload::Chain(4)));
+
+  // Chain(4): seed inserts the 3 edges; deltas shrink 3 -> 2 -> 1 -> 0.
+  EXPECT_EQ(stats.iterations, 4u);
+  EXPECT_EQ(stats.tuples_considered, 6u);
+  EXPECT_EQ(stats.tuples_inserted, 6u);
+}
+
+TEST(FixpointStats, NonLinearClosureSemiNaivePinned) {
+  // Doubly recursive closure: both occurrences of tc2 are recursive, so
+  // the differential rewrite must expand into delta/old cross terms. The
+  // pinned numbers are the regression test for that rewrite: before the
+  // fix the engine either missed tuples (wrong rewrite) or double-counted
+  // inserts from the seed branch re-run in every round.
+  Database db;
+  ASSERT_TRUE(DefineNonLinearClosure(&db).ok());
+  ASSERT_TRUE(workload::LoadEdges(&db, "E", workload::Chain(4)).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kSemiNaive;
+  EvalStats stats;
+  Result<Relation> r =
+      EvalRaw(&db, Constructed(Rel("E"), "tc2"), options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ToPairSet(*r), ReferenceClosure(workload::Chain(4)));
+
+  EXPECT_EQ(stats.iterations, 4u);
+  EXPECT_EQ(stats.tuples_considered, 7u);
+  EXPECT_EQ(stats.tuples_inserted, 6u);
+}
+
+TEST(FixpointStats, NaiveAndSemiNaiveAgreeOnInsertions) {
+  workload::EdgeList g = workload::RandomDigraph(24, 64, 7);
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  EvalStats naive_stats, semi_stats;
+  EvalOptions naive;
+  naive.strategy = FixpointStrategy::kNaive;
+  EvalOptions semi;
+  semi.strategy = FixpointStrategy::kSemiNaive;
+  Result<Relation> a =
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"), naive, &naive_stats);
+  Result<Relation> b =
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"), semi, &semi_stats);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->SortedTuples(), b->SortedTuples());
+  // Semi-naive inserts every closure tuple exactly once; naive (Jacobi)
+  // rebuilds each round's approximation from scratch, so it re-inserts
+  // prior tuples and both of its counters dominate semi-naive's.
+  EXPECT_EQ(semi_stats.tuples_inserted, b->size());
+  EXPECT_GE(naive_stats.tuples_inserted, semi_stats.tuples_inserted);
+  EXPECT_GE(naive_stats.tuples_considered, semi_stats.tuples_considered);
+}
+
+// ---------------------------------------------------------------------------
+// max_iterations is a per-component bound (PR1 fix): stacked closures
+// whose rounds sum past the bound must still converge as long as each
+// component individually stays within it.
+// ---------------------------------------------------------------------------
+
+TEST(FixpointStats, MaxIterationsBoundsEachComponentSeparately) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kSemiNaive;
+  options.max_iterations = 4;
+  EvalStats stats;
+  // tc(tc(E)): the inner closure needs 4 rounds, the outer 2 — 6 total,
+  // above the bound, but neither component individually exceeds it.
+  RangePtr stacked =
+      Constructed(Constructed(Rel("g_E"), "g_tc"), "g_tc");
+  Result<Relation> r = EvalRaw(&db, stacked, options, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ToPairSet(*r), ReferenceClosure(workload::Chain(4)));
+  EXPECT_EQ(stats.iterations, 6u);
+}
+
+TEST(FixpointStats, MaxIterationsStillTripsWithinOneComponent) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(6)).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kSemiNaive;
+  options.max_iterations = 3;
+  Result<Relation> r =
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"), options);
+  EXPECT_EQ(r.status().code(), StatusCode::kDivergence)
+      << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// The flat stats now carry branch-level counters too; the deterministic
+// ones must not vary with the thread count.
+// ---------------------------------------------------------------------------
+
+TEST(FixpointStats, BranchCountersDeterministicAcrossThreads) {
+  workload::EdgeList g = workload::RandomDigraph(48, 160, 3);
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  EvalOptions serial;
+  serial.strategy = FixpointStrategy::kSemiNaive;
+  serial.exec.num_threads = 1;
+  EvalOptions parallel = serial;
+  parallel.exec.num_threads = 8;
+
+  EvalStats s1, s8;
+  ASSERT_TRUE(
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"), serial, &s1).ok());
+  ASSERT_TRUE(
+      EvalRaw(&db, Constructed(Rel("g_E"), "g_tc"), parallel, &s8).ok());
+  EXPECT_EQ(s1.iterations, s8.iterations);
+  EXPECT_EQ(s1.tuples_considered, s8.tuples_considered);
+  EXPECT_EQ(s1.tuples_inserted, s8.tuples_inserted);
+  EXPECT_EQ(s1.outer_tuples, s8.outer_tuples);
+  EXPECT_EQ(s1.index_builds, s8.index_builds);
+  EXPECT_EQ(s1.index_probes, s8.index_probes);
+  // Scheduling detail legitimately differs: serial runs take no snapshots.
+  EXPECT_EQ(s1.snapshot_materializations, 0u);
+  EXPECT_EQ(s1.chunks_dispatched, 0u);
+}
+
+}  // namespace
+}  // namespace datacon

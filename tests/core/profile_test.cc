@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ast/builder.h"
+#include "core/database.h"
+#include "core/fixpoint.h"
+#include "testutil.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+/// Materializes `range` through a raw SystemEvaluator (no capture rules)
+/// and returns the profile tree.
+Result<std::unique_ptr<ProfileNode>> ProfileRaw(Database* db,
+                                                const RangePtr& range,
+                                                EvalOptions options) {
+  options.profile = true;
+  ApplicationGraph graph(&db->catalog());
+  DATACON_ASSIGN_OR_RETURN(int root, graph.AddRootRange(*range));
+  (void)root;
+  SystemEvaluator ev(&db->catalog(), &graph, options);
+  DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
+  DATACON_ASSIGN_OR_RETURN(const Relation* rel, ev.Resolve(*range));
+  (void)rel;
+  return ev.TakeProfile();
+}
+
+TEST(Profile, OffByDefault) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+  ApplicationGraph graph(&db.catalog());
+  ASSERT_TRUE(graph.AddRootRange(*Constructed(Rel("g_E"), "g_tc")).ok());
+  SystemEvaluator ev(&db.catalog(), &graph, EvalOptions{});
+  ASSERT_TRUE(ev.MaterializeAll().ok());
+  EXPECT_EQ(ev.profile(), nullptr);
+  EXPECT_EQ(ev.TakeProfile(), nullptr);
+}
+
+TEST(Profile, SemiNaiveComponentRecordsRoundsAndDeltas) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kSemiNaive;
+  Result<std::unique_ptr<ProfileNode>> profile =
+      ProfileRaw(&db, Constructed(Rel("g_E"), "g_tc"), options);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  ProfileNode* root = profile->get();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name(), "evaluation");
+  EXPECT_GE(root->elapsed_ns(), 0);
+
+  const ProfileNode* comp =
+      root->Find("component [g_E {g_tc}] (semi-naive)");
+  ASSERT_NE(comp, nullptr) << root->ToText();
+  // Chain(4) closure: deltas 3, 2, 1, 0 over four rounds.
+  EXPECT_EQ(comp->counters().Get("rounds"), 4);
+  ASSERT_EQ(comp->children().size(), 4u);
+  EXPECT_EQ(comp->children()[0]->name(), "round 1 (seed)");
+  EXPECT_EQ(comp->children()[0]->counters().Get("delta[g_E {g_tc}]"), 3);
+  EXPECT_EQ(comp->children()[1]->counters().Get("delta[g_E {g_tc}]"), 2);
+  EXPECT_EQ(comp->children()[2]->counters().Get("delta[g_E {g_tc}]"), 1);
+  EXPECT_EQ(comp->children()[3]->counters().Get("delta[g_E {g_tc}]"), 0);
+  for (const auto& round : comp->children()) {
+    EXPECT_GE(round->elapsed_ns(), 0) << round->name();
+  }
+}
+
+TEST(Profile, NaiveComponentRecordsPerRoundTotals) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kNaive;
+  Result<std::unique_ptr<ProfileNode>> profile =
+      ProfileRaw(&db, Constructed(Rel("g_E"), "g_tc"), options);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  const ProfileNode* comp =
+      profile->get()->Find("component [g_E {g_tc}] (naive)");
+  ASSERT_NE(comp, nullptr) << profile->get()->ToText();
+  EXPECT_GE(comp->counters().Get("rounds"), 3);
+  ASSERT_FALSE(comp->children().empty());
+  // The final round's total is the full closure of Chain(4): 6 tuples.
+  EXPECT_EQ(comp->children().back()->counters().Get("total[g_E {g_tc}]"), 6);
+}
+
+TEST(Profile, CounterDigestIdenticalAcrossThreadCounts) {
+  // The determinism contract of the PR: every logical counter in the
+  // profile tree is bit-identical whatever PRAGMA THREADS says. Only wall
+  // times and ~exec counters (excluded from the digest) may differ.
+  workload::EdgeList g = workload::RandomDigraph(48, 160, 11);
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  for (FixpointStrategy strategy :
+       {FixpointStrategy::kNaive, FixpointStrategy::kSemiNaive}) {
+    EvalOptions serial;
+    serial.strategy = strategy;
+    serial.exec.num_threads = 1;
+    EvalOptions parallel = serial;
+    parallel.exec.num_threads = 8;
+
+    Result<std::unique_ptr<ProfileNode>> a =
+        ProfileRaw(&db, Constructed(Rel("g_E"), "g_tc"), serial);
+    Result<std::unique_ptr<ProfileNode>> b =
+        ProfileRaw(&db, Constructed(Rel("g_E"), "g_tc"), parallel);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ((*a)->CounterDigest(), (*b)->CounterDigest())
+        << "strategy=" << static_cast<int>(strategy);
+  }
+}
+
+TEST(Profile, DatabaseExposesLastProfile) {
+  Database db;
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
+
+  // Profiling off: no tree retained.
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  EXPECT_EQ(db.last_profile(), nullptr);
+
+  db.options().eval.profile = true;
+  Result<Relation> r = db.EvalRange(Constructed(Rel("g_E"), "g_tc"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(db.last_profile(), nullptr);
+  EXPECT_EQ(db.last_profile()->name(), "evaluation");
+  // The linear closure goes through the capture rule, which reports its
+  // own profile node.
+  const ProfileNode* capture =
+      db.last_profile()->Find("capture [g_E {g_tc}] (transitive closure)");
+  ASSERT_NE(capture, nullptr) << db.last_profile()->ToText();
+  EXPECT_EQ(capture->counters().Get("edge_tuples"), 3);
+  EXPECT_EQ(capture->counters().Get("closure_tuples"), 6);
+
+  // Turning profiling back off clears the retained tree on the next query.
+  db.options().eval.profile = false;
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  EXPECT_EQ(db.last_profile(), nullptr);
+}
+
+TEST(Profile, BranchCountersFlowIntoRounds) {
+  // A non-linear (doubly recursive) constructor avoids the capture rule
+  // and the semi-naive differential rewrite, so every round reports index
+  // builds and probes from the generic branch executor.
+  Database db;
+  ASSERT_TRUE(db.DefineRelationType(
+                    "edge", Schema({{"src", ValueType::kInt},
+                                    {"dst", ValueType::kInt}}))
+                  .ok());
+  ASSERT_TRUE(db.CreateRelation("E", "edge").ok());
+  ASSERT_TRUE(workload::LoadEdges(&db, "E", workload::Chain(4)).ok());
+
+  auto body = Union(
+      {IdentityBranch("r", Rel("Rel"), True()),
+       MakeBranch({FieldRef("x", "src"), FieldRef("y", "dst")},
+                  {Each("x", Constructed(Rel("Rel"), "tc2")),
+                   Each("y", Constructed(Rel("Rel"), "tc2"))},
+                  Eq(FieldRef("x", "dst"), FieldRef("y", "src")))});
+  auto decl = std::make_shared<ConstructorDecl>(
+      "tc2", FormalRelation{"Rel", "edge"}, std::vector<FormalRelation>{},
+      std::vector<FormalScalar>{}, "edge", body);
+  ASSERT_TRUE(db.DefineConstructor(decl).ok());
+
+  EvalOptions options;
+  options.strategy = FixpointStrategy::kSemiNaive;
+  Result<std::unique_ptr<ProfileNode>> profile =
+      ProfileRaw(&db, Constructed(Rel("E"), "tc2"), options);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  const ProfileNode* comp =
+      profile->get()->Find("component [E {tc2}] (semi-naive)");
+  ASSERT_NE(comp, nullptr) << profile->get()->ToText();
+  ASSERT_GE(comp->children().size(), 2u);
+  const ProfileNode& round2 = *comp->children()[1];
+  EXPECT_GT(round2.counters().Get("index_builds"), 0) << comp->ToText();
+  EXPECT_GT(round2.counters().Get("index_probes"), 0) << comp->ToText();
+  EXPECT_GT(round2.counters().Get("outer_scans"), 0) << comp->ToText();
+}
+
+}  // namespace
+}  // namespace datacon

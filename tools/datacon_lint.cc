@@ -1,13 +1,16 @@
 // datacon-lint: standalone lint driver for DBPL programs.
 //
-//   datacon-lint [--json] [--werror] [--codes] file.dbpl...
+//   datacon-lint [--json] [--werror] [--adorn] [--codes] file.dbpl...
 //
 // Each file is parsed and run through the static-analysis pipeline
 // (analysis/script_lint.h) without executing anything. Diagnostics print as
 // `file:line:col: severity CODE: message`; with --json, one JSON object per
-// file in the metrics conventions. Exit status: 0 when no file has errors
-// (under --werror, when no file has any diagnostic at all), 1 otherwise,
-// 2 on usage or I/O failure.
+// file in the metrics conventions. --adorn additionally runs the adornment/
+// relevance analysis (analysis/adorn.h) over every query expression and
+// reports W220/W221/W222 where an adorned constructor application cannot be
+// specialized. Exit status: 0 when no file has errors (under --werror, when
+// no file has any diagnostic at all), 1 otherwise, 2 on usage or I/O
+// failure.
 
 #include <fstream>
 #include <iostream>
@@ -21,10 +24,54 @@
 
 namespace {
 
+/// Tool version. The project() call carries no VERSION; this string is the
+/// single source of truth, bumped by hand with the lint surface.
+constexpr const char kVersion[] = "0.4.0";
+
 int Usage() {
-  std::cerr << "usage: datacon-lint [--json] [--werror] [--codes] "
+  std::cerr << "usage: datacon-lint [--json] [--werror] [--adorn] [--codes] "
                "file.dbpl...\n";
   return 2;
+}
+
+void PrintHelp() {
+  std::cout
+      << "usage: datacon-lint [options] file.dbpl...\n"
+         "\n"
+         "Statically analyzes DBPL programs without executing them.\n"
+         "\n"
+         "options:\n"
+         "  --json     one JSON report object per file\n"
+         "  --werror   any diagnostic (not just errors) fails the run\n"
+         "  --adorn    run the adornment/relevance analysis and report\n"
+         "             W220/W221/W222 for unspecializable adorned queries\n"
+         "  --codes    list every diagnostic code with its meaning and exit\n"
+         "  --version  print version and build info and exit\n"
+         "  --help     show this help and exit\n"
+         "\n"
+         "exit status:\n"
+         "  0  no file has errors (with --werror: no diagnostics at all)\n"
+         "  1  at least one file has errors (or, with --werror, any\n"
+         "     diagnostic)\n"
+         "  2  usage error or unreadable input file\n";
+}
+
+void PrintVersion() {
+  std::cout << "datacon-lint " << kVersion << "\n"
+            << "build: " << __DATE__ << " " << __TIME__
+#if defined(__clang__)
+            << ", clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+            << ", gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#endif
+#if defined(NDEBUG)
+            << ", release"
+#else
+            << ", debug"
+#endif
+            << "\n"
+            << "diagnostic codes: " << datacon::AllDiagnosticCodes().size()
+            << "\n";
 }
 
 void PrintCodes() {
@@ -34,14 +81,15 @@ void PrintCodes() {
 }
 
 /// Lints one source file; parse failures become a single E100 report.
-datacon::LintReport LintFile(const std::string& source) {
+datacon::LintReport LintFile(const std::string& source,
+                             const datacon::LintOptions& options) {
   datacon::Result<datacon::Script> script = datacon::ParseScript(source);
   datacon::LintReport report;
   if (!script.ok()) {
     report.Append(datacon::DiagnosticFromStatus(script.status()));
     return report;
   }
-  return datacon::LintScript(script.value());
+  return datacon::LintScript(script.value(), options);
 }
 
 }  // namespace
@@ -49,6 +97,7 @@ datacon::LintReport LintFile(const std::string& source) {
 int main(int argc, char** argv) {
   bool json = false;
   bool werror = false;
+  datacon::LintOptions options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -56,11 +105,16 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--adorn") {
+      options.adorn = true;
     } else if (arg == "--codes") {
       PrintCodes();
       return 0;
+    } else if (arg == "--version") {
+      PrintVersion();
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
-      Usage();
+      PrintHelp();
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "datacon-lint: unknown option '" << arg << "'\n";
@@ -82,7 +136,7 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    datacon::LintReport report = LintFile(buffer.str());
+    datacon::LintReport report = LintFile(buffer.str(), options);
     if (report.HasErrors() || (werror && !report.empty())) failed = true;
 
     if (json) {
