@@ -5,11 +5,14 @@
 
 #include <cmath>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -27,10 +30,33 @@ T MustValue(Result<T> result) {
   return std::move(result).value();
 }
 
+/// Splices `"datacon_metrics":{...}` (the process-global histogram
+/// registry — query latency percentiles, fixpoint rounds, ...) into the
+/// Google Benchmark JSON artifact, just before its closing brace. A no-op
+/// when the run recorded no metrics or the file is malformed.
+inline void AppendMetricsToArtifact(const std::string& path) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  std::string metrics = registry.ToJson();
+  if (metrics == "{\"histograms\":{}}") return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string doc = buffer.str();
+  in.close();
+  size_t close = doc.find_last_of('}');
+  if (close == std::string::npos) return;
+  doc.insert(close, ",\"datacon_metrics\":" + metrics);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return;
+  out << doc;
+}
+
 /// Shared benchmark driver: like BENCHMARK_MAIN(), plus a `--json` flag
 /// that writes the run as machine-readable JSON to BENCH_<name>.json (the
-/// EXPERIMENTS.md artifact convention). All other arguments pass through to
-/// Google Benchmark untouched.
+/// EXPERIMENTS.md artifact convention), with the engine's own metric
+/// histograms spliced in as `datacon_metrics`. All other arguments pass
+/// through to Google Benchmark untouched.
 inline int RunBenchmarks(int argc, char** argv, const char* name) {
   std::vector<char*> args;
   std::string out_flag;
@@ -57,6 +83,9 @@ inline int RunBenchmarks(int argc, char** argv, const char* name) {
   }
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
+  if (json) {
+    AppendMetricsToArtifact(std::string("BENCH_") + name + ".json");
+  }
   return 0;
 }
 

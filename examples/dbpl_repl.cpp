@@ -20,19 +20,44 @@
 // Lint diagnostics (from CHECK statements or definitions under
 // `PRAGMA LINT = ON;`) print with their line:column span, colored by
 // severity when stdout is a terminal.
+//
+// Tracing: `--trace-out=trace.json` enables the recorder for the whole
+// session and writes a Chrome trace-event JSON file at EOF — open it in
+// chrome://tracing or https://ui.perfetto.dev. `PRAGMA TRACE = ON|OFF;`
+// toggles recording mid-session regardless of the flag.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "analysis/diagnostic.h"
+#include "common/build_info.h"
+#include "common/trace.h"
 #include "lang/interpreter.h"
 
 namespace {
 
+int Usage(int code) {
+  std::printf(
+      "usage: dbpl_repl [--trace-out=FILE] [--version] [--help]\n"
+      "\n"
+      "Reads DBPL statements from stdin (interactively or piped).\n"
+      "\n"
+      "options:\n"
+      "  --trace-out=FILE  record a session-wide query trace and write it\n"
+      "                    to FILE as Chrome trace-event JSON at EOF\n"
+      "                    (open in chrome://tracing or ui.perfetto.dev)\n"
+      "  --version         print version and build info and exit\n"
+      "  --help            show this help and exit\n");
+  return code;
+}
+
 /// True when `buffer` holds at least one complete statement: it ends with
 /// ';' and every BEGIN has its END (so constructor/selector bodies with
-/// inner semicolons are not split early).
+/// inner semicolons are not split early). A SELECTOR/CONSTRUCTOR
+/// declaration spans up to the ';' after `END <name>` — its header line
+/// also ends with ';', so the header alone must not count as complete.
 bool StatementComplete(const std::string& buffer) {
   size_t begins = 0, ends = 0, pos = 0;
   while ((pos = buffer.find("BEGIN", pos)) != std::string::npos) {
@@ -45,6 +70,10 @@ bool StatementComplete(const std::string& buffer) {
     pos += 3;
   }
   if (begins > ends) return false;
+  if (begins == 0 && (buffer.find("SELECTOR") != std::string::npos ||
+                      buffer.find("CONSTRUCTOR") != std::string::npos)) {
+    return false;  // declaration header awaiting its BEGIN body
+  }
   // Trailing semicolon (ignoring whitespace)?
   size_t last = buffer.find_last_not_of(" \t\r\n");
   return last != std::string::npos && buffer[last] == ';';
@@ -67,16 +96,46 @@ void PrintDiagnostic(const datacon::Diagnostic& d, bool color) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+      if (trace_out.empty()) {
+        std::fprintf(stderr, "error: --trace-out requires a file name\n");
+        return Usage(2);
+      }
+    } else if (arg == "--version") {
+      std::printf("dbpl_repl %s\nbuild: %s\n", datacon::kDataconVersion,
+                  datacon::BuildInfoString().c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(0);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      return Usage(2);
+    }
+  }
+
   datacon::Database db;
   datacon::Interpreter interp(&db);
   bool interactive = isatty(0);
   bool color = isatty(1);
 
+  datacon::TraceRecorder& recorder = datacon::TraceRecorder::Global();
+  recorder.SetCurrentThreadName("main");
+  if (!trace_out.empty()) {
+    recorder.Clear();
+    recorder.Enable(true);
+  }
+
   std::string buffer;
   std::string line;
   if (interactive) {
-    std::printf("DataCon DBPL REPL — statements end with ';'\n");
+    std::printf("DataCon DBPL REPL %s (%s) — statements end with ';'\n",
+                datacon::kDataconVersion,
+                datacon::BuildInfoString().c_str());
     std::printf("dbpl> ");
     std::fflush(stdout);
   }
@@ -110,6 +169,17 @@ int main() {
       std::printf("dbpl> ");
       std::fflush(stdout);
     }
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    out << recorder.ToChromeJson() << "\n";
+    std::fprintf(stderr, "trace: %zu event(s) written to %s\n",
+                 recorder.EventCount(), trace_out.c_str());
   }
   return 0;
 }

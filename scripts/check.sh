@@ -27,13 +27,47 @@ echo "== bench: parallel + specialize (smoke, --json artifacts) =="
 ./build/bench/bench_parallel --json --benchmark_min_time=0.01
 ./build/bench/bench_specialize --json --benchmark_min_time=0.01
 
+echo "== trace: end-to-end trace-out =="
+# Drive a same-generation query (recursive but not closure-shaped, so the
+# general semi-naive fixpoint runs — capture rules would shortcut a plain
+# closure) over a 63-node binary tree through the REPL's --trace-out path
+# at PRAGMA THREADS = 4, then validate the artifact is well-formed Chrome
+# trace-event JSON carrying the span taxonomy the observability layer
+# promises: per-round fixpoint spans and parallel chunk fan-out on
+# distinct worker tracks.
+{
+  echo "PRAGMA THREADS = 4;"
+  echo "TYPE pairrel = RELATION OF RECORD front, back: INTEGER END;"
+  echo "VAR Par: pairrel;"
+  echo "VAR Seed: pairrel;"
+  echo "CONSTRUCTOR sg FOR Rel: pairrel (Par: pairrel): pairrel;"
+  echo "BEGIN EACH r IN Rel: TRUE,"
+  echo "      <a.front, b.front> OF EACH a IN Par, EACH b IN Par,"
+  echo "      EACH s IN Rel {sg(Par)}: a.back = s.front AND s.back = b.back"
+  echo "END sg;"
+  printf "INSERT INTO Par "
+  for i in $(seq 2 63); do
+    printf "<%d, %d>" "$i" $((i / 2))
+    [ "$i" -lt 63 ] && printf ", "
+  done
+  echo ";"
+  echo "INSERT INTO Seed <1, 1>;"
+  echo "QUERY Seed {sg(Par)};"
+} | ./build/examples/dbpl_repl --trace-out=trace.json >/dev/null
+python3 scripts/check_trace.py trace.json \
+  --require-span parse --require-span evaluate --require-span round \
+  --require-span fanout --require-span chunk
+
 echo "== tsan: build =="
 cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
-  common_thread_pool_test core_fixpoint_parallel_test
+  common_thread_pool_test common_trace_test core_fixpoint_parallel_test \
+  core_observability_test
 
 echo "== tsan: parallel tests =="
 ./build-tsan/tests/common_thread_pool_test
+./build-tsan/tests/common_trace_test
 ./build-tsan/tests/core_fixpoint_parallel_test
+./build-tsan/tests/core_observability_test
 
 echo "All checks passed."

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file produced by --trace-out.
+
+Checks that the file parses as JSON, has the trace-event envelope, and that
+every event carries the fields chrome://tracing / Perfetto require (pid,
+tid, ts; dur for complete "X" events). Exits 0 on success, 1 with a
+diagnostic otherwise.
+
+usage: check_trace.py trace.json [--require-span NAME]...
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        return fail("usage: check_trace.py trace.json [--require-span NAME]...")
+    path = argv[1]
+    required = []
+    i = 2
+    while i < len(argv):
+        if argv[i] == "--require-span" and i + 1 < len(argv):
+            required.append(argv[i + 1])
+            i += 2
+        else:
+            return fail(f"unknown argument {argv[i]!r}")
+
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail(f"{path}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(f"{path}: missing traceEvents envelope")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail(f"{path}: traceEvents is empty")
+
+    names = set()
+    tids = set()
+    spans = 0
+    for n, event in enumerate(events):
+        for field in ("ph", "pid", "tid", "name"):
+            if field not in event:
+                return fail(f"{path}: event {n} lacks {field!r}: {event}")
+        ph = event["ph"]
+        if ph == "M":
+            continue
+        if "ts" not in event:
+            return fail(f"{path}: event {n} lacks 'ts': {event}")
+        tids.add(event["tid"])
+        names.add(event["name"])
+        if ph == "X":
+            spans += 1
+            if "dur" not in event or event["dur"] < 0:
+                return fail(f"{path}: X event {n} lacks a valid 'dur': {event}")
+
+    if spans == 0:
+        return fail(f"{path}: no complete ('X') span events")
+    for name in required:
+        if name not in names:
+            return fail(
+                f"{path}: required span {name!r} absent "
+                f"(saw: {', '.join(sorted(names))})"
+            )
+
+    print(
+        f"check_trace: {path} OK — {len(events)} event(s), {spans} span(s), "
+        f"{len(tids)} thread track(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

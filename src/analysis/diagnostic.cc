@@ -5,6 +5,8 @@
 #include <cctype>
 #include <utility>
 
+#include "common/string_util.h"
+
 namespace datacon {
 
 namespace {
@@ -65,36 +67,6 @@ constexpr std::array<CodeEntry, 19> kCodeTable = {{
      "predicate"},
 }};
 
-void AppendJsonString(std::string* out, std::string_view s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char kHex[] = "0123456789abcdef";
-          *out += "\\u00";
-          out->push_back(kHex[(c >> 4) & 0xf]);
-          out->push_back(kHex[c & 0xf]);
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
 }  // namespace
 
 std::string_view SeverityName(Severity severity) {
@@ -128,13 +100,13 @@ std::string Diagnostic::ToString() const {
 
 std::string Diagnostic::ToJson() const {
   std::string out = "{\"code\":";
-  AppendJsonString(&out, code);
+  AppendJsonEscaped(&out, code);
   out += ",\"severity\":";
-  AppendJsonString(&out, SeverityName(severity));
+  AppendJsonEscaped(&out, SeverityName(severity));
   out += ",\"line\":" + std::to_string(loc.line);
   out += ",\"column\":" + std::to_string(loc.column);
   out += ",\"message\":";
-  AppendJsonString(&out, message);
+  AppendJsonEscaped(&out, message);
   out += "}";
   return out;
 }

@@ -1,0 +1,39 @@
+#ifndef DATACON_COMMON_BUILD_INFO_H_
+#define DATACON_COMMON_BUILD_INFO_H_
+
+#include <string>
+
+namespace datacon {
+
+/// Project version. The project() call carries no VERSION; this string is
+/// the single source of truth, bumped by hand with the release surface.
+/// Every user-facing tool (datacon-lint, the DBPL REPL) reports this same
+/// string so `--version` output cannot drift between binaries.
+inline constexpr const char kDataconVersion[] = "0.5.0";
+
+/// "Mmm dd yyyy hh:mm:ss, <compiler> <maj>.<min>, release|debug" — the
+/// build-provenance suffix shared by tool banners and --version output.
+/// Header-only on purpose: __DATE__/__TIME__ must expand in the binary
+/// being built, not in a library compiled earlier.
+inline std::string BuildInfoString() {
+  std::string out = __DATE__;
+  out += " ";
+  out += __TIME__;
+#if defined(__clang__)
+  out += ", clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+  out += ", gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__);
+#endif
+#if defined(NDEBUG)
+  out += ", release";
+#else
+  out += ", debug";
+#endif
+  return out;
+}
+
+}  // namespace datacon
+
+#endif  // DATACON_COMMON_BUILD_INFO_H_

@@ -1,7 +1,12 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+
+#include "common/string_util.h"
 
 namespace datacon {
 
@@ -54,42 +59,13 @@ const ProfileNode* ProfileNode::Find(std::string_view name) const {
 
 namespace {
 
-void AppendJsonString(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
 void AppendCounterObject(std::string* out, const CounterSet& set) {
   out->push_back('{');
   bool first = true;
   for (const auto& [key, value] : set.entries()) {
     if (!first) out->push_back(',');
     first = false;
-    AppendJsonString(out, key);
+    AppendJsonEscaped(out, key);
     *out += ':';
     *out += std::to_string(value);
   }
@@ -120,7 +96,7 @@ std::string ProfileNode::ToText() const {
 
 void ProfileNode::AppendJson(std::string* out, bool deterministic_only) const {
   *out += "{\"name\":";
-  AppendJsonString(out, name_);
+  AppendJsonEscaped(out, name_);
   if (!deterministic_only) {
     *out += ",\"elapsed_ns\":" + std::to_string(elapsed_ns_);
   }
@@ -149,6 +125,218 @@ std::string ProfileNode::ToJson() const {
 std::string ProfileNode::CounterDigest() const {
   std::string out;
   AppendJson(&out, /*deterministic_only=*/true);
+  return out;
+}
+
+size_t Histogram::BucketIndex(int64_t value) {
+  if (value <= 0) return 0;
+  return static_cast<size_t>(
+      std::bit_width(static_cast<uint64_t>(value)));
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t observed = max_.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  int64_t theirs = other.max();
+  int64_t observed = max_.load(std::memory_order_relaxed);
+  while (theirs > observed &&
+         !max_.compare_exchange_weak(observed, theirs,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+int64_t Histogram::Percentile(double q) const {
+  int64_t total = count();
+  if (total <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
+      int64_t upper =
+          i == 0 ? 0 : static_cast<int64_t>((uint64_t{1} << i) - 1);
+      return std::min(upper, max());
+    }
+  }
+  return max();
+}
+
+std::string Histogram::ToJson() const {
+  std::string out = "{\"count\":" + std::to_string(count()) +
+                    ",\"sum\":" + std::to_string(sum()) +
+                    ",\"max\":" + std::to_string(max()) +
+                    ",\"p50\":" + std::to_string(Percentile(0.50)) +
+                    ",\"p95\":" + std::to_string(Percentile(0.95)) +
+                    ",\"p99\":" + std::to_string(Percentile(0.99)) + "}";
+  return out;
+}
+
+std::string Histogram::ToText() const {
+  return "count=" + std::to_string(count()) + " sum=" + std::to_string(sum()) +
+         " p50=" + std::to_string(Percentile(0.50)) +
+         " p95=" + std::to_string(Percentile(0.95)) +
+         " p99=" + std::to_string(Percentile(0.99)) +
+         " max=" + std::to_string(max());
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked for the same reason as TraceRecorder::Global: late threads must
+  // always find it alive.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, histogram] : entries_) {
+    if (key == name) return histogram.get();
+  }
+  entries_.emplace_back(std::string(name), std::make_unique<Histogram>());
+  return entries_.back().second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, histogram] : entries_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"histograms\":{";
+  bool first = true;
+  for (const auto& [key, histogram] : entries_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonEscaped(&out, key);
+    out.push_back(':');
+    out += histogram->ToJson();
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [key, histogram] : entries_) {
+    out += key + "  " + histogram->ToText();
+    if (key.size() > 3 && key.compare(key.size() - 3, 3, "_ns") == 0 &&
+        histogram->count() > 0) {
+      out += "  [p50 " + FormatDurationNs(histogram->Percentile(0.50)) +
+             ", p95 " + FormatDurationNs(histogram->Percentile(0.95)) +
+             ", p99 " + FormatDurationNs(histogram->Percentile(0.99)) + "]";
+    }
+    out.push_back('\n');
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+void SlowQueryLog::set_threshold_ns(int64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ns_ = ns < 0 ? 0 : ns;
+}
+
+int64_t SlowQueryLog::threshold_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_ns_;
+}
+
+bool SlowQueryLog::WouldRecord(int64_t elapsed_ns) const {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (elapsed_ns < threshold_ns_) return false;
+  return entries_.size() < capacity_ ||
+         elapsed_ns > entries_.back().elapsed_ns;
+}
+
+void SlowQueryLog::Record(std::string statement, int64_t elapsed_ns,
+                          std::string digest) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (elapsed_ns < threshold_ns_) return;
+  if (entries_.size() == capacity_ &&
+      elapsed_ns <= entries_.back().elapsed_ns) {
+    return;  // faster than (or tied with) everything retained
+  }
+  Entry entry;
+  entry.statement = std::move(statement);
+  entry.elapsed_ns = elapsed_ns;
+  entry.digest = std::move(digest);
+  entry.sequence = next_sequence_++;
+  // Insert before the first strictly-slower-or-equal run's end so order stays
+  // slowest-first with older entries winning ties.
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [&](const Entry& e) {
+                            return e.elapsed_ns < entry.elapsed_ns;
+                          });
+  entries_.insert(pos, std::move(entry));
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::string SlowQueryLog::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.empty()) return "(slow-query log empty)\n";
+  std::string out;
+  int rank = 1;
+  for (const Entry& entry : entries_) {
+    out += "#";
+    out += std::to_string(rank++);
+    out += "  ";
+    out += FormatDurationNs(entry.elapsed_ns);
+    out += "  ";
+    out += entry.statement;
+    out += "\n";
+    if (!entry.digest.empty()) {
+      // Indent the digest block under its statement line.
+      size_t start = 0;
+      while (start < entry.digest.size()) {
+        size_t end = entry.digest.find('\n', start);
+        if (end == std::string::npos) end = entry.digest.size();
+        out += "    ";
+        out.append(entry.digest, start, end - start);
+        out += "\n";
+        start = end + 1;
+      }
+    }
+  }
   return out;
 }
 

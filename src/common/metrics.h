@@ -1,9 +1,12 @@
 #ifndef DATACON_COMMON_METRICS_H_
 #define DATACON_COMMON_METRICS_H_
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -121,6 +124,139 @@ class ProfileNode {
   CounterSet exec_;
   int64_t elapsed_ns_ = -1;
   std::vector<std::unique_ptr<ProfileNode>> children_;
+};
+
+/// A fixed-bucket log-scale histogram of non-negative integer samples
+/// (latencies in ns, round counts, tuple counts). Bucket i >= 1 covers
+/// [2^(i-1), 2^i - 1]; bucket 0 holds zeros (and clamps negatives). All
+/// counters are relaxed atomics, so concurrent Record calls from worker
+/// threads need no lock and never lose a sample; count/sum/bucket reads
+/// taken while writers run are individually exact though not mutually
+/// atomic (fine for monitoring output).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(int64_t value);
+
+  /// Adds every bucket/count/sum of `other` into this histogram and raises
+  /// max — the cross-thread merge operation.
+  void MergeFrom(const Histogram& other);
+
+  void Reset();
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// The value at quantile `q` in [0, 1]: the upper bound of the first
+  /// bucket whose cumulative count reaches ceil(q * count), clamped to the
+  /// recorded max (so p100 of a single sample is that sample, not its
+  /// bucket's upper bound). 0 when empty.
+  int64_t Percentile(double q) const;
+
+  /// {"count":..,"sum":..,"max":..,"p50":..,"p95":..,"p99":..}
+  std::string ToJson() const;
+
+  /// "count=5 sum=123 p50=32 p95=64 p99=64 max=57"
+  std::string ToText() const;
+
+ private:
+  static size_t BucketIndex(int64_t value);
+
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// A process-global, insertion-ordered registry of named histograms — the
+/// continuous-observability counterpart of the per-query ProfileNode tree.
+/// The evaluation layer feeds it per query (end-to-end latency, fixpoint
+/// rounds, tuples derived, seed tuples pruned); `SHOW METRICS;` and the
+/// benchmark JSON artifacts read it. Registration takes a mutex; returned
+/// Histogram pointers are stable for the registry's lifetime, so hot paths
+/// record through a pointer without any registry lock.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (never destroyed).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The histogram named `name`, created empty on first use. Insertion
+  /// order is preserved in both exports.
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Resets every histogram's samples (names stay registered) — test and
+  /// REPL-session hygiene.
+  void Reset();
+
+  /// {"histograms":{"query.latency_ns":{...},...}}
+  std::string ToJson() const;
+
+  /// One line per histogram: "name  count=.. p50=.. p95=.. p99=.. max=..";
+  /// names ending in "_ns" additionally render the percentiles as
+  /// human-readable durations.
+  std::string ToText() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> entries_;
+};
+
+/// A bounded log of the slowest statements seen by a Database: at most
+/// `capacity` entries, always the slowest-so-far, ordered slowest-first.
+/// When full, recording a new slow statement evicts the fastest retained
+/// entry; statements under the threshold are never recorded. Thread-safe
+/// (one mutex; recording is rare by construction — slow queries only).
+class SlowQueryLog {
+ public:
+  struct Entry {
+    std::string statement;
+    int64_t elapsed_ns = 0;
+    /// Compact evaluation digest: flat stats summary plus, when profiling
+    /// was on, the indented profile tree.
+    std::string digest;
+    /// Monotonic admission number — older entries have smaller sequences,
+    /// which breaks latency ties in eviction (oldest evicted first).
+    uint64_t sequence = 0;
+  };
+
+  explicit SlowQueryLog(size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Minimum latency for admission. 0 admits everything (the log still
+  /// retains only the N slowest).
+  void set_threshold_ns(int64_t ns);
+  int64_t threshold_ns() const;
+
+  /// Cheap admission pre-check: true when a Record call with this latency
+  /// would retain an entry right now. Lets callers skip building the
+  /// statement/digest strings for queries that would be dropped anyway.
+  bool WouldRecord(int64_t elapsed_ns) const;
+
+  void Record(std::string statement, int64_t elapsed_ns, std::string digest);
+
+  /// Entries sorted slowest-first (ties: older first).
+  std::vector<Entry> Entries() const;
+
+  void Clear();
+
+  /// The `SHOW SLOWLOG;` rendering.
+  std::string ToText() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  int64_t threshold_ns_ = 0;
+  uint64_t next_sequence_ = 0;
+  std::vector<Entry> entries_;  // kept sorted slowest-first
 };
 
 }  // namespace datacon

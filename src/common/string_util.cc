@@ -58,4 +58,50 @@ std::string AsciiToUpper(std::string_view text) {
   return out;
 }
 
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          *out += "\\u00";
+          out->push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xf]);
+          out->push_back(kHex[static_cast<unsigned char>(c) & 0xf]);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  AppendJsonEscaped(&out, text);
+  return out;
+}
+
 }  // namespace datacon

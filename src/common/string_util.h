@@ -26,6 +26,19 @@ std::string AsciiToLower(std::string_view text);
 /// Upper-cases ASCII letters.
 std::string AsciiToUpper(std::string_view text);
 
+/// Appends `text` to `out` as a JSON string literal, including the
+/// surrounding quotes: quotes and backslashes are backslash-escaped, the
+/// common control characters use their short forms (\n, \r, \t, \b, \f),
+/// and every other control character below 0x20 becomes \u00XX. Non-ASCII
+/// bytes pass through untouched (the emitters produce UTF-8). The single
+/// shared JSON escaper — per-file copies drifted and missed control
+/// characters, so every JSON emitter must call this one.
+void AppendJsonEscaped(std::string* out, std::string_view text);
+
+/// Returns `text` as a quoted JSON string literal (AppendJsonEscaped into a
+/// fresh string).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace datacon
 
 #endif  // DATACON_COMMON_STRING_UTIL_H_

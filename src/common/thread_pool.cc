@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
+#include <string>
 #include <utility>
+
+#include "common/trace.h"
 
 namespace datacon {
 
@@ -22,7 +25,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
     // whole process. Keep whatever workers did start — Wait() drains the
     // queue on the calling thread, so even zero workers stays correct.
     try {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
     } catch (const std::system_error&) {
       break;
     }
@@ -62,7 +65,11 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t index) {
+  // Name the tracing track up front; when tracing is off this only stashes
+  // the name thread-locally (no registry work).
+  TraceRecorder::Global().SetCurrentThreadName("worker-" +
+                                               std::to_string(index + 1));
   while (true) {
     std::function<void()> task;
     {

@@ -56,7 +56,7 @@ class ThreadPool {
   static size_t ResolveThreadCount(size_t requested);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
 
   std::mutex mu_;
   std::condition_variable work_available_;

@@ -4,6 +4,7 @@
 #include "ast/builder.h"
 #include "ast/printer.h"
 #include "common/check.h"
+#include "common/trace.h"
 #include "core/capture.h"
 #include "core/positivity.h"
 #include "core/quant_graph.h"
@@ -164,6 +165,8 @@ Status Database::InstallCaptures(const ApplicationGraph& graph,
     if (plan != nullptr && plan->nodes[i].active) continue;
     if (node.base->ContainsConstructor()) continue;
     if (!DetectTransitiveClosure(*node.ctor).has_value()) continue;
+    TraceSpan span("capture");
+    if (span.active()) span.AddArg("node", node.key);
     Timer timer;
     DATACON_ASSIGN_OR_RETURN(const Relation* edges, ev->Resolve(*node.base));
     DATACON_ASSIGN_OR_RETURN(Relation closure,
@@ -204,27 +207,81 @@ bool SeededPlanApplies(const CalcExpr& expr, const SeededTcPlan& plan) {
 
 }  // namespace
 
+void Database::BeginEvaluation() {
+  ++eval_index_;
+  last_stats_ = EvalStats{};
+}
+
+void Database::StoreProfile(std::unique_ptr<ProfileNode> profile) {
+  if (profile == nullptr) return;
+  profiles_.emplace_back(eval_index_, std::move(profile));
+  if (profiles_.size() > kRetainedProfiles) profiles_.erase(profiles_.begin());
+}
+
+const ProfileNode* Database::profile_at(int64_t index) const {
+  for (const auto& [idx, profile] : profiles_) {
+    if (idx == index) return profile.get();
+  }
+  return nullptr;
+}
+
+void Database::FinishEvaluation(const CalcExpr& expr, int64_t elapsed_ns) {
+  // Always-on monitoring: four relaxed-atomic histogram records per query.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetHistogram("query.latency_ns")->Record(elapsed_ns);
+  reg.GetHistogram("query.fixpoint_rounds")
+      ->Record(static_cast<int64_t>(last_stats_.iterations));
+  reg.GetHistogram("query.tuples_inserted")
+      ->Record(static_cast<int64_t>(last_stats_.tuples_inserted));
+  reg.GetHistogram("query.seed_tuples_pruned")
+      ->Record(static_cast<int64_t>(last_stats_.seed_tuples_pruned));
+  // The statement/digest strings are only built once admission is certain.
+  if (slow_query_log_.WouldRecord(elapsed_ns)) {
+    std::string digest =
+        "rounds=" + std::to_string(last_stats_.iterations) +
+        " considered=" + std::to_string(last_stats_.tuples_considered) +
+        " inserted=" + std::to_string(last_stats_.tuples_inserted) +
+        " index_probes=" + std::to_string(last_stats_.index_probes);
+    if (const ProfileNode* profile = profile_at(eval_index_)) {
+      digest += "\n" + profile->ToText();
+      while (!digest.empty() && digest.back() == '\n') digest.pop_back();
+    }
+    slow_query_log_.Record(ToString(expr), elapsed_ns, std::move(digest));
+  }
+}
+
 Result<Relation> Database::Evaluate(const CalcExprPtr& expr,
                                     const Schema& schema,
                                     const Environment& params) {
-  last_stats_ = EvalStats{};
-  last_profile_.reset();
-
-  CalcExprPtr effective = expr;
-  if (options_.inline_nonrecursive) {
-    DATACON_ASSIGN_OR_RETURN(std::optional<CalcExprPtr> inlined,
-                             InlineNonRecursiveApplications(effective, catalog_));
-    if (inlined.has_value()) effective = *inlined;
-  }
-
-  if (options_.use_capture_rules) {
-    DATACON_ASSIGN_OR_RETURN(std::optional<SeededTcPlan> plan,
-                             DetectSeededTc(*effective, catalog_));
-    if (plan.has_value() && SeededPlanApplies(*effective, *plan)) {
-      return ExecuteSeeded(effective, schema, params, *plan);
+  BeginEvaluation();
+  TraceSpan span("evaluate");
+  Timer timer;
+  Result<Relation> out = [&]() -> Result<Relation> {
+    CalcExprPtr effective = expr;
+    if (options_.inline_nonrecursive) {
+      DATACON_ASSIGN_OR_RETURN(
+          std::optional<CalcExprPtr> inlined,
+          InlineNonRecursiveApplications(effective, catalog_));
+      if (inlined.has_value()) effective = *inlined;
     }
+
+    if (options_.use_capture_rules) {
+      DATACON_ASSIGN_OR_RETURN(std::optional<SeededTcPlan> plan,
+                               DetectSeededTc(*effective, catalog_));
+      if (plan.has_value() && SeededPlanApplies(*effective, *plan)) {
+        return ExecuteSeeded(effective, schema, params, *plan);
+      }
+    }
+    return EvaluateGeneral(effective, schema, params);
+  }();
+  if (span.active()) {
+    span.AddArg("rounds", static_cast<int64_t>(last_stats_.iterations));
+    span.AddArg("tuples_inserted",
+                static_cast<int64_t>(last_stats_.tuples_inserted));
+    span.AddArg("ok", out.ok() ? int64_t{1} : int64_t{0});
   }
-  return EvaluateGeneral(effective, schema, params);
+  FinishEvaluation(*expr, timer.ElapsedNs());
+  return out;
 }
 
 Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
@@ -233,6 +290,7 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
                                          const SeededTcPlan& plan) {
   // Constant propagation into the recursive constructor: reachability from
   // the bound constant only, never the full closure.
+  TraceSpan span("seeded closure");
   Timer timer;
   ApplicationGraph graph(&catalog_);
   SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
@@ -253,6 +311,10 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
   }
   DATACON_ASSIGN_OR_RETURN(Relation closure,
                            SeededClosure(*edges, {seed}, plan.result_schema));
+  if (span.active()) {
+    span.AddArg("edge_tuples", static_cast<int64_t>(edges->size()));
+    span.AddArg("closure_tuples", static_cast<int64_t>(closure.size()));
+  }
 
   const Branch& branch = *expr->branches()[0];
   std::vector<ResolvedBinding> resolved;
@@ -298,7 +360,7 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
       n->exec().Add("chunks", static_cast<int64_t>(exec_stats.chunks));
     }
     root->set_elapsed_ns(timer.ElapsedNs());
-    last_profile_ = std::move(root);
+    StoreProfile(std::move(root));
   }
   return out;
 }
@@ -311,6 +373,7 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
   std::optional<SpecializationPlan> plan;
   if (options_.specialize) {
+    TraceSpan plan_span("plan specialize");
     DATACON_ASSIGN_OR_RETURN(AdornmentAnalysis adornment,
                              AnalyzeAdornment(*expr, graph, catalog_));
     DATACON_ASSIGN_OR_RETURN(plan, BuildSpecializationPlan(adornment, graph));
@@ -323,7 +386,7 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
   DATACON_ASSIGN_OR_RETURN(Relation out, ev.EvaluateExpr(*expr, schema));
   last_stats_ = ev.stats();
-  last_profile_ = ev.TakeProfile();
+  StoreProfile(ev.TakeProfile());
   return out;
 }
 
@@ -386,13 +449,24 @@ Result<Relation> PreparedQuery::Execute(
   Environment env;
   for (const auto& [name, value] : params) env.BindParam(name, value);
   // The plan was chosen at Prepare time (level 2); Execute runs level 3
-  // only — no re-detection, no re-inlining.
-  db_->last_stats_ = EvalStats{};
-  db_->last_profile_.reset();
-  if (seeded_plan_.has_value()) {
-    return db_->ExecuteSeeded(expr_, schema_, env, *seeded_plan_);
+  // only — no re-detection, no re-inlining. Observability wraps it the
+  // same way Database::Evaluate wraps ad-hoc queries.
+  db_->BeginEvaluation();
+  TraceSpan span("evaluate");
+  if (span.active()) span.AddArg("plan", plan_description_);
+  Timer timer;
+  Result<Relation> out =
+      seeded_plan_.has_value()
+          ? db_->ExecuteSeeded(expr_, schema_, env, *seeded_plan_)
+          : db_->EvaluateGeneral(expr_, schema_, env);
+  if (span.active()) {
+    span.AddArg("rounds", static_cast<int64_t>(db_->last_stats_.iterations));
+    span.AddArg("tuples_inserted",
+                static_cast<int64_t>(db_->last_stats_.tuples_inserted));
+    span.AddArg("ok", out.ok() ? int64_t{1} : int64_t{0});
   }
-  return db_->EvaluateGeneral(expr_, schema_, env);
+  db_->FinishEvaluation(*expr_, timer.ElapsedNs());
+  return out;
 }
 
 Result<std::string> Database::Explain(const RangePtr& range) const {

@@ -10,6 +10,7 @@
 #include "ast/branch.h"
 #include "ast/decl.h"
 #include "ast/range.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "core/catalog.h"
 #include "core/fixpoint.h"
@@ -40,6 +41,10 @@ struct DatabaseOptions {
   /// (checked at query compilation). The paper's DBPL rejects these at
   /// definition time.
   bool allow_stratified_negation = false;
+  /// Capacity of the slow-query log (N slowest statements retained);
+  /// 0 disables it. The admission threshold is runtime-settable
+  /// (slow_query_log().set_threshold_ns, `PRAGMA SLOW_QUERY_MS`).
+  size_t slow_query_log_capacity = 16;
 };
 
 class PreparedQuery;
@@ -50,7 +55,8 @@ class PreparedQuery;
 /// evaluation (set-oriented fixpoint).
 class Database {
  public:
-  explicit Database(DatabaseOptions options = {}) : options_(options) {}
+  explicit Database(DatabaseOptions options = {})
+      : options_(options), slow_query_log_(options.slow_query_log_capacity) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -144,15 +150,54 @@ class Database {
   const EvalStats& last_stats() const { return last_stats_; }
 
   /// Profile tree of the most recent evaluation, or null when profiling was
-  /// off (options().eval.profile) — consumed by EXPLAIN ANALYZE.
-  const ProfileNode* last_profile() const { return last_profile_.get(); }
+  /// off (options().eval.profile) — consumed by EXPLAIN ANALYZE. Equivalent
+  /// to profile_at(last_eval_index()).
+  const ProfileNode* last_profile() const {
+    return profile_at(last_eval_index());
+  }
+
+  /// The 1-based sequence number of the most recent evaluation (0 before
+  /// the first). Each EvalRange/EvalQuery/PreparedQuery::Execute call gets
+  /// the next index.
+  int64_t last_eval_index() const { return eval_index_; }
+
+  /// Profile tree of evaluation `index`, or null when profiling was off for
+  /// that evaluation or the profile has been evicted. The most recent
+  /// kRetainedProfiles profiled evaluations are retained, so a pointer
+  /// taken for statement i stays valid while later statements run — the
+  /// fix for last_profile() being clobbered by the next statement.
+  const ProfileNode* profile_at(int64_t index) const;
+
+  /// The kRetainedProfiles bound (exposed for the eviction regression
+  /// test).
+  static constexpr size_t kRetainedProfiles = 32;
+
+  /// The database's slow-query log (see DatabaseOptions
+  /// slow_query_log_capacity). Every evaluation at or above the threshold
+  /// is offered to it with the printed query text and a stats digest.
+  SlowQueryLog& slow_query_log() { return slow_query_log_; }
+  const SlowQueryLog& slow_query_log() const { return slow_query_log_; }
 
  private:
   friend class PreparedQuery;
 
-  /// Shared evaluation pipeline: level-2 rewrites + plan dispatch.
+  /// Shared evaluation pipeline: level-2 rewrites + plan dispatch, wrapped
+  /// in the per-query observability (trace span, latency/rounds/tuples
+  /// histograms, slow-query log).
   Result<Relation> Evaluate(const CalcExprPtr& expr, const Schema& schema,
                             const Environment& params);
+
+  /// Starts a new evaluation sequence number and resets last_stats_.
+  void BeginEvaluation();
+
+  /// Feeds the global metrics histograms and the slow-query log; called on
+  /// every evaluation exit (also failed ones — a slow failing query is
+  /// still a slow query).
+  void FinishEvaluation(const CalcExpr& expr, int64_t elapsed_ns);
+
+  /// Retains `profile` (may be null) for the current evaluation index,
+  /// evicting beyond kRetainedProfiles.
+  void StoreProfile(std::unique_ptr<ProfileNode> profile);
 
   /// Level-3 execution of a seeded-closure plan (no re-detection).
   Result<Relation> ExecuteSeeded(const CalcExprPtr& expr, const Schema& schema,
@@ -177,7 +222,11 @@ class Database {
   DatabaseOptions options_;
   Catalog catalog_;
   EvalStats last_stats_;
-  std::unique_ptr<ProfileNode> last_profile_;
+  int64_t eval_index_ = 0;
+  /// (evaluation index, profile) pairs, oldest first, at most
+  /// kRetainedProfiles entries.
+  std::vector<std::pair<int64_t, std::unique_ptr<ProfileNode>>> profiles_;
+  SlowQueryLog slow_query_log_;
 };
 
 /// A compiled parameterized query form. Holds the instantiated application

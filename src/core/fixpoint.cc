@@ -4,6 +4,7 @@
 
 #include "ast/printer.h"
 #include "common/check.h"
+#include "common/trace.h"
 #include "core/positivity.h"
 #include "ra/branch_exec.h"
 #include "ra/eval.h"
@@ -132,6 +133,13 @@ Status SystemEvaluator::MaterializeAll() {
     const bool cyclic = scc.cyclic[static_cast<size_t>(comp)];
     const bool naive =
         options_.unchecked || options_.strategy == FixpointStrategy::kNaive;
+    TraceSpan comp_span("component");
+    if (comp_span.active()) {
+      comp_span.AddArg("members", ComponentLabel(members));
+      comp_span.AddArg("strategy", cyclic ? (naive ? std::string("naive")
+                                                   : std::string("semi-naive"))
+                                          : std::string("single pass"));
+    }
     ProfileNode* comp_node = nullptr;
     Timer comp_timer;
     if (profile_ != nullptr) {
@@ -180,10 +188,14 @@ Result<Relation> SystemEvaluator::EvaluateExpr(const CalcExpr& expr,
     query_node = profile_->AddChild("query");
     cur_ = query_node;
   }
+  TraceSpan span("query branches");
   Status status = Status::OK();
   for (const BranchPtr& branch : expr.branches()) {
     status = EvaluateBranch(*branch, &out);
     if (!status.ok()) break;
+  }
+  if (span.active()) {
+    span.AddArg("result_tuples", static_cast<int64_t>(out.size()));
   }
   if (query_node != nullptr) {
     if (status.ok()) {
@@ -237,6 +249,10 @@ Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
           "'nonsense' has no limit)");
     }
     scratch_.clear();
+    TraceSpan round_span("round");
+    if (round_span.active()) {
+      round_span.AddArg("round", static_cast<int64_t>(round));
+    }
     Timer round_timer;
     if (comp_node != nullptr) {
       cur_ = comp_node->AddChild("round " + std::to_string(round));
@@ -266,6 +282,12 @@ Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
             static_cast<int64_t>(fresh[i]->size()));
       }
       cur_->set_elapsed_ns(round_timer.ElapsedNs());
+    }
+    if (round_span.active()) {
+      int64_t total = 0;
+      for (const auto& rel : fresh) total += static_cast<int64_t>(rel->size());
+      round_span.AddArg("total_tuples", total);
+      round_span.AddArg("changed", changed ? int64_t{1} : int64_t{0});
     }
     for (size_t i = 0; i < component.size(); ++i) {
       totals_[static_cast<size_t>(component[i])] = std::move(fresh[i]);
@@ -356,27 +378,42 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
   }
   std::map<int, std::unique_ptr<Relation>> deltas;
   scratch_.clear();
-  Timer seed_timer;
-  if (comp_node != nullptr) {
-    cur_ = comp_node->AddChild("round 1 (seed)");
-  }
-  for (int n : component) {
-    auto raw = std::make_unique<Relation>(
-        graph_->nodes()[static_cast<size_t>(n)].result_schema);
-    DATACON_RETURN_IF_ERROR(EvaluateNodeBody(n, raw.get()));
-    DATACON_RETURN_IF_ERROR(
-        totals_[static_cast<size_t>(n)]->InsertAll(*raw));
-    deltas[n] = std::move(raw);
-  }
-  overrides_.clear();
-  ++stats_.iterations;
-  if (comp_node != nullptr) {
-    for (int n : component) {
-      cur_->counters().Add(
-          "delta[" + graph_->nodes()[static_cast<size_t>(n)].key + "]",
-          static_cast<int64_t>(deltas[n]->size()));
+  {
+    TraceSpan seed_span("round");
+    if (seed_span.active()) {
+      seed_span.AddArg("round", int64_t{1});
+      seed_span.AddArg("seed", int64_t{1});
     }
-    cur_->set_elapsed_ns(seed_timer.ElapsedNs());
+    Timer seed_timer;
+    if (comp_node != nullptr) {
+      cur_ = comp_node->AddChild("round 1 (seed)");
+    }
+    for (int n : component) {
+      auto raw = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(n)].result_schema);
+      DATACON_RETURN_IF_ERROR(EvaluateNodeBody(n, raw.get()));
+      DATACON_RETURN_IF_ERROR(
+          totals_[static_cast<size_t>(n)]->InsertAll(*raw));
+      deltas[n] = std::move(raw);
+    }
+    overrides_.clear();
+    ++stats_.iterations;
+    if (comp_node != nullptr) {
+      for (int n : component) {
+        cur_->counters().Add(
+            "delta[" + graph_->nodes()[static_cast<size_t>(n)].key + "]",
+            static_cast<int64_t>(deltas[n]->size()));
+      }
+      cur_->set_elapsed_ns(seed_timer.ElapsedNs());
+    }
+    if (seed_span.active()) {
+      int64_t delta_total = 0;
+      for (int n : component) {
+        delta_total += static_cast<int64_t>(deltas[n]->size());
+      }
+      seed_span.AddArg("delta", delta_total);
+      seed_span.AddArg("inserts", delta_total);
+    }
   }
 
   // Applies the trailing selector applications of `range` (if any) on top of
@@ -419,6 +456,15 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
           " iterations for one recursive component");
     }
     scratch_.clear();
+    TraceSpan round_span("round");
+    if (round_span.active()) {
+      round_span.AddArg("round", static_cast<int64_t>(round));
+      int64_t prev_delta = 0;
+      for (int n : component) {
+        prev_delta += static_cast<int64_t>(deltas[n]->size());
+      }
+      round_span.AddArg("delta", prev_delta);
+    }
     Timer round_timer;
     if (comp_node != nullptr) {
       cur_ = comp_node->AddChild("round " + std::to_string(round));
@@ -533,6 +579,13 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
             static_cast<int64_t>(deltas[n]->size()));
       }
       cur_->set_elapsed_ns(round_timer.ElapsedNs());
+    }
+    if (round_span.active()) {
+      int64_t inserts = 0;
+      for (int n : component) {
+        inserts += static_cast<int64_t>(deltas[n]->size());
+      }
+      round_span.AddArg("inserts", inserts);
     }
     if (!grew) break;
   }

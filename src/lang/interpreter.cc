@@ -1,9 +1,25 @@
 #include "lang/interpreter.h"
 
 #include "ast/printer.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "lang/parser.h"
 
 namespace datacon {
+
+namespace {
+
+/// Trace label per ScriptStmt alternative, in variant order.
+constexpr const char* kStmtKinds[] = {
+    "type decl", "var decl", "selector decl", "constructor decl",
+    "insert",    "assign",   "query",         "explain",
+    "check",     "pragma",   "show",
+};
+static_assert(std::variant_size_v<ScriptStmt> ==
+                  sizeof(kStmtKinds) / sizeof(kStmtKinds[0]),
+              "kStmtKinds must cover every ScriptStmt alternative");
+
+}  // namespace
 
 LintOptions Interpreter::lint_options() const {
   LintOptions options;
@@ -38,12 +54,21 @@ Status Interpreter::Execute(std::string_view source) {
     (void)type;
     seed.relation_names.insert(name);
   }
-  DATACON_ASSIGN_OR_RETURN(Script script, ParseScript(source, &seed));
+  Result<Script> parsed = [&] {
+    TraceSpan span("parse");
+    if (span.active()) {
+      span.AddArg("bytes", static_cast<int64_t>(source.size()));
+    }
+    return ParseScript(source, &seed);
+  }();
+  DATACON_ASSIGN_OR_RETURN(Script script, std::move(parsed));
   // Consecutive constructor declarations form one definition group, so
   // mutually recursive constructors (section 3.1) can reference each other
   // forward — exactly as the paper writes them down.
   for (size_t i = 0; i < script.stmts.size();) {
     if (std::holds_alternative<ConstructorStmt>(script.stmts[i])) {
+      TraceSpan span("statement");
+      if (span.active()) span.AddArg("kind", "constructor group");
       std::vector<ConstructorDeclPtr> group;
       while (i < script.stmts.size() &&
              std::holds_alternative<ConstructorStmt>(script.stmts[i])) {
@@ -53,12 +78,15 @@ Status Interpreter::Execute(std::string_view source) {
       if (lint_enabled_) {
         // Lint BEFORE defining: an error rejects the whole group and leaves
         // the catalog untouched.
+        TraceSpan lint_span("lint");
         DATACON_RETURN_IF_ERROR(ReportDefinitionLint(
             LintConstructorGroup(group, db_->catalog(), lint_options())));
       }
       DATACON_RETURN_IF_ERROR(db_->DefineConstructorGroup(group));
       continue;
     }
+    TraceSpan span("statement");
+    if (span.active()) span.AddArg("kind", kStmtKinds[script.stmts[i].index()]);
     DATACON_RETURN_IF_ERROR(Run(script.stmts[i]));
     ++i;
   }
@@ -83,6 +111,7 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
   }
   if (const auto* selector = std::get_if<SelectorStmt>(&stmt)) {
     if (lint_enabled_) {
+      TraceSpan lint_span("lint");
       DATACON_RETURN_IF_ERROR(ReportDefinitionLint(
           LintSelector(*selector->decl, db_->catalog())));
     }
@@ -90,6 +119,7 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
   }
   if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
     if (lint_enabled_) {
+      TraceSpan lint_span("lint");
       DATACON_RETURN_IF_ERROR(ReportDefinitionLint(LintConstructorGroup(
           {ctor->decl}, db_->catalog(), lint_options())));
     }
@@ -202,7 +232,29 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       db_->options().specialize = pragma->value != 0;
       return Status::OK();
     }
+    if (pragma->name == "TRACE") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA TRACE requires ON or OFF");
+      }
+      TraceRecorder::Global().Enable(pragma->value != 0);
+      return Status::OK();
+    }
+    if (pragma->name == "SLOW_QUERY_MS") {
+      if (pragma->value < 0) {
+        return Status::InvalidArgument(
+            "PRAGMA SLOW_QUERY_MS requires a value >= 0");
+      }
+      db_->slow_query_log().set_threshold_ns(pragma->value * 1'000'000);
+      return Status::OK();
+    }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");
+  }
+  if (const auto* show = std::get_if<ShowStmt>(&stmt)) {
+    std::string text = show->what == ShowStmt::What::kMetrics
+                           ? "METRICS:\n" + MetricsRegistry::Global().ToText()
+                           : "SLOWLOG:\n" + db_->slow_query_log().ToText();
+    results_.push_back(QueryResult{std::move(text), Relation()});
+    return Status::OK();
   }
   return Status::Internal("unhandled script statement");
 }

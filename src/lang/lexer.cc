@@ -13,7 +13,7 @@ bool IsKeyword(std::string_view word) {
       "IN",     "SOME",     "ALL",         "AND",   "OR",      "NOT",
       "TRUE",   "FALSE",    "INTEGER",     "CARDINAL", "STRING", "BOOLEAN",
       "DIV",    "MOD",      "QUERY",       "INSERT", "INTO",   "EXPLAIN",
-      "PRAGMA", "ANALYZE",  "CHECK",       "SCRIPT",
+      "PRAGMA", "ANALYZE",  "CHECK",       "SCRIPT", "SHOW",
   };
   return kKeywords.count(word) > 0;
 }

@@ -110,6 +110,7 @@ class Parser {
     if (CheckKeyword("EXPLAIN")) return ParseExplain();
     if (CheckKeyword("CHECK")) return ParseCheck();
     if (CheckKeyword("PRAGMA")) return ParsePragma();
+    if (CheckKeyword("SHOW")) return ParseShow();
     if (Check(TokenKind::kIdent)) return ParseAssign();
     return Error("expected a declaration or statement");
   }
@@ -345,6 +346,23 @@ class Parser {
       DATACON_ASSIGN_OR_RETURN(
           std::string name, ExpectIdent("a selector/constructor name or SCRIPT"));
       stmt.name = std::move(name);
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
+  Result<ScriptStmt> ParseShow() {
+    ShowStmt stmt;
+    stmt.loc = Loc();
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
+    DATACON_ASSIGN_OR_RETURN(std::string what,
+                             ExpectIdent("METRICS or SLOWLOG"));
+    if (what == "METRICS") {
+      stmt.what = ShowStmt::What::kMetrics;
+    } else if (what == "SLOWLOG") {
+      stmt.what = ShowStmt::What::kSlowLog;
+    } else {
+      return Error("expected METRICS or SLOWLOG after SHOW");
     }
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));

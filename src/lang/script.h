@@ -98,10 +98,19 @@ struct PragmaStmt {
   int64_t value = 0;
 };
 
+/// `SHOW METRICS;` prints the process-wide query histograms (latency,
+/// fixpoint rounds, tuples derived, seed tuples pruned) with p50/p95/p99;
+/// `SHOW SLOWLOG;` prints the database's slow-query log, slowest first.
+struct ShowStmt {
+  enum class What { kMetrics, kSlowLog };
+  What what = What::kMetrics;
+  SourceLoc loc;
+};
+
 using ScriptStmt =
     std::variant<TypeDeclStmt, VarDeclStmt, SelectorStmt, ConstructorStmt,
                  InsertStmt, AssignStmt, QueryStmt, ExplainStmt, CheckStmt,
-                 PragmaStmt>;
+                 PragmaStmt, ShowStmt>;
 
 /// A parsed program: the statement sequence in source order.
 struct Script {

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "common/trace.h"
 #include "core/instantiate.h"
 #include "prolog/translate.h"
 
@@ -252,8 +253,14 @@ Result<Relation> SldEngine::Solve(
 
   // Tabling mode: repeat top-down passes until the tables saturate.
   // Pure SLD: a single (possibly diverging) pass.
+  TraceSpan solve_span("sld solve");
+  if (solve_span.active()) solve_span.AddArg("predicate", predicate);
   while (true) {
     ++stats_.passes;
+    TraceSpan pass_span("sld pass");
+    if (pass_span.active()) {
+      pass_span.AddArg("pass", static_cast<int64_t>(stats_.passes));
+    }
     size_t answers_before = result.size();
     size_t tables_before = 0;
     for (const auto& [p, answers] : tables_) {
@@ -277,6 +284,9 @@ Result<Relation> SldEngine::Solve(
     });
     DATACON_RETURN_IF_ERROR(status);
 
+    if (pass_span.active()) {
+      pass_span.AddArg("answers", static_cast<int64_t>(result.size()));
+    }
     if (!options_.tabling) break;
     size_t tables_after = 0;
     for (const auto& [p, answers] : tables_) {
@@ -286,6 +296,10 @@ Result<Relation> SldEngine::Solve(
     if (result.size() == answers_before && tables_after == tables_before) {
       break;
     }
+  }
+  if (solve_span.active()) {
+    solve_span.AddArg("answers", static_cast<int64_t>(result.size()));
+    solve_span.AddArg("passes", static_cast<int64_t>(stats_.passes));
   }
   return result;
 }

@@ -8,6 +8,7 @@
 #include "ast/printer.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "ra/branch_plan.h"
 #include "storage/index.h"
 
@@ -217,6 +218,12 @@ Status ExecuteBranch(const Branch& branch,
   std::vector<std::unique_ptr<HashIndex>> indexes(n);
   for (size_t i = 1; i < n; ++i) {
     if (levels[i].keys.empty()) continue;
+    TraceSpan build_span("index build");
+    if (build_span.active()) {
+      build_span.AddArg("binding", bindings[i].var);
+      build_span.AddArg("tuples",
+                        static_cast<int64_t>(bindings[i].relation->size()));
+    }
     std::vector<int> cols;
     cols.reserve(levels[i].keys.size());
     for (const BranchLevelPlan::KeyEquality& k : levels[i].keys) {
@@ -234,10 +241,17 @@ Status ExecuteBranch(const Branch& branch,
                            : ThreadPool::ResolveThreadCount(options.num_threads);
   if (num_threads <= 1 || outer.size() < options.min_parallel_tuples) {
     // Serial path: exactly the historical single-threaded pipeline.
+    TraceSpan span("branch");
+    if (span.active()) {
+      span.AddArg("outer_tuples", static_cast<int64_t>(outer.size()));
+    }
     Environment env = base_env;
     BranchExecStats local_stats = build_stats;
     DATACON_RETURN_IF_ERROR(
         pipeline.Descend(0, eval, env, out, &local_stats));
+    if (span.active()) {
+      span.AddArg("inserted", static_cast<int64_t>(local_stats.inserted));
+    }
     if (stats != nullptr) *stats = local_stats;
     return Status::OK();
   }
@@ -247,6 +261,11 @@ Status ExecuteBranch(const Branch& branch,
   // the outermost scan across the pool. Each chunk runs the remaining
   // pipeline into its own output relation; the chunks are merged under set
   // semantics (and key enforcement) at the end.
+  TraceSpan fanout_span("fanout");
+  if (fanout_span.active()) {
+    fanout_span.AddArg("outer_tuples", static_cast<int64_t>(outer.size()));
+    fanout_span.AddArg("threads", static_cast<int64_t>(num_threads));
+  }
   SnapshotResolver snapshot;
   DATACON_RETURN_IF_ERROR(snapshot.Prewarm(*branch.pred(), eval.resolver()));
   Evaluator worker_eval(&snapshot);
@@ -286,6 +305,13 @@ Status ExecuteBranch(const Branch& branch,
     const size_t begin = total * c / chunk_count;
     const size_t end = total * (c + 1) / chunk_count;
     pool->Submit([&, c, begin, end] {
+      // The chunk span is recorded on the worker's own thread, so each
+      // worker shows up as its own track in the trace viewer.
+      TraceSpan chunk_span("chunk");
+      if (chunk_span.active()) {
+        chunk_span.AddArg("chunk", static_cast<int64_t>(c));
+        chunk_span.AddArg("tuples", static_cast<int64_t>(end - begin));
+      }
       Environment env = base_env;
       Relation* chunk_out = &chunk_outs[c];
       BranchExecStats* cs = &chunk_stats[c];
@@ -295,6 +321,9 @@ Status ExecuteBranch(const Branch& branch,
            ++i) {
         status = pipeline.TryTuple(0, *outer_tuples[i], worker_eval, env,
                                    chunk_out, cs);
+      }
+      if (chunk_span.active()) {
+        chunk_span.AddArg("derived", static_cast<int64_t>(chunk_out->size()));
       }
       if (!status.ok()) failed.store(true, std::memory_order_relaxed);
       chunk_status[c] = std::move(status);
@@ -343,6 +372,10 @@ Status ExecuteBranch(const Branch& branch,
     DATACON_RETURN_IF_ERROR(out->InsertAll(chunk_outs[c]));
   }
   merged.inserted = out->size() - before;
+  if (fanout_span.active()) {
+    fanout_span.AddArg("chunks", static_cast<int64_t>(chunk_count));
+    fanout_span.AddArg("inserted", static_cast<int64_t>(merged.inserted));
+  }
   if (stats != nullptr) *stats = merged;
   return Status::OK();
 }

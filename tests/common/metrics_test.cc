@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace datacon {
 namespace {
 
@@ -124,6 +128,180 @@ TEST(ProfileNode, CounterDigestIgnoresTimingAndExec) {
   // A logical-counter difference must change the digest.
   rb->counters().Add("delta", 1);
   EXPECT_NE(a.CounterDigest(), b.CounterDigest());
+}
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Percentile(0.99), 0);
+}
+
+TEST(Histogram, SingleSamplePercentilesClampToMax) {
+  Histogram h;
+  h.Record(57);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.sum(), 57);
+  EXPECT_EQ(h.max(), 57);
+  // 57 lands in the [32, 63] bucket; the clamp must report the recorded
+  // max, not the bucket's upper bound.
+  EXPECT_EQ(h.Percentile(0.5), 57);
+  EXPECT_EQ(h.Percentile(1.0), 57);
+}
+
+TEST(Histogram, PercentilesWalkBuckets) {
+  Histogram h;
+  for (int64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.sum(), 5050);
+  EXPECT_EQ(h.max(), 100);
+  // rank 50 falls inside the [32, 63] bucket (cumulative 31 -> 63).
+  EXPECT_EQ(h.Percentile(0.5), 63);
+  // rank 95 falls inside the [64, 127] bucket, clamped to the max of 100.
+  EXPECT_EQ(h.Percentile(0.95), 100);
+  EXPECT_EQ(h.Percentile(0.99), 100);
+}
+
+TEST(Histogram, ZerosAndNegativesShareBucketZero) {
+  Histogram h;
+  h.Record(0);
+  h.Record(-5);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(Histogram, MergeAddsCountsAndRaisesMax) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.sum(), 1030);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_EQ(a.Percentile(1.0), 1000);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNoSamples) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 1; i <= kPerThread; ++i) h.Record(i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h.sum(),
+            int64_t{kThreads} * kPerThread * (kPerThread + 1) / 2);
+  EXPECT_EQ(h.max(), kPerThread);
+}
+
+TEST(Histogram, JsonShape) {
+  Histogram h;
+  h.Record(57);
+  EXPECT_EQ(h.ToJson(),
+            "{\"count\":1,\"sum\":57,\"max\":57,\"p50\":57,\"p95\":57,"
+            "\"p99\":57}");
+}
+
+TEST(MetricsRegistry, PreservesInsertionOrderAndPointerStability) {
+  MetricsRegistry registry;
+  Histogram* z = registry.GetHistogram("z.metric");
+  Histogram* a = registry.GetHistogram("a.metric");
+  EXPECT_EQ(registry.GetHistogram("z.metric"), z);
+  EXPECT_EQ(registry.GetHistogram("a.metric"), a);
+  z->Record(4);
+  a->Record(9);
+  std::string json = registry.ToJson();
+  // z registered first, so it serializes first despite sorting later
+  // alphabetically.
+  EXPECT_LT(json.find("z.metric"), json.find("a.metric"));
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetKeepsNamesDropsSamples) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency_ns");
+  h->Record(123);
+  registry.Reset();
+  EXPECT_EQ(registry.GetHistogram("latency_ns"), h);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_NE(registry.ToText().find("latency_ns"), std::string::npos);
+}
+
+TEST(SlowQueryLog, ThresholdGatesAdmission) {
+  SlowQueryLog log(4);
+  log.set_threshold_ns(1000);
+  EXPECT_FALSE(log.WouldRecord(999));
+  EXPECT_TRUE(log.WouldRecord(1000));
+  log.Record("fast", 999, "");
+  log.Record("slow", 1000, "");
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].statement, "slow");
+}
+
+TEST(SlowQueryLog, KeepsSlowestFirstAndEvictsFastest) {
+  SlowQueryLog log(3);
+  log.Record("a", 100, "");
+  log.Record("b", 300, "");
+  log.Record("c", 200, "");
+  log.Record("d", 250, "");  // evicts a (100), the fastest retained
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].statement, "b");
+  EXPECT_EQ(entries[1].statement, "d");
+  EXPECT_EQ(entries[2].statement, "c");
+  // Once full, a query no slower than the current fastest is not admitted.
+  EXPECT_FALSE(log.WouldRecord(150));
+  EXPECT_TRUE(log.WouldRecord(201));
+}
+
+TEST(SlowQueryLog, TiesKeepOlderEntriesFirst) {
+  SlowQueryLog log(2);
+  log.Record("first", 500, "");
+  log.Record("second", 500, "");
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].statement, "first");
+  EXPECT_EQ(entries[1].statement, "second");
+  // A third tie must not evict an equal-latency entry.
+  EXPECT_FALSE(log.WouldRecord(500));
+}
+
+TEST(SlowQueryLog, ClearEmptiesAndToTextRendersDigest) {
+  SlowQueryLog log(4);
+  log.Record("QUERY E {tc};", 2'000'000, "rounds=3 inserted=7");
+  std::string text = log.ToText();
+  EXPECT_NE(text.find("QUERY E {tc};"), std::string::npos);
+  EXPECT_NE(text.find("rounds=3 inserted=7"), std::string::npos);
+  log.Clear();
+  EXPECT_TRUE(log.Entries().empty());
+}
+
+TEST(SlowQueryLog, ZeroCapacityNeverRecords) {
+  SlowQueryLog log(0);
+  EXPECT_FALSE(log.WouldRecord(1'000'000));
+  log.Record("q", 1'000'000, "");
+  EXPECT_TRUE(log.Entries().empty());
 }
 
 }  // namespace

@@ -43,5 +43,28 @@ TEST(AsciiCase, Basic) {
   EXPECT_EQ(AsciiToLower(""), "");
 }
 
+TEST(JsonEscape, QuotesPlainText) {
+  EXPECT_EQ(JsonEscape(""), "\"\"");
+  EXPECT_EQ(JsonEscape("abc 123"), "\"abc 123\"");
+}
+
+TEST(JsonEscape, EscapesMetacharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonEscape("a\nb\tc\r"), "\"a\\nb\\tc\\r\"");
+  EXPECT_EQ(JsonEscape("\b\f"), "\"\\b\\f\"");
+}
+
+TEST(JsonEscape, ControlCharactersUseUnicodeForm) {
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)),
+            "\"\\u0001\\u001f\"");
+}
+
+TEST(AppendJsonEscaped, AppendsInPlace) {
+  std::string out = "{\"k\":";
+  AppendJsonEscaped(&out, "v\"1");
+  EXPECT_EQ(out, "{\"k\":\"v\\\"1\"");
+}
+
 }  // namespace
 }  // namespace datacon

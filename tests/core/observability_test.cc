@@ -1,0 +1,184 @@
+// Regression tests for the per-query observability layer: slow-query log
+// feeding, profile retention across statements (the last_profile()
+// clobbering fix), metrics histograms, and the pinned invariant that
+// tracing never perturbs logical evaluation statistics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ast/builder.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/database.h"
+#include "testutil.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+TEST(SlowQueryLogFeed, EvaluationsAreRecordedWithDigest) {
+  Database db;  // threshold defaults to 0: everything is admitted
+  workload::EdgeList g = workload::RandomDigraph(16, 40, 3);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  Result<Relation> r = db.EvalRange(Constructed(Rel("g_E"), "g_tc"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  std::vector<SlowQueryLog::Entry> entries = db.slow_query_log().Entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_NE(entries[0].statement.find("g_tc"), std::string::npos);
+  EXPECT_GT(entries[0].elapsed_ns, 0);
+  EXPECT_NE(entries[0].digest.find("inserted="), std::string::npos);
+}
+
+TEST(SlowQueryLogFeed, ZeroCapacityDisablesTheLog) {
+  DatabaseOptions options;
+  options.slow_query_log_capacity = 0;
+  Database db(options);
+  workload::EdgeList g = workload::RandomDigraph(16, 40, 3);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  EXPECT_TRUE(db.slow_query_log().Entries().empty());
+}
+
+TEST(SlowQueryLogFeed, ThresholdSuppressesFastQueries) {
+  Database db;
+  db.slow_query_log().set_threshold_ns(int64_t{3600} * 1'000'000'000);
+  workload::EdgeList g = workload::RandomDigraph(16, 40, 3);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  // Nothing takes an hour; the log must stay empty.
+  EXPECT_TRUE(db.slow_query_log().Entries().empty());
+}
+
+TEST(ProfileRetention, EarlierProfilesSurviveLaterStatements) {
+  Database db;
+  db.options().eval.profile = true;
+  workload::EdgeList g = workload::RandomDigraph(16, 40, 3);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  int64_t first_index = db.last_eval_index();
+  const ProfileNode* first = db.profile_at(first_index);
+  ASSERT_NE(first, nullptr);
+  std::string first_digest = first->CounterDigest();
+
+  // Before the fix, the next evaluation clobbered the only retained
+  // profile; the pointer obtained for statement i must stay valid and
+  // unchanged while later statements run.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  }
+  EXPECT_GT(db.last_eval_index(), first_index);
+  ASSERT_EQ(db.profile_at(first_index), first);
+  EXPECT_EQ(first->CounterDigest(), first_digest);
+  // last_profile() tracks the most recent evaluation, not the first.
+  EXPECT_EQ(db.last_profile(), db.profile_at(db.last_eval_index()));
+  EXPECT_NE(db.last_profile(), nullptr);
+}
+
+TEST(ProfileRetention, EvictsBeyondTheRetentionBound) {
+  Database db;
+  db.options().eval.profile = true;
+  workload::EdgeList g = workload::RandomDigraph(8, 16, 7);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  int64_t first_index = db.last_eval_index();
+  for (size_t i = 0; i < Database::kRetainedProfiles; ++i) {
+    ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  }
+  EXPECT_EQ(db.profile_at(first_index), nullptr);
+  EXPECT_NE(db.last_profile(), nullptr);
+}
+
+TEST(ProfileRetention, NoProfileRecordedWhenProfilingOff) {
+  Database db;
+  db.options().eval.profile = false;
+  workload::EdgeList g = workload::RandomDigraph(8, 16, 7);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  EXPECT_EQ(db.last_profile(), nullptr);
+}
+
+TEST(MetricsFeed, QueryLatencyHistogramGrowsPerEvaluation) {
+  Histogram* latency =
+      MetricsRegistry::Global().GetHistogram("query.latency_ns");
+  Histogram* rounds =
+      MetricsRegistry::Global().GetHistogram("query.fixpoint_rounds");
+  int64_t latency_before = latency->count();
+  int64_t rounds_before = rounds->count();
+
+  Database db;
+  workload::EdgeList g = workload::RandomDigraph(16, 40, 3);
+  ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+  ASSERT_TRUE(db.EvalRange(Constructed(Rel("g_E"), "g_tc")).ok());
+
+  EXPECT_EQ(latency->count(), latency_before + 2);
+  EXPECT_EQ(rounds->count(), rounds_before + 2);
+  EXPECT_GT(latency->Percentile(0.5), 0);
+}
+
+/// The pinned invariant: with tracing ON, logical evaluation statistics
+/// and results are bit-identical at 1 and 8 threads — instrumentation must
+/// never feed logical counters or perturb the merge order.
+TEST(TraceNeutrality, StatsBitIdenticalAcrossThreadCountsWithTracingOn) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.Enable(true);
+
+  workload::EdgeList g = workload::RandomDigraph(48, 160, 11);
+  EvalStats stats_1, stats_8;
+  Relation result_1, result_8;
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    Database db;
+    ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+    db.options().eval.exec.num_threads = threads;
+    Result<Relation> r = db.EvalRange(Constructed(Rel("g_E"), "g_tc"));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (threads == 1) {
+      stats_1 = db.last_stats();
+      result_1 = *r;
+    } else {
+      stats_8 = db.last_stats();
+      result_8 = *r;
+    }
+  }
+  rec.Enable(false);
+  EXPECT_GT(rec.EventCount(), 0u);  // tracing actually recorded
+  rec.Clear();
+
+  EXPECT_EQ(result_1.SortedTuples(), result_8.SortedTuples());
+  EXPECT_EQ(stats_1.iterations, stats_8.iterations);
+  EXPECT_EQ(stats_1.tuples_considered, stats_8.tuples_considered);
+  EXPECT_EQ(stats_1.tuples_inserted, stats_8.tuples_inserted);
+}
+
+/// Tracing ON vs OFF must also leave the stats untouched.
+TEST(TraceNeutrality, StatsIdenticalWithTracingOnAndOff) {
+  workload::EdgeList g = workload::RandomDigraph(32, 96, 9);
+  EvalStats stats_off, stats_on;
+  TraceRecorder& rec = TraceRecorder::Global();
+  for (bool trace : {false, true}) {
+    rec.Clear();
+    rec.Enable(trace);
+    Database db;
+    ASSERT_TRUE(workload::SetupClosure(&db, "g", g).ok());
+    Result<Relation> r = db.EvalRange(Constructed(Rel("g_E"), "g_tc"));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    (trace ? stats_on : stats_off) = db.last_stats();
+  }
+  rec.Enable(false);
+  rec.Clear();
+  EXPECT_EQ(stats_off.iterations, stats_on.iterations);
+  EXPECT_EQ(stats_off.tuples_considered, stats_on.tuples_considered);
+  EXPECT_EQ(stats_off.tuples_inserted, stats_on.tuples_inserted);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/trace.h"
+
 namespace datacon {
 namespace {
 
@@ -405,6 +407,46 @@ TEST(Interpreter, PragmaLintWarningsDoNotReject) {
   EXPECT_TRUE(db.catalog().LookupSelector("shady").ok());
   ASSERT_FALSE(interp.diagnostics().empty());
   EXPECT_EQ(interp.diagnostics()[0].code, "W202");
+}
+
+TEST(Interpreter, PragmaTraceTogglesTheRecorder) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute("PRAGMA TRACE = ON;").ok());
+  EXPECT_TRUE(TraceRecorder::Enabled());
+  ASSERT_TRUE(interp.Execute("PRAGMA TRACE = OFF;").ok());
+  EXPECT_FALSE(TraceRecorder::Enabled());
+  EXPECT_EQ(interp.Execute("PRAGMA TRACE = 7;").code(),
+            StatusCode::kInvalidArgument);
+  TraceRecorder::Global().Clear();
+}
+
+TEST(Interpreter, PragmaSlowQueryMsSetsThreshold) {
+  Database db;
+  Interpreter interp(&db);
+  EXPECT_EQ(db.slow_query_log().threshold_ns(), 0);
+  ASSERT_TRUE(interp.Execute("PRAGMA SLOW_QUERY_MS = 250;").ok());
+  EXPECT_EQ(db.slow_query_log().threshold_ns(), 250'000'000);
+  ASSERT_TRUE(interp.Execute("PRAGMA SLOW_QUERY_MS = 0;").ok());
+  EXPECT_EQ(db.slow_query_log().threshold_ns(), 0);
+  EXPECT_FALSE(interp.Execute("PRAGMA SLOW_QUERY_MS = -3;").ok());
+}
+
+TEST(Interpreter, ShowMetricsAndSlowlogRenderText) {
+  Database db;
+  Interpreter interp(&db);
+  ASSERT_TRUE(interp.Execute(kCadSetup).ok());
+  ASSERT_TRUE(interp.Execute("QUERY Infront {ahead};").ok());
+  interp.ClearResults();
+  ASSERT_TRUE(interp.Execute("SHOW METRICS; SHOW SLOWLOG;").ok());
+  ASSERT_EQ(interp.results().size(), 2u);
+  EXPECT_NE(interp.results()[0].text.find("METRICS:"), std::string::npos);
+  // The query above fed the global latency histogram.
+  EXPECT_NE(interp.results()[0].text.find("query.latency_ns"),
+            std::string::npos);
+  EXPECT_NE(interp.results()[1].text.find("SLOWLOG:"), std::string::npos);
+  // Threshold 0 admits everything, so the query shows up in the slow log.
+  EXPECT_NE(interp.results()[1].text.find("{ahead}"), std::string::npos);
 }
 
 TEST(Interpreter, PragmaLintOffSkipsDefinitionLint) {

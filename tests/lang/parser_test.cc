@@ -328,6 +328,30 @@ TEST(Parser, PragmaLintAcceptsOnOff) {
   EXPECT_EQ(std::get<PragmaStmt>(s.stmts[1]).value, 0);
 }
 
+TEST(Parser, PragmaTraceAndSlowQueryMs) {
+  Script s = MustParse(
+      "PRAGMA TRACE = ON; PRAGMA TRACE = OFF; PRAGMA SLOW_QUERY_MS = 250;");
+  ASSERT_EQ(s.stmts.size(), 3u);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[0]).name, "TRACE");
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[0]).value, 1);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[1]).value, 0);
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[2]).name, "SLOW_QUERY_MS");
+  EXPECT_EQ(std::get<PragmaStmt>(s.stmts[2]).value, 250);
+}
+
+TEST(Parser, ShowMetricsAndSlowlog) {
+  Script s = MustParse("SHOW METRICS;\nSHOW SLOWLOG;");
+  ASSERT_EQ(s.stmts.size(), 2u);
+  EXPECT_EQ(std::get<ShowStmt>(s.stmts[0]).what, ShowStmt::What::kMetrics);
+  EXPECT_EQ(std::get<ShowStmt>(s.stmts[1]).what, ShowStmt::What::kSlowLog);
+}
+
+TEST(Parser, ShowRejectsUnknownSubject) {
+  EXPECT_EQ(ParseScript("SHOW TABLES;").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseScript("SHOW;").status().code(), StatusCode::kParseError);
+}
+
 TEST(Parser, StatementLocsPointAtLeadingToken) {
   Script s = MustParse(
       "TYPE t = RELATION OF RECORD a, b: INTEGER END;\n"

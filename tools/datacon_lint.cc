@@ -20,13 +20,11 @@
 
 #include "analysis/diagnostic.h"
 #include "analysis/script_lint.h"
+#include "common/build_info.h"
+#include "common/string_util.h"
 #include "lang/parser.h"
 
 namespace {
-
-/// Tool version. The project() call carries no VERSION; this string is the
-/// single source of truth, bumped by hand with the lint surface.
-constexpr const char kVersion[] = "0.4.0";
 
 int Usage() {
   std::cerr << "usage: datacon-lint [--json] [--werror] [--adorn] [--codes] "
@@ -57,19 +55,8 @@ void PrintHelp() {
 }
 
 void PrintVersion() {
-  std::cout << "datacon-lint " << kVersion << "\n"
-            << "build: " << __DATE__ << " " << __TIME__
-#if defined(__clang__)
-            << ", clang " << __clang_major__ << "." << __clang_minor__
-#elif defined(__GNUC__)
-            << ", gcc " << __GNUC__ << "." << __GNUC_MINOR__
-#endif
-#if defined(NDEBUG)
-            << ", release"
-#else
-            << ", debug"
-#endif
-            << "\n"
+  std::cout << "datacon-lint " << datacon::kDataconVersion << "\n"
+            << "build: " << datacon::BuildInfoString() << "\n"
             << "diagnostic codes: " << datacon::AllDiagnosticCodes().size()
             << "\n";
 }
@@ -142,8 +129,10 @@ int main(int argc, char** argv) {
     if (json) {
       if (!first) std::cout << ",";
       first = false;
-      std::cout << "{\"file\":\"" << path
-                << "\",\"report\":" << report.ToJson() << "}";
+      // The path comes from the command line — quote it properly rather
+      // than trusting it to contain no JSON metacharacters.
+      std::cout << "{\"file\":" << datacon::JsonEscape(path)
+                << ",\"report\":" << report.ToJson() << "}";
     } else {
       for (const datacon::Diagnostic& d : report.diagnostics) {
         std::cout << path << ":" << d.ToString() << "\n";
