@@ -37,7 +37,10 @@ T MustValue(Result<T> result) {
 inline void AppendMetricsToArtifact(const std::string& path) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   std::string metrics = registry.ToJson();
-  if (metrics == "{\"histograms\":{}}") return;
+  if (metrics == "{\"histograms\":{}}" ||
+      metrics == "{\"histograms\":{},\"counters\":{}}") {
+    return;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return;
   std::ostringstream buffer;

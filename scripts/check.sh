@@ -19,13 +19,14 @@ echo "== lint: example corpus =="
 # adornment findings included.
 ./build/tools/datacon-lint --werror --adorn examples/dbpl/*.dbpl
 
-echo "== bench: parallel + specialize (smoke, --json artifacts) =="
-# Quick single-repetition passes over the two engine-level benchmarks; the
+echo "== bench: parallel + specialize + cache (smoke, --json artifacts) =="
+# Quick single-repetition passes over the engine-level benchmarks; the
 # runs double as correctness smoke tests (bench bodies abort on evaluation
-# errors) and leave BENCH_parallel.json / BENCH_specialize.json behind as
-# the EXPERIMENTS.md artifacts.
+# errors) and leave BENCH_parallel.json / BENCH_specialize.json /
+# BENCH_cache.json behind as the EXPERIMENTS.md artifacts.
 ./build/bench/bench_parallel --json --benchmark_min_time=0.01
 ./build/bench/bench_specialize --json --benchmark_min_time=0.01
+./build/bench/bench_cache --json --benchmark_min_time=0.01
 
 echo "== trace: end-to-end trace-out =="
 # Drive a same-generation query (recursive but not closure-shaped, so the
@@ -62,12 +63,16 @@ echo "== tsan: build =="
 cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   common_thread_pool_test common_trace_test core_fixpoint_parallel_test \
-  core_observability_test
+  core_observability_test common_metrics_test core_matcache_test \
+  integration_cache_semantics_test
 
-echo "== tsan: parallel tests =="
+echo "== tsan: parallel + cache tests =="
 ./build-tsan/tests/common_thread_pool_test
 ./build-tsan/tests/common_trace_test
 ./build-tsan/tests/core_fixpoint_parallel_test
 ./build-tsan/tests/core_observability_test
+./build-tsan/tests/common_metrics_test
+./build-tsan/tests/core_matcache_test
+./build-tsan/tests/integration_cache_semantics_test
 
 echo "All checks passed."

@@ -175,9 +175,21 @@ int64_t Histogram::Percentile(double q) const {
   if (q > 1.0) q = 1.0;
   int64_t rank = static_cast<int64_t>(std::ceil(q * static_cast<double>(total)));
   if (rank < 1) rank = 1;
+  // Snapshot the buckets once; clamp the rank to the mass they actually
+  // hold. A torn MergeFrom from a live source can leave count() ahead of
+  // the bucket totals, and an unclamped rank would then scan past the last
+  // occupied bucket and fall through to a max() the buckets never saw.
+  std::array<int64_t, kBuckets> snapshot;
+  int64_t mass = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    mass += snapshot[i];
+  }
+  if (mass <= 0) return 0;
+  if (rank > mass) rank = mass;
   int64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
+    seen += snapshot[i];
     if (seen >= rank) {
       // Upper bound of bucket i: 0 for bucket 0, else 2^i - 1.
       int64_t upper =
@@ -222,9 +234,19 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return entries_.back().second.get();
 }
 
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, counter] : counters_) {
+    if (key == name) return counter.get();
+  }
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return counters_.back().second.get();
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, histogram] : entries_) histogram->Reset();
+  for (auto& [key, counter] : counters_) counter->Reset();
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -237,6 +259,15 @@ std::string MetricsRegistry::ToJson() const {
     AppendJsonEscaped(&out, key);
     out.push_back(':');
     out += histogram->ToJson();
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [key, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonEscaped(&out, key);
+    out.push_back(':');
+    out += std::to_string(counter->value());
   }
   out += "}}";
   return out;
@@ -254,6 +285,9 @@ std::string MetricsRegistry::ToText() const {
              ", p99 " + FormatDurationNs(histogram->Percentile(0.99)) + "]";
     }
     out.push_back('\n');
+  }
+  for (const auto& [key, counter] : counters_) {
+    out += key + "  count=" + std::to_string(counter->value()) + "\n";
   }
   if (out.empty()) out = "(no metrics recorded)\n";
   return out;

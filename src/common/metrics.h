@@ -145,6 +145,14 @@ class Histogram {
 
   /// Adds every bucket/count/sum of `other` into this histogram and raises
   /// max — the cross-thread merge operation.
+  ///
+  /// Contract: `other` should be quiescent (no concurrent Record) for an
+  /// exact merge. The bucket array and count/sum/max are read as separate
+  /// relaxed loads, so merging from a live source can capture a state no
+  /// single moment had — e.g. a count that exceeds the sum of the copied
+  /// buckets. Such torn merges never corrupt this histogram's own
+  /// invariants beyond that same benign skew, and Percentile stays robust
+  /// to it (rank is clamped to the observed bucket mass).
   void MergeFrom(const Histogram& other);
 
   void Reset();
@@ -156,7 +164,11 @@ class Histogram {
   /// The value at quantile `q` in [0, 1]: the upper bound of the first
   /// bucket whose cumulative count reaches ceil(q * count), clamped to the
   /// recorded max (so p100 of a single sample is that sample, not its
-  /// bucket's upper bound). 0 when empty.
+  /// bucket's upper bound). 0 when empty. The rank is additionally clamped
+  /// to the bucket mass actually observed during the scan, so a torn
+  /// MergeFrom (count ahead of the buckets) yields the largest observed
+  /// bucket's bound instead of scanning past the last bucket into a
+  /// potentially bogus max().
   int64_t Percentile(double q) const;
 
   /// {"count":..,"sum":..,"max":..,"p50":..,"p95":..,"p99":..}
@@ -168,10 +180,35 @@ class Histogram {
  private:
   static size_t BucketIndex(int64_t value);
 
+  /// Test backdoor: lets the torn-merge regression test construct a
+  /// histogram whose count disagrees with its bucket totals without racing
+  /// real threads. Defined by the test only.
+  friend struct HistogramPeer;
+
   std::array<std::atomic<int64_t>, kBuckets> buckets_{};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> max_{0};
+};
+
+/// A named monotonic event counter (cache hits, invalidations, ...): the
+/// discrete-event counterpart of Histogram. Relaxed atomic increments —
+/// safe from any thread, read with value().
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
 };
 
 /// A process-global, insertion-ordered registry of named histograms — the
@@ -194,21 +231,28 @@ class MetricsRegistry {
   /// order is preserved in both exports.
   Histogram* GetHistogram(std::string_view name);
 
-  /// Resets every histogram's samples (names stay registered) — test and
-  /// REPL-session hygiene.
+  /// The counter named `name`, created at zero on first use. Insertion
+  /// order is preserved in both exports; returned pointers are stable for
+  /// the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+
+  /// Resets every histogram's samples and every counter's value (names
+  /// stay registered) — test and REPL-session hygiene.
   void Reset();
 
-  /// {"histograms":{"query.latency_ns":{...},...}}
+  /// {"histograms":{"query.latency_ns":{...},...},"counters":{"cache.hits":N,...}}
   std::string ToJson() const;
 
   /// One line per histogram: "name  count=.. p50=.. p95=.. p99=.. max=..";
   /// names ending in "_ns" additionally render the percentiles as
-  /// human-readable durations.
+  /// human-readable durations. Counters follow, one "name  count=N" line
+  /// each.
   std::string ToText() const;
 
  private:
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> entries_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
 };
 
 /// A bounded log of the slowest statements seen by a Database: at most

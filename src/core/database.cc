@@ -159,7 +159,8 @@ Result<Relation> Database::EvalQueryAs(const CalcExprPtr& expr,
 
 Status Database::InstallCaptures(const ApplicationGraph& graph,
                                  SystemEvaluator* ev,
-                                 const SpecializationPlan* plan) {
+                                 const SpecializationPlan* plan,
+                                 bool use_cache) {
   for (size_t i = 0; i < graph.nodes().size(); ++i) {
     const ApplicationGraph::Node& node = graph.nodes()[i];
     if (plan != nullptr && plan->nodes[i].active) continue;
@@ -168,19 +169,63 @@ Status Database::InstallCaptures(const ApplicationGraph& graph,
     TraceSpan span("capture");
     if (span.active()) span.AddArg("node", node.key);
     Timer timer;
+
+    // Captures cache under their own key namespace. They are stored with
+    // empty EvalStats (FullClosure contributes nothing to EvalStats either
+    // way) and are never delta-maintained — the frontier algorithm has no
+    // incremental form here, and a full recompute is its own seed.
+    std::string cache_key;
+    std::optional<std::vector<CacheInput>> cache_inputs;
+    if (use_cache) {
+      InputScan scan;
+      ScanRangeInputs(*node.base, catalog_, 0, &scan);
+      if (scan.ok) {
+        cache_key = "capture|" + node.key;
+        CacheLookup found = mat_cache_.Lookup(cache_key, catalog_);
+        if (found.outcome == CacheOutcome::kHit && found.members.size() == 1 &&
+            found.members[0].relation != nullptr) {
+          if (span.active()) span.AddArg("cache", std::string("hit"));
+          if (ev->profile() != nullptr) {
+            ProfileNode* n = ev->profile()->AddChild(
+                "capture [" + node.key + "] (cache hit)");
+            n->counters().Add(
+                "closure_tuples",
+                static_cast<int64_t>(found.members[0].relation->size()));
+            n->set_elapsed_ns(timer.ElapsedNs());
+          }
+          DATACON_RETURN_IF_ERROR(ev->InstallNodeRelation(
+              static_cast<int>(i), found.members[0].relation));
+          continue;
+        }
+        Result<std::vector<CacheInput>> snap =
+            SnapshotCacheInputs(scan.inputs, catalog_);
+        if (snap.ok()) {
+          cache_inputs = std::move(snap).value();
+        } else {
+          cache_key.clear();
+        }
+      }
+    }
+
     DATACON_ASSIGN_OR_RETURN(const Relation* edges, ev->Resolve(*node.base));
     DATACON_ASSIGN_OR_RETURN(Relation closure,
                              FullClosure(*edges, node.result_schema));
+    auto closure_rel = std::make_shared<Relation>(std::move(closure));
     if (ev->profile() != nullptr) {
       ProfileNode* n = ev->profile()->AddChild(
           "capture [" + node.key + "] (transitive closure)");
       n->counters().Add("edge_tuples", static_cast<int64_t>(edges->size()));
       n->counters().Add("closure_tuples",
-                        static_cast<int64_t>(closure.size()));
+                        static_cast<int64_t>(closure_rel->size()));
       n->set_elapsed_ns(timer.ElapsedNs());
     }
     DATACON_RETURN_IF_ERROR(ev->InstallNodeRelation(
-        static_cast<int>(i), std::make_unique<Relation>(std::move(closure))));
+        static_cast<int>(i), std::shared_ptr<const Relation>(closure_rel)));
+    if (!cache_key.empty() && cache_inputs.has_value()) {
+      mat_cache_.Insert(cache_key, {CachedRelation{node.key, closure_rel}},
+                        *std::move(cache_inputs), EvalStats{},
+                        /*maintainable=*/false);
+    }
   }
   return Status::OK();
 }
@@ -210,6 +255,18 @@ bool SeededPlanApplies(const CalcExpr& expr, const SeededTcPlan& plan) {
 void Database::BeginEvaluation() {
   ++eval_index_;
   last_stats_ = EvalStats{};
+  cache_before_ = mat_cache_.stats();
+}
+
+MatCacheStats Database::last_cache_stats() const {
+  const MatCacheStats& now = mat_cache_.stats();
+  MatCacheStats out;
+  out.hits = now.hits - cache_before_.hits;
+  out.misses = now.misses - cache_before_.misses;
+  out.invalidations = now.invalidations - cache_before_.invalidations;
+  out.delta_maintained = now.delta_maintained - cache_before_.delta_maintained;
+  out.evictions = now.evictions - cache_before_.evictions;
+  return out;
 }
 
 void Database::StoreProfile(std::unique_ptr<ProfileNode> profile) {
@@ -371,6 +428,10 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   ApplicationGraph graph(&catalog_);
   DATACON_RETURN_IF_ERROR(graph.AddRoots(*expr));
   SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
+  // Parameterized executions bypass the cache: parameter values change
+  // results (and magic seeds) without appearing in any cache key.
+  const bool use_cache = options_.cache && !params.HasParams();
+  if (use_cache) ev.InstallMatCache(&mat_cache_);
   std::optional<SpecializationPlan> plan;
   if (options_.specialize) {
     TraceSpan plan_span("plan specialize");
@@ -380,8 +441,8 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
     if (plan.has_value()) ev.InstallSpecialization(&*plan);
   }
   if (options_.use_capture_rules) {
-    DATACON_RETURN_IF_ERROR(
-        InstallCaptures(graph, &ev, plan.has_value() ? &*plan : nullptr));
+    DATACON_RETURN_IF_ERROR(InstallCaptures(
+        graph, &ev, plan.has_value() ? &*plan : nullptr, use_cache));
   }
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
   DATACON_ASSIGN_OR_RETURN(Relation out, ev.EvaluateExpr(*expr, schema));

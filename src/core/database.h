@@ -15,6 +15,7 @@
 #include "core/catalog.h"
 #include "core/fixpoint.h"
 #include "core/instantiate.h"
+#include "core/matcache.h"
 #include "core/rewrite.h"
 #include "storage/relation.h"
 #include "types/value.h"
@@ -45,6 +46,15 @@ struct DatabaseOptions {
   /// 0 disables it. The admission threshold is runtime-settable
   /// (slow_query_log().set_threshold_ns, `PRAGMA SLOW_QUERY_MS`).
   size_t slow_query_log_capacity = 16;
+  /// Incremental constructor-application cache (`PRAGMA CACHE`): reuse
+  /// materialized applications across queries keyed on the generations of
+  /// their input relations; insert-only churn is delta-maintained, any
+  /// erase/clear invalidates. Parameterized (prepared) executions bypass
+  /// the cache regardless.
+  bool cache = true;
+  /// Entry capacity of that cache, LRU-evicted (`PRAGMA CACHE_CAPACITY`);
+  /// 0 stops new entries from being stored.
+  size_t cache_capacity = 64;
 };
 
 class PreparedQuery;
@@ -56,7 +66,9 @@ class PreparedQuery;
 class Database {
  public:
   explicit Database(DatabaseOptions options = {})
-      : options_(options), slow_query_log_(options.slow_query_log_capacity) {}
+      : options_(options),
+        slow_query_log_(options.slow_query_log_capacity),
+        mat_cache_(options.cache_capacity) {}
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -178,6 +190,17 @@ class Database {
   SlowQueryLog& slow_query_log() { return slow_query_log_; }
   const SlowQueryLog& slow_query_log() const { return slow_query_log_; }
 
+  /// The materialization cache (PRAGMA CACHE / CACHE_CAPACITY). Lifetime
+  /// counters live in mat_cache().stats(); per-query deltas in
+  /// last_cache_stats().
+  MatCache& mat_cache() { return mat_cache_; }
+  const MatCache& mat_cache() const { return mat_cache_; }
+
+  /// Cache-counter deltas of the most recent evaluation (hits/misses/
+  /// invalidations/delta-maintenances since BeginEvaluation) — consumed by
+  /// EXPLAIN ANALYZE.
+  MatCacheStats last_cache_stats() const;
+
  private:
   friend class PreparedQuery;
 
@@ -215,9 +238,11 @@ class Database {
 
   /// Installs capture-rule materializations for eligible nodes. Nodes the
   /// specialization plan restricts are skipped — their pruned fixpoint
-  /// replaces the full-closure capture.
+  /// replaces the full-closure capture. With `use_cache`, closures are
+  /// reused from / stored into mat_cache_ under "capture|<node key>" keys
+  /// (full hits only — captures are never delta-maintained).
   Status InstallCaptures(const ApplicationGraph& graph, SystemEvaluator* ev,
-                         const SpecializationPlan* plan);
+                         const SpecializationPlan* plan, bool use_cache);
 
   DatabaseOptions options_;
   Catalog catalog_;
@@ -227,6 +252,10 @@ class Database {
   /// kRetainedProfiles entries.
   std::vector<std::pair<int64_t, std::unique_ptr<ProfileNode>>> profiles_;
   SlowQueryLog slow_query_log_;
+  MatCache mat_cache_;
+  /// Counter snapshot taken by BeginEvaluation, so last_cache_stats() can
+  /// report the most recent query's deltas.
+  MatCacheStats cache_before_;
 };
 
 /// A compiled parameterized query form. Holds the instantiated application

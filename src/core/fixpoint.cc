@@ -1,15 +1,52 @@
 #include "core/fixpoint.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "ast/printer.h"
 #include "common/check.h"
 #include "common/trace.h"
+#include "core/matcache.h"
 #include "core/positivity.h"
 #include "ra/branch_exec.h"
 #include "ra/eval.h"
 
 namespace datacon {
+
+EvalStats& EvalStats::operator+=(const EvalStats& other) {
+  iterations += other.iterations;
+  tuples_considered += other.tuples_considered;
+  tuples_inserted += other.tuples_inserted;
+  outer_tuples += other.outer_tuples;
+  index_builds += other.index_builds;
+  index_probes += other.index_probes;
+  snapshot_materializations += other.snapshot_materializations;
+  chunks_dispatched += other.chunks_dispatched;
+  specialized_branches += other.specialized_branches;
+  seed_tuples_pruned += other.seed_tuples_pruned;
+  return *this;
+}
+
+EvalStats operator+(EvalStats a, const EvalStats& b) {
+  a += b;
+  return a;
+}
+
+EvalStats operator-(const EvalStats& a, const EvalStats& b) {
+  EvalStats out;
+  out.iterations = a.iterations - b.iterations;
+  out.tuples_considered = a.tuples_considered - b.tuples_considered;
+  out.tuples_inserted = a.tuples_inserted - b.tuples_inserted;
+  out.outer_tuples = a.outer_tuples - b.outer_tuples;
+  out.index_builds = a.index_builds - b.index_builds;
+  out.index_probes = a.index_probes - b.index_probes;
+  out.snapshot_materializations =
+      a.snapshot_materializations - b.snapshot_materializations;
+  out.chunks_dispatched = a.chunks_dispatched - b.chunks_dispatched;
+  out.specialized_branches = a.specialized_branches - b.specialized_branches;
+  out.seed_tuples_pruned = a.seed_tuples_pruned - b.seed_tuples_pruned;
+  return out;
+}
 
 SystemEvaluator::SystemEvaluator(const Catalog* catalog,
                                  const ApplicationGraph* graph,
@@ -84,6 +121,24 @@ Status SystemEvaluator::InstallNodeRelation(int node,
   return Status::OK();
 }
 
+Status SystemEvaluator::InstallNodeRelation(
+    int node, std::shared_ptr<const Relation> rel) {
+  if (materialized_) {
+    return Status::Internal("InstallNodeRelation after MaterializeAll");
+  }
+  if (node < 0 || static_cast<size_t>(node) >= totals_.size()) {
+    return Status::InvalidArgument("no application node " +
+                                   std::to_string(node));
+  }
+  // The const_cast is confined to storage: every mutation path either
+  // replaces the slot with a fresh relation (fixpoints, acyclic pass) or
+  // copies before writing (cache maintenance), so shared cached relations
+  // are never written through this pointer.
+  totals_[static_cast<size_t>(node)] =
+      std::const_pointer_cast<Relation>(std::move(rel));
+  return Status::OK();
+}
+
 Status SystemEvaluator::MaterializeAll() {
   DATACON_CHECK(!materialized_, "MaterializeAll called twice");
 
@@ -153,12 +208,89 @@ Status SystemEvaluator::MaterializeAll() {
       cur_ = comp_node;
     }
     Status status;
-    if (!cyclic) {
-      status = EvaluateAcyclicNode(members[0]);
-    } else if (naive) {
-      status = NaiveFixpoint(members);
-    } else {
-      status = SemiNaiveFixpoint(members);
+    bool satisfied = false;
+    std::optional<ComponentCacheKey> ck;
+    if (cache_ != nullptr) ck = CacheKeyFor(members);
+    if (ck.has_value()) {
+      TraceSpan cache_span("cache");
+      if (cache_span.active()) cache_span.AddArg("key", ck->key);
+      CacheLookup found = cache_->Lookup(ck->key, *catalog_);
+      if (found.outcome == CacheOutcome::kHit) {
+        status = InstallCachedMembers(members, found.members);
+        if (status.ok()) {
+          // Replay the entry's recorded contribution so repeat queries
+          // report the same logical counters as the run that filled it.
+          stats_ += found.stats;
+          satisfied = true;
+          if (cache_span.active()) {
+            cache_span.AddArg("outcome", std::string("hit"));
+          }
+          if (comp_node != nullptr) {
+            comp_node->counters().Add("cache_hit", int64_t{1});
+            int64_t cached = 0;
+            for (int n : members) {
+              cached += static_cast<int64_t>(
+                  totals_[static_cast<size_t>(n)]->size());
+            }
+            comp_node->counters().Add("cached_tuples", cached);
+          }
+        }
+      } else if (found.outcome == CacheOutcome::kDeltaHit) {
+        EvalStats before = stats_;
+        Status maintain = MaintainComponent(members, found);
+        if (maintain.ok()) {
+          Result<std::vector<CacheInput>> inputs =
+              SnapshotCacheInputs(ck->inputs, *catalog_);
+          if (inputs.ok()) {
+            cache_->NoteMaintained(ck->key, SnapshotMembers(members),
+                                   std::move(inputs).value(),
+                                   found.stats + (stats_ - before));
+            satisfied = true;
+            status = Status::OK();
+            if (cache_span.active()) {
+              cache_span.AddArg("outcome", std::string("delta_maintained"));
+            }
+            if (comp_node != nullptr) {
+              comp_node->counters().Add("cache_delta_maintained", int64_t{1});
+            }
+          }
+        }
+        if (!satisfied) {
+          // Degrade to a full recompute, never an error: undo the partial
+          // maintenance (the stats snapshot keeps counters bit-identical
+          // with CACHE OFF) and drop the entry.
+          stats_ = before;
+          for (int n : members) totals_[static_cast<size_t>(n)] = nullptr;
+          overrides_.clear();
+          iterating_nodes_.clear();
+          scratch_.clear();
+          cache_->InvalidateAfterFailure(ck->key);
+          if (cache_span.active()) {
+            cache_span.AddArg("outcome", std::string("degraded"));
+          }
+        }
+      } else if (cache_span.active()) {
+        cache_span.AddArg("outcome", std::string("miss"));
+      }
+    }
+    if (!satisfied) {
+      EvalStats before = stats_;
+      if (!cyclic) {
+        status = EvaluateAcyclicNode(members[0]);
+      } else if (naive) {
+        status = NaiveFixpoint(members);
+      } else {
+        status = SemiNaiveFixpoint(members);
+      }
+      if (status.ok() && ck.has_value()) {
+        Result<std::vector<CacheInput>> inputs =
+            SnapshotCacheInputs(ck->inputs, *catalog_);
+        if (inputs.ok()) {
+          cache_->Insert(ck->key, SnapshotMembers(members),
+                         std::move(inputs).value(), stats_ - before,
+                         ck->maintainable);
+        }
+      }
     }
     if (comp_node != nullptr) {
       comp_node->set_elapsed_ns(comp_timer.ElapsedNs());
@@ -302,25 +434,14 @@ Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
   return Status::OK();
 }
 
-Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
-  iterating_nodes_.clear();
-  iterating_nodes_.insert(component.begin(), component.end());
-  std::set<int> in_component(component.begin(), component.end());
-  ProfileNode* comp_node = cur_;
-
+Result<std::vector<SystemEvaluator::BranchInfo>>
+SystemEvaluator::AnalyzeComponentBranches(const std::vector<int>& component,
+                                          const std::set<int>& in_component) {
   // Pre-analyze each branch: which bindings are recursive (range over an
   // in-component application) and whether the predicate itself references
   // the component (through a quantifier or membership range), which makes
   // the branch non-differentiable — it is then fully re-evaluated each
   // round, which is sound (monotonicity) if slower.
-  struct BranchInfo {
-    const Branch* branch;
-    int owner;
-    size_t branch_index = 0;  // position within the owner's body
-    std::vector<int> binding_nodes;  // in-component node id per binding, or -1
-    bool differentiable = true;
-    bool recursive = false;
-  };
   std::vector<BranchInfo> infos;
   for (int n : component) {
     const ApplicationGraph::Node& node =
@@ -363,6 +484,30 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
       infos.push_back(std::move(info));
     }
   }
+  return infos;
+}
+
+Result<const Relation*> SystemEvaluator::WithTrailing(const Relation* base,
+                                                      const Range& range) {
+  RangeSplit split = SplitAtLastConstructor(range);
+  const Relation* current = base;
+  for (const RangeApp& app : split.trailing_selectors) {
+    DATACON_ASSIGN_OR_RETURN(std::unique_ptr<Relation> filtered,
+                             ApplySelector(*current, app));
+    scratch_.push_back(std::move(filtered));
+    current = scratch_.back().get();
+  }
+  return current;
+}
+
+Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
+  iterating_nodes_.clear();
+  iterating_nodes_.insert(component.begin(), component.end());
+  std::set<int> in_component(component.begin(), component.end());
+  ProfileNode* comp_node = cur_;
+
+  DATACON_ASSIGN_OR_RETURN(std::vector<BranchInfo> infos,
+                           AnalyzeComponentBranches(component, in_component));
 
   // Round 0: evaluate every body with in-component references bound to the
   // empty relation — f(EMPTY), the seed of the Tarski iteration.
@@ -416,27 +561,24 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
     }
   }
 
-  // Applies the trailing selector applications of `range` (if any) on top of
-  // `base`, materializing intermediates into scratch_.
-  auto with_trailing =
-      [this](const Relation* base,
-             const Range& range) -> Result<const Relation*> {
-    RangeSplit split = SplitAtLastConstructor(range);
-    const Relation* current = base;
-    for (const RangeApp& app : split.trailing_selectors) {
-      DATACON_ASSIGN_OR_RETURN(std::unique_ptr<Relation> filtered,
-                               ApplySelector(*current, app));
-      scratch_.push_back(std::move(filtered));
-      current = scratch_.back().get();
-    }
-    return current;
-  };
+  size_t round = 1;
+  DATACON_RETURN_IF_ERROR(
+      DifferentialRounds(component, infos, &deltas, comp_node, &round));
+  iterating_nodes_.clear();
+  return Status::OK();
+}
 
+Status SystemEvaluator::DifferentialRounds(
+    const std::vector<int>& component, const std::vector<BranchInfo>& infos,
+    std::map<int, std::unique_ptr<Relation>>* deltas_io,
+    ProfileNode* comp_node, size_t* round_io) {
+  std::map<int, std::unique_ptr<Relation>>& deltas = *deltas_io;
   // Differential rounds. The per-component round budget mirrors
   // NaiveFixpoint: `round` is local to this component (stats_.iterations
-  // accumulates across ALL components and must not feed the bound), and the
-  // seed evaluation above counts as round 1.
-  size_t round = 1;
+  // accumulates across ALL components and must not feed the bound); the
+  // caller's seed round — f(∅) for a cold fixpoint, the base-delta
+  // derivations for cache maintenance — already counts as round 1.
+  size_t round = *round_io;
   while (true) {
     bool any_delta = false;
     for (int n : component) {
@@ -526,13 +668,13 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
           if (j == i) {
             // The delta occurrence, with any trailing selectors applied.
             DATACON_ASSIGN_OR_RETURN(
-                rel, with_trailing(deltas[info.binding_nodes[i]].get(),
-                                   *bindings[j].range));
+                rel, WithTrailing(deltas[info.binding_nodes[i]].get(),
+                                  *bindings[j].range));
           } else if (info.binding_nodes[j] >= 0 && j < i) {
             DATACON_ASSIGN_OR_RETURN(const Relation* old_rel,
                                      old_of(info.binding_nodes[j]));
             DATACON_ASSIGN_OR_RETURN(
-                rel, with_trailing(old_rel, *bindings[j].range));
+                rel, WithTrailing(old_rel, *bindings[j].range));
           } else {
             DATACON_ASSIGN_OR_RETURN(rel, Resolve(*bindings[j].range));
           }
@@ -590,8 +732,342 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
     if (!grew) break;
   }
 
+  *round_io = round;
   if (comp_node != nullptr) {
     comp_node->counters().Add("rounds", static_cast<int64_t>(round));
+    cur_ = comp_node;
+  }
+  return Status::OK();
+}
+
+std::optional<SystemEvaluator::ComponentCacheKey> SystemEvaluator::CacheKeyFor(
+    const std::vector<int>& component) const {
+  // Unchecked systems are non-monotonic by construction (section 3.3's
+  // `strange`/`nonsense`); nothing about them is cached.
+  if (options_.unchecked) return std::nullopt;
+
+  std::set<int> members(component.begin(), component.end());
+  // The cached result depends on every application the component reads,
+  // transitively — those materializations are functions of the same base
+  // relations, so pinning the closure's base inputs pins the result.
+  std::set<int> reachable = members;
+  std::vector<int> work(component.begin(), component.end());
+  while (!work.empty()) {
+    int n = work.back();
+    work.pop_back();
+    for (const AppEdge& e : graph_->edges()) {
+      if (e.from == n && reachable.insert(e.to).second) work.push_back(e.to);
+    }
+  }
+  const bool external = reachable.size() > members.size();
+
+  std::string suffix;
+  bool member_active = false;
+  if (plan_ != nullptr) {
+    for (int n : reachable) {
+      if (members.count(n) > 0) continue;
+      // A magically restricted upstream materialization is shaped by
+      // relevant-value sets the key does not capture.
+      if (plan_->nodes[static_cast<size_t>(n)].active) return std::nullopt;
+    }
+    for (int n : component) {
+      if (plan_->nodes[static_cast<size_t>(n)].active) member_active = true;
+    }
+    if (member_active) {
+      // A restricted member is reproducible from the key only when every
+      // relevant value originates inside the component from literal seeds;
+      // parameter seeds and inbound transfer edges depend on state the key
+      // cannot name.
+      for (const SpecializationPlan::Edge& e : plan_->edges) {
+        if (members.count(e.to_node) > 0 && members.count(e.from_node) == 0) {
+          return std::nullopt;
+        }
+      }
+      for (const SpecializationPlan::Seed& s : plan_->seeds) {
+        if (members.count(s.node) > 0 && !s.literal.has_value()) {
+          return std::nullopt;
+        }
+      }
+      std::vector<std::string> marks;
+      for (int n : component) {
+        const SpecializationPlan::NodePlan& np =
+            plan_->nodes[static_cast<size_t>(n)];
+        if (!np.active) continue;
+        marks.push_back("a:" + graph_->nodes()[static_cast<size_t>(n)].key +
+                        "#" + std::to_string(np.bound_attr));
+      }
+      for (const SpecializationPlan::Seed& s : plan_->seeds) {
+        if (members.count(s.node) == 0) continue;
+        marks.push_back("s:" +
+                        graph_->nodes()[static_cast<size_t>(s.node)].key + "=" +
+                        s.literal->ToString());
+      }
+      std::sort(marks.begin(), marks.end());
+      for (const std::string& m : marks) {
+        suffix += '|';
+        suffix += m;
+      }
+    }
+  }
+
+  InputScan scan;
+  for (int n : reachable) {
+    const ApplicationGraph::Node& node =
+        graph_->nodes()[static_cast<size_t>(n)];
+    ScanRangeInputs(*node.base, *catalog_, 0, &scan);
+    for (const BranchPtr& branch : node.body->branches()) {
+      ForEachRangeWithParity(*branch, [&](const Range& r, int parity) {
+        ScanRangeInputs(r, *catalog_, parity, &scan);
+      });
+    }
+    if (!scan.ok) return std::nullopt;
+  }
+  if (member_active) {
+    // Transfer-edge join hops read base relations too.
+    for (const SpecializationPlan::Edge& e : plan_->edges) {
+      if (members.count(e.to_node) == 0 || e.via_base == nullptr) continue;
+      ScanRangeInputs(*e.via_base, *catalog_, 0, &scan);
+    }
+    if (!scan.ok) return std::nullopt;
+  }
+
+  ComponentCacheKey out;
+  std::vector<std::string> keys;
+  keys.reserve(component.size());
+  for (int n : component) {
+    keys.push_back(graph_->nodes()[static_cast<size_t>(n)].key);
+  }
+  std::sort(keys.begin(), keys.end());
+  // The strategy is part of the key so replayed EvalStats always describe
+  // the strategy the current options would have run.
+  out.key =
+      options_.strategy == FixpointStrategy::kNaive ? "c|naive" : "c|semi";
+  for (const std::string& k : keys) {
+    out.key += '|';
+    out.key += k;
+  }
+  out.key += suffix;
+  out.inputs = std::move(scan.inputs);
+  // Insert-only maintenance re-derives only the branches touching changed
+  // bases; that is sound only when every input occurs positively, every
+  // application the component reads is in-component (growth of an external
+  // node would go unnoticed), and no member is magically restricted.
+  out.maintainable = scan.maintainable && !external && !member_active &&
+                     options_.strategy == FixpointStrategy::kSemiNaive;
+  return out;
+}
+
+Status SystemEvaluator::InstallCachedMembers(
+    const std::vector<int>& component,
+    const std::vector<CachedRelation>& members) {
+  for (int n : component) {
+    const std::string& key = graph_->nodes()[static_cast<size_t>(n)].key;
+    const CachedRelation* found = nullptr;
+    for (const CachedRelation& m : members) {
+      if (m.node_key == key) {
+        found = &m;
+        break;
+      }
+    }
+    if (found == nullptr || found->relation == nullptr) {
+      return Status::Internal("cache entry lacks member '" + key + "'");
+    }
+    totals_[static_cast<size_t>(n)] =
+        std::const_pointer_cast<Relation>(found->relation);
+  }
+  return Status::OK();
+}
+
+std::vector<CachedRelation> SystemEvaluator::SnapshotMembers(
+    const std::vector<int>& component) const {
+  std::vector<CachedRelation> out;
+  out.reserve(component.size());
+  for (int n : component) {
+    out.push_back(CachedRelation{graph_->nodes()[static_cast<size_t>(n)].key,
+                                 totals_[static_cast<size_t>(n)]});
+  }
+  return out;
+}
+
+Status SystemEvaluator::MaintainComponent(const std::vector<int>& component,
+                                          const CacheLookup& found) {
+  ProfileNode* comp_node = cur_;
+  std::set<int> in_component(component.begin(), component.end());
+
+  // Mutable working copies — the cached relations themselves stay
+  // immutable (the entry keeps referencing them until NoteMaintained swaps
+  // in the refreshed snapshot).
+  for (int n : component) {
+    const std::string& key = graph_->nodes()[static_cast<size_t>(n)].key;
+    const CachedRelation* member = nullptr;
+    for (const CachedRelation& m : found.members) {
+      if (m.node_key == key) {
+        member = &m;
+        break;
+      }
+    }
+    if (member == nullptr || member->relation == nullptr) {
+      return Status::Internal("cache entry lacks member '" + key + "'");
+    }
+    totals_[static_cast<size_t>(n)] =
+        std::make_shared<Relation>(*member->relation);
+  }
+  iterating_nodes_.clear();
+  iterating_nodes_.insert(component.begin(), component.end());
+
+  DATACON_ASSIGN_OR_RETURN(std::vector<BranchInfo> infos,
+                           AnalyzeComponentBranches(component, in_component));
+
+  // The inserted tuples of each changed base, plus the base's pre-change
+  // contents (current minus delta) for the differential rewrite.
+  std::map<std::string, std::unique_ptr<Relation>> delta_rels;
+  std::map<std::string, std::unique_ptr<Relation>> old_rels;
+  for (const CacheInputDelta& d : found.deltas) {
+    DATACON_ASSIGN_OR_RETURN(const Relation* base,
+                             catalog_->LookupRelation(d.relation));
+    auto delta = std::make_unique<Relation>(base->schema());
+    for (const Tuple& t : d.inserted) {
+      DATACON_ASSIGN_OR_RETURN(bool inserted, delta->Insert(t));
+      (void)inserted;
+    }
+    auto old_rel = std::make_unique<Relation>(base->schema());
+    for (const Tuple& t : base->tuples()) {
+      if (delta->Contains(t)) continue;
+      DATACON_ASSIGN_OR_RETURN(bool inserted, old_rel->Insert(t));
+      (void)inserted;
+    }
+    delta_rels[d.relation] = std::move(delta);
+    old_rels[d.relation] = std::move(old_rel);
+  }
+
+  // Seed round: derive exactly the tuples the base inserts enable. For each
+  // branch reading a changed base, the standard non-linear rewrite over the
+  // changed *base* occurrences (DifferentialRounds then propagates through
+  // the derived relations): occurrence i reads the base delta, changed
+  // occurrences before it the pre-change base, everything else the current
+  // state — including the full cached approximations of recursive bindings.
+  std::map<int, std::unique_ptr<Relation>> deltas;
+  scratch_.clear();
+  {
+    TraceSpan seed_span("round");
+    if (seed_span.active()) {
+      seed_span.AddArg("round", int64_t{1});
+      seed_span.AddArg("maintain", int64_t{1});
+    }
+    Timer seed_timer;
+    if (comp_node != nullptr) {
+      cur_ = comp_node->AddChild("round 1 (maintain)");
+    }
+    std::map<int, std::unique_ptr<Relation>> raws;
+    for (int n : component) {
+      raws[n] = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(n)].result_schema);
+    }
+    for (const BranchInfo& info : infos) {
+      const std::vector<Binding>& bindings = info.branch->bindings();
+      std::set<size_t> changed;
+      for (size_t j = 0; j < bindings.size(); ++j) {
+        if (info.binding_nodes[j] >= 0) continue;
+        RangeSplit split = SplitAtLastConstructor(*bindings[j].range);
+        if (!split.ctor_head.has_value() &&
+            delta_rels.count(split.base_relation) > 0) {
+          changed.insert(j);
+        }
+      }
+      bool pred_touches = false;
+      ForEachRangeWithParity(*info.branch->pred(), 0,
+                             [&](const Range& r, int /*parity*/) {
+                               RangeSplit split = SplitAtLastConstructor(r);
+                               if (!split.ctor_head.has_value() &&
+                                   delta_rels.count(split.base_relation) > 0) {
+                                 pred_touches = true;
+                               }
+                             });
+      if (changed.empty() && !pred_touches) continue;
+      Relation* out = raws[info.owner].get();
+      if (pred_touches || !info.differentiable) {
+        // No differential form through the predicate; re-derive the branch
+        // in full — the raw−total subtraction below keeps only new tuples.
+        DATACON_RETURN_IF_ERROR(EvaluateBranch(*info.branch, out,
+                                               /*count_inserted=*/false,
+                                               info.owner, info.branch_index));
+        continue;
+      }
+      for (size_t i : changed) {
+        std::vector<ResolvedBinding> resolved;
+        resolved.reserve(bindings.size());
+        for (size_t j = 0; j < bindings.size(); ++j) {
+          const Relation* rel = nullptr;
+          if (j == i || (j < i && changed.count(j) > 0)) {
+            RangeSplit split = SplitAtLastConstructor(*bindings[j].range);
+            const Relation* base =
+                (j == i ? delta_rels : old_rels)[split.base_relation].get();
+            DATACON_ASSIGN_OR_RETURN(rel,
+                                     WithTrailing(base, *bindings[j].range));
+          } else {
+            DATACON_ASSIGN_OR_RETURN(rel, Resolve(*bindings[j].range));
+          }
+          DATACON_ASSIGN_OR_RETURN(
+              rel, FilteredBinding(info.owner, info.branch_index, j, rel));
+          resolved.push_back(ResolvedBinding{bindings[j].var, rel});
+        }
+        Evaluator eval(this);
+        BranchExecStats exec_stats;
+        DATACON_RETURN_IF_ERROR(ExecuteBranch(*info.branch, resolved, eval,
+                                              params_, out, &exec_stats,
+                                              options_.exec));
+        RecordBranchExec(exec_stats, /*count_inserted=*/false);
+      }
+    }
+
+    for (int n : component) {
+      auto new_delta = std::make_unique<Relation>(
+          graph_->nodes()[static_cast<size_t>(n)].result_schema);
+      for (const Tuple& t : raws[n]->tuples()) {
+        if (!totals_[static_cast<size_t>(n)]->Contains(t)) {
+          DATACON_ASSIGN_OR_RETURN(bool inserted, new_delta->Insert(t));
+          (void)inserted;
+        }
+      }
+      if (!new_delta->empty()) {
+        DATACON_RETURN_IF_ERROR(
+            totals_[static_cast<size_t>(n)]->InsertAll(*new_delta));
+        stats_.tuples_inserted += new_delta->size();
+        if (cur_ != nullptr && cur_ != comp_node) {
+          cur_->counters().Add("tuples_inserted",
+                               static_cast<int64_t>(new_delta->size()));
+        }
+      }
+      deltas[n] = std::move(new_delta);
+    }
+    ++stats_.iterations;
+    if (comp_node != nullptr) {
+      for (int n : component) {
+        cur_->counters().Add(
+            "delta[" + graph_->nodes()[static_cast<size_t>(n)].key + "]",
+            static_cast<int64_t>(deltas[n]->size()));
+      }
+      cur_->set_elapsed_ns(seed_timer.ElapsedNs());
+    }
+    if (seed_span.active()) {
+      int64_t delta_total = 0;
+      for (int n : component) {
+        delta_total += static_cast<int64_t>(deltas[n]->size());
+      }
+      seed_span.AddArg("delta", delta_total);
+      seed_span.AddArg("inserts", delta_total);
+    }
+  }
+
+  bool any_recursive = false;
+  for (const BranchInfo& info : infos) {
+    if (info.recursive) any_recursive = true;
+  }
+  size_t round = 1;
+  if (any_recursive) {
+    DATACON_RETURN_IF_ERROR(
+        DifferentialRounds(component, infos, &deltas, comp_node, &round));
+  } else if (comp_node != nullptr) {
     cur_ = comp_node;
   }
   iterating_nodes_.clear();

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -22,6 +23,10 @@
 namespace datacon {
 
 struct BranchExecStats;
+class MatCache;
+struct CacheLookup;
+struct CachedRelation;
+struct CacheInput;
 
 /// Evaluation strategy for recursive components (section 3.2 / section 4).
 enum class FixpointStrategy {
@@ -76,7 +81,17 @@ struct EvalStats {
   /// Tuples dropped from binding ranges by magic-set filters before the
   /// branch executor ever saw them (summed over all rounds).
   size_t seed_tuples_pruned = 0;
+
+  EvalStats& operator+=(const EvalStats& other);
 };
+
+/// Field-wise sum and difference. The materialization cache records a
+/// component's contribution as (stats after − stats before) and replays it
+/// on a hit, so repeat queries report the same logical counters as the
+/// cold run that filled the entry. Subtraction assumes `b` is an earlier
+/// snapshot of `a` (every counter monotonically grows).
+EvalStats operator+(EvalStats a, const EvalStats& b);
+EvalStats operator-(const EvalStats& a, const EvalStats& b);
 
 /// Evaluates an instantiated application system (level 3 of the paper's
 /// framework): components of the application graph are materialized in
@@ -99,6 +114,20 @@ class SystemEvaluator : public RelationResolver {
   /// transitive closure) is materialized by a specialized algorithm and the
   /// generic fixpoint skips it. Must be called before MaterializeAll.
   Status InstallNodeRelation(int node, std::unique_ptr<Relation> rel);
+
+  /// Same, sharing an externally cached materialization without copying.
+  /// The relation is treated as immutable — the evaluator reads it but
+  /// never mutates it (the cache may hand the same object to later
+  /// evaluations).
+  Status InstallNodeRelation(int node, std::shared_ptr<const Relation> rel);
+
+  /// Enables the materialization cache: MaterializeAll consults `cache`
+  /// per component (full reuse on unchanged input generations, semi-naive
+  /// delta maintenance on insert-only churn) and fills it after cold
+  /// evaluations. Must be called before MaterializeAll; the caller
+  /// guarantees the evaluation is unparameterized (prepared-query
+  /// parameters change results without appearing in the cache key).
+  void InstallMatCache(MatCache* cache) { cache_ = cache; }
 
   /// Installs a magic-seed specialization plan (core/specialize.h): active
   /// nodes evaluate a restricted fixpoint whose binding ranges are filtered
@@ -136,6 +165,28 @@ class SystemEvaluator : public RelationResolver {
   std::unique_ptr<ProfileNode> TakeProfile();
 
  private:
+  /// Per-branch differential analysis of one component (which bindings are
+  /// recursive, whether the predicate references the component), shared by
+  /// SemiNaiveFixpoint and cache maintenance.
+  struct BranchInfo {
+    const Branch* branch;
+    int owner;
+    size_t branch_index = 0;  // position within the owner's body
+    std::vector<int> binding_nodes;  // in-component node id per binding, or -1
+    bool differentiable = true;
+    bool recursive = false;
+  };
+
+  /// The component-key/inputs/maintainability triple of a cacheable
+  /// component; nullopt when the component must not be cached (unchecked
+  /// mode, unknown input names, a specialization restricted by parameter
+  /// seeds or by values flowing in from outside the component).
+  struct ComponentCacheKey {
+    std::string key;
+    std::set<std::string> inputs;
+    bool maintainable = false;
+  };
+
   /// Single-pass evaluation of a non-recursive node.
   Status EvaluateAcyclicNode(int node);
 
@@ -144,6 +195,45 @@ class SystemEvaluator : public RelationResolver {
 
   /// Semi-naive fixpoint over one cyclic component.
   Status SemiNaiveFixpoint(const std::vector<int>& component);
+
+  /// The BranchInfo list of a component's bodies.
+  Result<std::vector<BranchInfo>> AnalyzeComponentBranches(
+      const std::vector<int>& component, const std::set<int>& in_component);
+
+  /// The differential loop shared by SemiNaiveFixpoint (after its f(∅)
+  /// seed round) and MaintainComponent (after its base-delta seed round):
+  /// iterates the standard non-linear delta rewrite until no delta grows.
+  /// `round` counts this component's rounds (already includes the seed).
+  Status DifferentialRounds(const std::vector<int>& component,
+                            const std::vector<BranchInfo>& infos,
+                            std::map<int, std::unique_ptr<Relation>>* deltas,
+                            ProfileNode* comp_node, size_t* round);
+
+  /// Applies the trailing selector applications of `range` (if any) on top
+  /// of `base`, materializing intermediates into scratch_.
+  Result<const Relation*> WithTrailing(const Relation* base,
+                                       const Range& range);
+
+  /// Computes the cache key of `component`, or nullopt when uncacheable.
+  std::optional<ComponentCacheKey> CacheKeyFor(
+      const std::vector<int>& component) const;
+
+  /// Installs the cached member relations of a full hit.
+  Status InstallCachedMembers(const std::vector<int>& component,
+                              const std::vector<CachedRelation>& members);
+
+  /// Incrementally maintains a cached component against the insert deltas
+  /// of `found`: installs mutable copies of the cached members, seeds
+  /// semi-naive with the branch derivations touching the changed bases,
+  /// then runs the differential loop. On error the caller degrades to a
+  /// full recompute.
+  Status MaintainComponent(const std::vector<int>& component,
+                           const CacheLookup& found);
+
+  /// The current member relations of `component` as shareable cache
+  /// members.
+  std::vector<CachedRelation> SnapshotMembers(
+      const std::vector<int>& component) const;
 
   /// Evaluates every branch of `node`'s body into `out`, resolving ranges
   /// through `this` (honouring `overrides_`).
@@ -192,7 +282,14 @@ class SystemEvaluator : public RelationResolver {
   const SpecializationPlan* plan_ = nullptr;
   MagicSets magic_;
 
-  std::vector<std::unique_ptr<Relation>> totals_;
+  /// Materialization cache (not owned; null when disabled).
+  MatCache* cache_ = nullptr;
+
+  /// Materialized application relations. Shared so cache hits install
+  /// without copying; relations obtained from the cache are immutable by
+  /// discipline (fixpoints always build fresh relations, maintenance
+  /// copies before mutating).
+  std::vector<std::shared_ptr<Relation>> totals_;
   bool materialized_ = false;
 
   /// During a fixpoint round, remaps in-component node ids to a snapshot or

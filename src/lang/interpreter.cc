@@ -184,6 +184,18 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
               " seed tuple(s) pruned";
     }
     text += "\n";
+    // Only queries that actually consulted the materialization cache grow a
+    // cache line (plain-range queries and PRAGMA CACHE = OFF stay as-is).
+    MatCacheStats cache = db_->last_cache_stats();
+    if (cache.hits + cache.misses + cache.delta_maintained > 0) {
+      text += "cache: " + std::to_string(cache.hits) + " hit(s), " +
+              std::to_string(cache.misses) + " miss(es)";
+      if (cache.delta_maintained > 0) {
+        text += ", " + std::to_string(cache.delta_maintained) +
+                " delta-maintained";
+      }
+      text += "\n";
+    }
     results_.push_back(QueryResult{std::move(text), std::move(value).value()});
     return Status::OK();
   }
@@ -245,6 +257,22 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
             "PRAGMA SLOW_QUERY_MS requires a value >= 0");
       }
       db_->slow_query_log().set_threshold_ns(pragma->value * 1'000'000);
+      return Status::OK();
+    }
+    if (pragma->name == "CACHE") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA CACHE requires ON or OFF");
+      }
+      db_->options().cache = pragma->value != 0;
+      return Status::OK();
+    }
+    if (pragma->name == "CACHE_CAPACITY") {
+      if (pragma->value < 0) {
+        return Status::InvalidArgument(
+            "PRAGMA CACHE_CAPACITY requires a value >= 0");
+      }
+      db_->options().cache_capacity = static_cast<size_t>(pragma->value);
+      db_->mat_cache().set_capacity(static_cast<size_t>(pragma->value));
       return Status::OK();
     }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");

@@ -49,6 +49,11 @@ class Environment {
     return it == params_.end() ? nullptr : &it->second;
   }
 
+  /// Whether any scalar parameter is bound. Parameterized evaluations are
+  /// excluded from the materialization cache — parameter values change
+  /// results without appearing in the cache key.
+  bool HasParams() const { return !params_.empty(); }
+
  private:
   std::unordered_map<std::string, TupleBinding> tuples_;
   std::unordered_map<std::string, Value> params_;

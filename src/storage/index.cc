@@ -3,7 +3,10 @@
 namespace datacon {
 
 HashIndex::HashIndex(const Relation& rel, std::vector<int> columns)
-    : rel_(&rel), size_at_build_(rel.size()), columns_(std::move(columns)) {
+    : rel_(&rel),
+      size_at_build_(rel.size()),
+      generation_at_build_(rel.generation()),
+      columns_(std::move(columns)) {
   buckets_.reserve(rel.size());
   for (const Tuple& t : rel.tuples()) {
     buckets_[t.Project(columns_)].push_back(&t);
@@ -16,6 +19,8 @@ const std::vector<const Tuple*>& HashIndex::Probe(const Tuple& key) const {
   return it->second;
 }
 
-bool HashIndex::InSync() const { return rel_->size() == size_at_build_; }
+bool HashIndex::InSync() const {
+  return rel_->generation() == generation_at_build_;
+}
 
 }  // namespace datacon

@@ -38,13 +38,17 @@ class HashIndex {
   size_t size_at_build() const { return size_at_build_; }
 
   /// True while the indexed relation still has exactly the tuples that were
-  /// indexed. False once it grew (or shrank) — probing then returns stale
-  /// results and must be treated as an error by the caller.
+  /// indexed, keyed on Relation::generation() — any mutation since the
+  /// build (including an insert+erase pair of equal cardinality, which a
+  /// size comparison cannot see) desynchronizes the index. Probing a
+  /// desynchronized index returns stale results and must be treated as an
+  /// error by the caller.
   bool InSync() const;
 
  private:
   const Relation* rel_;
   size_t size_at_build_;
+  uint64_t generation_at_build_;
   std::vector<int> columns_;
   std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> buckets_;
   std::vector<const Tuple*> empty_;

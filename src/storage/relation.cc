@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace datacon {
 
 Relation::Relation(Schema schema) : schema_(std::move(schema)) {
@@ -9,7 +11,43 @@ Relation::Relation(Schema schema) : schema_(std::move(schema)) {
   if (enforce_key_) key_positions_ = schema_.EffectiveKey();
 }
 
-Result<bool> Relation::Insert(const Tuple& t) {
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  tuples_ = other.tuples_;
+  key_to_tuple_ = other.key_to_tuple_;
+  enforce_key_ = other.enforce_key_;
+  key_positions_ = other.key_positions_;
+  NoteStructuralChange();
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  tuples_ = std::move(other.tuples_);
+  key_to_tuple_ = std::move(other.key_to_tuple_);
+  enforce_key_ = other.enforce_key_;
+  key_positions_ = std::move(other.key_positions_);
+  NoteStructuralChange();
+  return *this;
+}
+
+void Relation::NoteStructuralChange() {
+  ++generation_;
+  insert_log_.clear();
+  log_base_ = generation_;
+}
+
+std::optional<std::vector<Tuple>> Relation::InsertedSince(
+    uint64_t since) const {
+  if (since > generation_ || since < log_base_) return std::nullopt;
+  return std::vector<Tuple>(
+      insert_log_.begin() + static_cast<ptrdiff_t>(since - log_base_),
+      insert_log_.end());
+}
+
+Status Relation::ValidateTuple(const Tuple& t) const {
   if (t.arity() != schema_.arity()) {
     return Status::TypeError("tuple arity " + std::to_string(t.arity()) +
                              " does not match schema arity " +
@@ -23,6 +61,11 @@ Result<bool> Relation::Insert(const Tuple& t) {
                                ", got " + t.value(i).ToString());
     }
   }
+  return Status::OK();
+}
+
+Result<bool> Relation::Insert(const Tuple& t) {
+  DATACON_RETURN_IF_ERROR(ValidateTuple(t));
   if (tuples_.count(t) > 0) return false;
   if (enforce_key_) {
     Tuple key = t.Project(key_positions_);
@@ -38,6 +81,15 @@ Result<bool> Relation::Insert(const Tuple& t) {
     key_to_tuple_.emplace(std::move(key), t);
   }
   tuples_.insert(t);
+  ++generation_;
+  if (insert_log_.size() >= kMaxInsertLog) {
+    // Log overflow: delta reconstruction for observers older than this
+    // point degrades to "not reconstructible".
+    insert_log_.clear();
+    log_base_ = generation_;
+  } else {
+    insert_log_.push_back(t);
+  }
   return true;
 }
 
@@ -47,9 +99,33 @@ Status Relation::InsertAll(const Relation& other) {
                              schema_.ToString() + " vs " +
                              other.schema_.ToString());
   }
+  // Validate the whole batch before applying any of it, so a failing batch
+  // leaves the relation unchanged (the atomicity half of the section 2.2
+  // assignment semantics).
+  std::unordered_map<Tuple, const Tuple*, TupleHash> staged_keys;
   for (const Tuple& t : other.tuples_) {
-    DATACON_ASSIGN_OR_RETURN(bool grew, Insert(t));
-    (void)grew;
+    DATACON_RETURN_IF_ERROR(ValidateTuple(t));
+    if (tuples_.count(t) > 0) continue;
+    if (!enforce_key_) continue;
+    Tuple key = t.Project(key_positions_);
+    auto stored = key_to_tuple_.find(key);
+    if (stored != key_to_tuple_.end()) {
+      return Status::KeyViolation("key " + key.ToString() +
+                                  " already identifies " +
+                                  stored->second.ToString() +
+                                  "; cannot insert " + t.ToString());
+    }
+    auto [staged, fresh] = staged_keys.try_emplace(std::move(key), &t);
+    if (!fresh) {
+      return Status::KeyViolation("key " + staged->first.ToString() +
+                                  " identifies both " +
+                                  staged->second->ToString() + " and " +
+                                  t.ToString() + " within one batch");
+    }
+  }
+  for (const Tuple& t : other.tuples_) {
+    Result<bool> grew = Insert(t);
+    DATACON_CHECK(grew.ok(), "validated batch insert failed");
   }
   return Status::OK();
 }
@@ -59,12 +135,15 @@ bool Relation::Erase(const Tuple& t) {
   if (it == tuples_.end()) return false;
   if (enforce_key_) key_to_tuple_.erase(t.Project(key_positions_));
   tuples_.erase(it);
+  NoteStructuralChange();
   return true;
 }
 
 void Relation::Clear() {
+  if (tuples_.empty()) return;
   tuples_.clear();
   key_to_tuple_.clear();
+  NoteStructuralChange();
 }
 
 bool Relation::SameTuples(const Relation& other) const {

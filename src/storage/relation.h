@@ -1,6 +1,8 @@
 #ifndef DATACON_STORAGE_RELATION_H_
 #define DATACON_STORAGE_RELATION_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -33,9 +35,40 @@ class Relation {
   /// An empty relation over `schema`.
   explicit Relation(Schema schema);
 
+  Relation(const Relation&) = default;
+  Relation(Relation&&) = default;
+
+  /// Assignment replaces the *contents* of an existing relation variable,
+  /// not its identity: the target's generation keeps counting up (it never
+  /// adopts the source's, which would let a stale observer see an equal
+  /// generation across a wholesale content swap), and the insert log is
+  /// discarded — a bulk replacement is structural churn, like Clear.
+  Relation& operator=(const Relation& other);
+  Relation& operator=(Relation&& other) noexcept;
+
   /// Number of stored tuples.
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
+
+  /// Monotonic change counter: starts at 0 and strictly increases on every
+  /// mutation that changes the tuple set (a growing Insert, a removing
+  /// Erase, a non-empty Clear, any assignment). Failed or no-op mutations
+  /// do not bump it. Equal generations of the *same relation object* imply
+  /// an unchanged tuple set — the staleness key for hash indexes and the
+  /// materialization cache.
+  uint64_t generation() const { return generation_; }
+
+  /// The tuples inserted since the relation was at generation `since`, in
+  /// insertion order, or nullopt when that history is not reconstructible —
+  /// an Erase/Clear/assignment intervened, the bounded insert log
+  /// overflowed, or `since` predates this object's history. An engaged
+  /// empty vector means "nothing changed".
+  std::optional<std::vector<Tuple>> InsertedSince(uint64_t since) const;
+
+  /// Insert-log bound: one delta entry per grown insert is retained, up to
+  /// this many, after which delta reconstruction degrades to nullopt
+  /// (callers fall back to full recomputation).
+  static constexpr size_t kMaxInsertLog = 1 << 16;
 
   const Schema& schema() const { return schema_; }
 
@@ -53,6 +86,10 @@ class Relation {
   Result<bool> Insert(const Tuple& t);
 
   /// Inserts every tuple of `other` (union-compatible schema required).
+  /// Atomic: the whole batch is validated (arity, field types, key
+  /// constraint — both against stored tuples and between distinct new
+  /// tuples of the batch) before anything is applied, so a failing
+  /// InsertAll leaves the relation unchanged.
   Status InsertAll(const Relation& other);
 
   /// Removes `t`; returns true when something was removed.
@@ -73,6 +110,15 @@ class Relation {
   std::string ToString() const;
 
  private:
+  /// Arity/type/key validation of `t` against this relation's stored
+  /// tuples (the per-tuple half of Insert, without mutating).
+  Status ValidateTuple(const Tuple& t) const;
+
+  /// Records a tuple-set change that is not a pure insert: the insert log
+  /// can no longer reconstruct deltas, so it restarts at the new
+  /// generation.
+  void NoteStructuralChange();
+
   Schema schema_;
   std::unordered_set<Tuple, TupleHash> tuples_;
   /// Key projection -> stored tuple, maintained only when the key is a
@@ -80,6 +126,13 @@ class Relation {
   std::unordered_map<Tuple, Tuple, TupleHash> key_to_tuple_;
   bool enforce_key_ = false;
   std::vector<int> key_positions_;
+
+  uint64_t generation_ = 0;
+  /// Tuples for generations log_base_+1 .. log_base_+insert_log_.size(), in
+  /// order; insert-only histories keep log_base_ + insert_log_.size() ==
+  /// generation_.
+  uint64_t log_base_ = 0;
+  std::vector<Tuple> insert_log_;
 };
 
 }  // namespace datacon

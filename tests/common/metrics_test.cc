@@ -2,11 +2,25 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace datacon {
+
+/// Test backdoor (friend of Histogram): constructs the torn state a
+/// MergeFrom from a live source can produce — count/max ahead of the
+/// bucket totals — without having to race real threads.
+struct HistogramPeer {
+  static void SetCount(Histogram* h, int64_t count) {
+    h->count_.store(count, std::memory_order_relaxed);
+  }
+  static void SetMax(Histogram* h, int64_t max) {
+    h->max_.store(max, std::memory_order_relaxed);
+  }
+};
+
 namespace {
 
 TEST(Timer, ElapsedIsNonNegativeAndMonotonic) {
@@ -222,6 +236,56 @@ TEST(Histogram, JsonShape) {
             "\"p99\":57}");
 }
 
+TEST(Histogram, PercentileSurvivesTornMergeCountAhead) {
+  // Regression for the torn-merge skew documented on MergeFrom: a merge
+  // from a live source can copy a count() larger than the bucket mass it
+  // copied. The old Percentile scanned for a rank derived from count(),
+  // ran past the last occupied bucket, and fell through to a max() the
+  // buckets never justified. The clamp must pin the rank to the observed
+  // bucket mass instead.
+  Histogram h;
+  h.Record(57);  // one sample in the [32, 63] bucket
+  HistogramPeer::SetCount(&h, 1000);
+  HistogramPeer::SetMax(&h, 999'999);
+  // The largest observed bucket's upper bound (63) — never the torn
+  // 999'999 the unclamped scan used to fall through to.
+  EXPECT_EQ(h.Percentile(0.99), 63);
+  EXPECT_EQ(h.Percentile(1.0), 63);
+  EXPECT_EQ(h.Percentile(0.0), 63);
+}
+
+TEST(Histogram, PercentileZeroBucketMassReportsZero) {
+  // The extreme torn state: count advanced, no bucket copied yet.
+  Histogram h;
+  HistogramPeer::SetCount(&h, 5);
+  HistogramPeer::SetMax(&h, 123);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(Counter, AddIncrementReadAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Add(9);
+  EXPECT_EQ(c.value(), 10);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(Counter, ConcurrentIncrementsLoseNothing) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+}
+
 TEST(MetricsRegistry, PreservesInsertionOrderAndPointerStability) {
   MetricsRegistry registry;
   Histogram* z = registry.GetHistogram("z.metric");
@@ -245,6 +309,34 @@ TEST(MetricsRegistry, ResetKeepsNamesDropsSamples) {
   EXPECT_EQ(registry.GetHistogram("latency_ns"), h);
   EXPECT_EQ(h->count(), 0);
   EXPECT_NE(registry.ToText().find("latency_ns"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CountersArePointerStableAndSerialized) {
+  MetricsRegistry registry;
+  Counter* hits = registry.GetCounter("cache.hits");
+  Counter* misses = registry.GetCounter("cache.misses");
+  EXPECT_EQ(registry.GetCounter("cache.hits"), hits);
+  hits->Add(3);
+  misses->Increment();
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.misses\":1"), std::string::npos);
+  // Insertion order, as with histograms.
+  EXPECT_LT(json.find("cache.hits"), json.find("cache.misses"));
+  EXPECT_NE(registry.ToText().find("cache.hits  count=3"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesCountersKeepsRegistration) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("cache.invalidations");
+  c->Add(7);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("cache.invalidations"), c);
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_NE(registry.ToText().find("cache.invalidations  count=0"),
+            std::string::npos);
 }
 
 TEST(SlowQueryLog, ThresholdGatesAdmission) {

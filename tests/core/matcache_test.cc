@@ -1,0 +1,214 @@
+#include "core/matcache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/catalog.h"
+#include "storage/relation.h"
+#include "types/value.h"
+
+namespace datacon {
+namespace {
+
+Schema EdgeSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+}
+
+Tuple Edge(int a, int b) { return Tuple({Value::Int(a), Value::Int(b)}); }
+
+/// A catalog with one relation "e" of two int attributes, pre-loaded with
+/// the given edges — the stand-in for a component's single base input.
+class MatCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_.DefineRelationType("edges", EdgeSchema()).ok());
+    ASSERT_TRUE(catalog_.CreateRelation("e", "edges").ok());
+    e_ = catalog_.LookupRelation("e").value();
+    ASSERT_TRUE(e_->Insert(Edge(1, 2)).ok());
+    ASSERT_TRUE(e_->Insert(Edge(2, 3)).ok());
+  }
+
+  /// A one-member entry keyed on "tc" whose input pins "e" at its current
+  /// generation.
+  void StoreEntry(MatCache* cache, bool maintainable,
+                  EvalStats stats = EvalStats{}) {
+    auto rel = std::make_shared<Relation>(EdgeSchema());
+    ASSERT_TRUE(rel->Insert(Edge(1, 3)).ok());
+    cache->Insert("tc", {CachedRelation{"tc-node", std::move(rel)}},
+                  {CacheInput{"e", e_->generation()}}, stats, maintainable);
+  }
+
+  Catalog catalog_;
+  Relation* e_ = nullptr;
+};
+
+TEST_F(MatCacheTest, MissThenHitReplaysMembersAndStats) {
+  MatCache cache(4);
+  EXPECT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  EvalStats stats;
+  stats.iterations = 3;
+  stats.tuples_inserted = 7;
+  StoreEntry(&cache, /*maintainable=*/true, stats);
+
+  CacheLookup found = cache.Lookup("tc", catalog_);
+  ASSERT_EQ(found.outcome, CacheOutcome::kHit);
+  ASSERT_EQ(found.members.size(), 1u);
+  EXPECT_EQ(found.members[0].node_key, "tc-node");
+  EXPECT_TRUE(found.members[0].relation->Contains(Edge(1, 3)));
+  EXPECT_EQ(found.stats.iterations, 3u);
+  EXPECT_EQ(found.stats.tuples_inserted, 7u);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST_F(MatCacheTest, InsertOnlyChurnIsADeltaHitSettledByNoteMaintained) {
+  MatCache cache(4);
+  StoreEntry(&cache, /*maintainable=*/true);
+  ASSERT_TRUE(e_->Insert(Edge(3, 4)).ok());
+
+  CacheLookup found = cache.Lookup("tc", catalog_);
+  ASSERT_EQ(found.outcome, CacheOutcome::kDeltaHit);
+  ASSERT_EQ(found.deltas.size(), 1u);
+  EXPECT_EQ(found.deltas[0].relation, "e");
+  ASSERT_EQ(found.deltas[0].inserted.size(), 1u);
+  EXPECT_EQ(found.deltas[0].inserted[0], Edge(3, 4));
+  // A delta hit is counted only once the caller settles it.
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.stats().delta_maintained, 0);
+
+  auto refreshed = std::make_shared<Relation>(EdgeSchema());
+  ASSERT_TRUE(refreshed->Insert(Edge(1, 4)).ok());
+  cache.NoteMaintained("tc", {CachedRelation{"tc-node", refreshed}},
+                       {CacheInput{"e", e_->generation()}}, EvalStats{});
+  EXPECT_EQ(cache.stats().delta_maintained, 1);
+
+  // The refreshed entry is a plain hit at the new generation.
+  CacheLookup again = cache.Lookup("tc", catalog_);
+  ASSERT_EQ(again.outcome, CacheOutcome::kHit);
+  EXPECT_TRUE(again.members[0].relation->Contains(Edge(1, 4)));
+}
+
+TEST_F(MatCacheTest, EraseChurnInvalidatesAndCountsTheMiss) {
+  MatCache cache(4);
+  StoreEntry(&cache, /*maintainable=*/true);
+  ASSERT_TRUE(e_->Erase(Edge(1, 2)));
+
+  EXPECT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(MatCacheTest, NonMaintainableEntryInvalidatesOnInsertChurn) {
+  // Insert-only churn on a maintainable entry is a delta hit; on a
+  // non-maintainable one (negated inputs, capture closures) it must
+  // invalidate instead.
+  MatCache cache(4);
+  StoreEntry(&cache, /*maintainable=*/false);
+  ASSERT_TRUE(e_->Insert(Edge(3, 4)).ok());
+
+  EXPECT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(MatCacheTest, DroppedInputRelationInvalidates) {
+  MatCache cache(4);
+  auto rel = std::make_shared<Relation>(EdgeSchema());
+  cache.Insert("ghost", {CachedRelation{"ghost-node", std::move(rel)}},
+               {CacheInput{"no_such_relation", 1}}, EvalStats{},
+               /*maintainable=*/true);
+  EXPECT_EQ(cache.Lookup("ghost", catalog_).outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.stats().invalidations, 1);
+}
+
+TEST_F(MatCacheTest, InvalidateAfterFailureCountsInvalidationAndMiss) {
+  MatCache cache(4);
+  StoreEntry(&cache, /*maintainable=*/true);
+  ASSERT_TRUE(e_->Insert(Edge(3, 4)).ok());
+  ASSERT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kDeltaHit);
+
+  cache.InvalidateAfterFailure("tc");
+  EXPECT_EQ(cache.stats().invalidations, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().delta_maintained, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(MatCacheTest, LruEvictsTheLeastRecentlyUsedEntry) {
+  MatCache cache(2);
+  auto member = [this](int x) {
+    auto rel = std::make_shared<Relation>(EdgeSchema());
+    EXPECT_TRUE(rel->Insert(Edge(x, x)).ok());
+    return rel;
+  };
+  std::vector<CacheInput> inputs = {CacheInput{"e", e_->generation()}};
+  cache.Insert("a", {CachedRelation{"a", member(1)}}, inputs, EvalStats{},
+               false);
+  cache.Insert("b", {CachedRelation{"b", member(2)}}, inputs, EvalStats{},
+               false);
+  // Touch "a" so "b" is the LRU entry when "c" arrives.
+  ASSERT_EQ(cache.Lookup("a", catalog_).outcome, CacheOutcome::kHit);
+  cache.Insert("c", {CachedRelation{"c", member(3)}}, inputs, EvalStats{},
+               false);
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.Lookup("b", catalog_).outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.Lookup("a", catalog_).outcome, CacheOutcome::kHit);
+  EXPECT_EQ(cache.Lookup("c", catalog_).outcome, CacheOutcome::kHit);
+}
+
+TEST_F(MatCacheTest, SetCapacityShrinksImmediatelyInLruOrder) {
+  MatCache cache(3);
+  std::vector<CacheInput> inputs = {CacheInput{"e", e_->generation()}};
+  auto rel = std::make_shared<Relation>(EdgeSchema());
+  cache.Insert("a", {CachedRelation{"a", rel}}, inputs, EvalStats{}, false);
+  cache.Insert("b", {CachedRelation{"b", rel}}, inputs, EvalStats{}, false);
+  cache.Insert("c", {CachedRelation{"c", rel}}, inputs, EvalStats{}, false);
+  ASSERT_EQ(cache.size(), 3u);
+
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.capacity(), 1u);
+  // "c" was inserted last, so it is the survivor.
+  EXPECT_EQ(cache.Lookup("c", catalog_).outcome, CacheOutcome::kHit);
+}
+
+TEST_F(MatCacheTest, CapacityZeroStoresNothing) {
+  MatCache cache(0);
+  StoreEntry(&cache, /*maintainable=*/true);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kMiss);
+}
+
+TEST_F(MatCacheTest, ClearDropsEntriesKeepsCounters) {
+  MatCache cache(4);
+  StoreEntry(&cache, /*maintainable=*/true);
+  ASSERT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kHit);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.Lookup("tc", catalog_).outcome, CacheOutcome::kMiss);
+}
+
+TEST_F(MatCacheTest, SnapshotCacheInputsPinsCurrentGenerations) {
+  Result<std::vector<CacheInput>> snap =
+      SnapshotCacheInputs({"e"}, catalog_);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap.value().size(), 1u);
+  EXPECT_EQ(snap.value()[0].relation, "e");
+  EXPECT_EQ(snap.value()[0].generation, e_->generation());
+
+  EXPECT_FALSE(SnapshotCacheInputs({"e", "missing"}, catalog_).ok());
+}
+
+}  // namespace
+}  // namespace datacon

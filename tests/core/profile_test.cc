@@ -116,7 +116,12 @@ TEST(Profile, CounterDigestIdenticalAcrossThreadCounts) {
 }
 
 TEST(Profile, DatabaseExposesLastProfile) {
-  Database db;
+  // Cache off: the materialization cache would otherwise serve the second
+  // evaluation as a capture cache hit, and this test pins the profile of
+  // the materialization itself.
+  DatabaseOptions options;
+  options.cache = false;
+  Database db(options);
   ASSERT_TRUE(workload::SetupClosure(&db, "g", workload::Chain(4)).ok());
 
   // Profiling off: no tree retained.

@@ -82,5 +82,32 @@ TEST(HashIndex, InSyncAfterDuplicateInsert) {
   EXPECT_TRUE(index.InSync());
 }
 
+TEST(HashIndex, EqualSizeChurnIsOutOfSync) {
+  // Regression: the old InSync() compared sizes only, so an erase paired
+  // with an insert left a stale index looking "in sync" — probes on the
+  // erased tuple returned a dangling hit and the new tuple was invisible.
+  // Generations catch the churn even though the size is back to 2.
+  Relation r = EdgeRelation({{1, 2}, {2, 3}});
+  HashIndex index(r, {0});
+  ASSERT_TRUE(r.Erase(Tuple({Value::Int(2), Value::Int(3)})));
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(5), Value::Int(6)})).ok());
+  ASSERT_EQ(r.size(), index.size_at_build());
+  EXPECT_FALSE(index.InSync());
+}
+
+TEST(HashIndex, EraseAloneIsOutOfSync) {
+  Relation r = EdgeRelation({{1, 2}, {2, 3}});
+  HashIndex index(r, {0});
+  ASSERT_TRUE(r.Erase(Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_FALSE(index.InSync());
+}
+
+TEST(HashIndex, ClearIsOutOfSync) {
+  Relation r = EdgeRelation({{1, 2}});
+  HashIndex index(r, {0});
+  r.Clear();
+  EXPECT_FALSE(index.InSync());
+}
+
 }  // namespace
 }  // namespace datacon

@@ -135,6 +135,143 @@ TEST(Relation, ToStringSortedForm) {
   EXPECT_EQ(r.ToString(), "{<1, 0>, <2, 0>}");
 }
 
+TEST(Relation, InsertAllIsAtomicOnKeyViolation) {
+  // Regression: InsertAll used to apply tuples one by one and return on the
+  // first key violation, leaving the earlier tuples of the batch behind.
+  // The whole batch is now validated first — on failure nothing changes.
+  Relation r(KeyedSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::String("vase"), Value::Int(3)})).ok());
+  const uint64_t generation = r.generation();
+
+  Relation batch(Schema({{"part", ValueType::kString},
+                         {"weight", ValueType::kInt}}));
+  ASSERT_TRUE(batch.Insert(Tuple({Value::String("cup"), Value::Int(1)})).ok());
+  ASSERT_TRUE(
+      batch.Insert(Tuple({Value::String("vase"), Value::Int(9)})).ok());
+
+  EXPECT_EQ(r.InsertAll(batch).code(), StatusCode::kKeyViolation);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.Contains(Tuple({Value::String("cup"), Value::Int(1)})));
+  EXPECT_EQ(r.generation(), generation);
+}
+
+TEST(Relation, InsertAllIsAtomicOnWithinBatchConflict) {
+  // Two fresh tuples agreeing on the key but differing elsewhere conflict
+  // with each other even though neither conflicts with the stored state.
+  Relation r(KeyedSchema());
+  Relation batch(Schema({{"part", ValueType::kString},
+                         {"weight", ValueType::kInt}}));
+  ASSERT_TRUE(batch.Insert(Tuple({Value::String("cup"), Value::Int(1)})).ok());
+  ASSERT_TRUE(batch.Insert(Tuple({Value::String("cup"), Value::Int(2)})).ok());
+  EXPECT_EQ(r.InsertAll(batch).code(), StatusCode::kKeyViolation);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Relation, InsertAllIsAtomicOnTypeError) {
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  const uint64_t generation = r.generation();
+  Relation strings(
+      Schema({{"x", ValueType::kString}, {"y", ValueType::kString}}));
+  ASSERT_TRUE(
+      strings.Insert(Tuple({Value::String("a"), Value::String("b")})).ok());
+  EXPECT_EQ(r.InsertAll(strings).code(), StatusCode::kTypeError);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.generation(), generation);
+}
+
+TEST(Relation, GenerationCountsStructuralChanges) {
+  Relation r(SetSchema());
+  EXPECT_EQ(r.generation(), 0u);
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_EQ(r.generation(), 1u);
+  // A duplicate insert and a missing erase change nothing.
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  EXPECT_FALSE(r.Erase(Tuple({Value::Int(9), Value::Int(9)})));
+  EXPECT_EQ(r.generation(), 1u);
+  ASSERT_TRUE(r.Erase(Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_EQ(r.generation(), 2u);
+  // Clearing an already-empty relation is a no-op.
+  r.Clear();
+  EXPECT_EQ(r.generation(), 2u);
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(3), Value::Int(4)})).ok());
+  r.Clear();
+  EXPECT_EQ(r.generation(), 4u);
+}
+
+TEST(Relation, InsertedSinceReplaysInsertOnlyChurn) {
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  const uint64_t mark = r.generation();
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(3), Value::Int(4)})).ok());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(5), Value::Int(6)})).ok());
+
+  std::optional<std::vector<Tuple>> delta = r.InsertedSince(mark);
+  ASSERT_TRUE(delta.has_value());
+  ASSERT_EQ(delta->size(), 2u);
+  EXPECT_EQ((*delta)[0].value(0).AsInt(), 3);
+  EXPECT_EQ((*delta)[1].value(0).AsInt(), 5);
+
+  std::optional<std::vector<Tuple>> none = r.InsertedSince(r.generation());
+  ASSERT_TRUE(none.has_value());
+  EXPECT_TRUE(none->empty());
+
+  // A future generation is unanswerable.
+  EXPECT_FALSE(r.InsertedSince(r.generation() + 1).has_value());
+}
+
+TEST(Relation, InsertedSinceUnavailableAfterErase) {
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  const uint64_t mark = r.generation();
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(3), Value::Int(4)})).ok());
+  ASSERT_TRUE(r.Erase(Tuple({Value::Int(1), Value::Int(2)})));
+  // The erase makes the interval non-reconstructible as inserts only.
+  EXPECT_FALSE(r.InsertedSince(mark).has_value());
+  // But from the current generation on, the answer is exact again.
+  std::optional<std::vector<Tuple>> now = r.InsertedSince(r.generation());
+  ASSERT_TRUE(now.has_value());
+  EXPECT_TRUE(now->empty());
+}
+
+TEST(Relation, AssignmentKeepsGenerationMonotonic) {
+  // Database::Assign replaces a relation's contents via operator=. The
+  // target keeps its identity, so its generation must keep counting up —
+  // a cache that pinned the old generation may never see it again.
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(1), Value::Int(2)})).ok());
+  const uint64_t before = r.generation();
+
+  Relation fresh(SetSchema());
+  ASSERT_TRUE(fresh.Insert(Tuple({Value::Int(9), Value::Int(9)})).ok());
+  r = std::move(fresh);
+  EXPECT_GT(r.generation(), before);
+  EXPECT_FALSE(r.InsertedSince(before).has_value());
+
+  Relation other(SetSchema());
+  const uint64_t mid = r.generation();
+  r = other;  // copy assignment, same contract
+  EXPECT_GT(r.generation(), mid);
+}
+
+TEST(Relation, InsertLogOverflowDegradesGracefully) {
+  Relation r(SetSchema());
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(-1), Value::Int(0)})).ok());
+  const uint64_t mark = r.generation();
+  const int n = static_cast<int>(Relation::kMaxInsertLog) + 1;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(r.Insert(Tuple({Value::Int(i), Value::Int(i)})).ok());
+  }
+  // The bounded log overflowed, so the old mark is unanswerable...
+  EXPECT_FALSE(r.InsertedSince(mark).has_value());
+  // ...but marks after the overflow work again.
+  const uint64_t late = r.generation();
+  ASSERT_TRUE(r.Insert(Tuple({Value::Int(-2), Value::Int(0)})).ok());
+  std::optional<std::vector<Tuple>> delta = r.InsertedSince(late);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->size(), 1u);
+}
+
 TEST(Relation, CopySemantics) {
   Relation r(KeyedSchema());
   ASSERT_TRUE(r.Insert(Tuple({Value::String("a"), Value::Int(1)})).ok());
