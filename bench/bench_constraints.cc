@@ -1,0 +1,165 @@
+// Experiment E13 — compile-time constraint simplification under insert
+// churn.
+//
+// One edge relation carrying K = 5 integrity constraints (a key, a
+// self-loop denial, two equijoin self-join denials, and an
+// inequality-only ordering denial), fed one fresh disjoint edge per
+// iteration. The A/B lever is DatabaseOptions::constraints_simplify:
+//
+//  - full (Arg 0):       every insert re-evaluates each constraint's whole
+//                        denial — the equijoin denials are O(n) hash
+//                        joins, the ordering denial an O(n^2) nested
+//                        loop, per insert.
+//  - simplified (Arg 1): every insert runs the compiled residues instead,
+//                        each a parameter-bound query seeded with the
+//                        inserted tuple's attributes — O(n) scans at worst.
+//
+// The headline number is the full/simplified ratio on BM_Constraints_
+// InsertChurn (the acceptance gate asks for >= 5x); counters export how
+// many checks ran in each regime. BM_Constraints_Overhead isolates the
+// absolute cost of checking against a constraint-free database.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/constraint.h"
+#include "ast/builder.h"
+#include "ast/decl.h"
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction
+using bench::Must;
+
+// Large enough that a full denial re-evaluation (hash joins for the
+// equijoin denials, a nested loop for the ordering denial) clearly
+// dominates the per-tuple residue scans, small enough that one full
+// recheck stays well under a second in debug builds.
+constexpr int kChain = 2048;
+
+/// `DENY EACH p IN c_E: p.src = p.dst` — cheap in both regimes.
+ConstraintDeclPtr NoSelfLoop() {
+  return std::make_shared<const ConstraintDecl>(
+      "no_self_loop", std::vector<Binding>{Each("p", Rel("c_E"))},
+      Eq(FieldRef("p", "src"), FieldRef("p", "dst")));
+}
+
+/// `DENY EACH a IN c_E, EACH b IN c_E: a.dst = b.dst AND a.src <> b.src`
+/// — converging edges; a full recheck is a self-join.
+ConstraintDeclPtr NoConverge() {
+  return std::make_shared<const ConstraintDecl>(
+      "no_converge",
+      std::vector<Binding>{Each("a", Rel("c_E")), Each("b", Rel("c_E"))},
+      And({Eq(FieldRef("a", "dst"), FieldRef("b", "dst")),
+           Ne(FieldRef("a", "src"), FieldRef("b", "src"))}));
+}
+
+/// `DENY EACH a IN c_E, EACH b IN c_E: a.src = b.dst AND a.dst = b.src`
+/// — no 2-cycles; another self-join denial.
+ConstraintDeclPtr NoTwoCycle() {
+  return std::make_shared<const ConstraintDecl>(
+      "no_two_cycle",
+      std::vector<Binding>{Each("a", Rel("c_E")), Each("b", Rel("c_E"))},
+      And({Eq(FieldRef("a", "src"), FieldRef("b", "dst")),
+           Eq(FieldRef("a", "dst"), FieldRef("b", "src"))}));
+}
+
+/// `KEY <src> ON c_E` — at most one outgoing edge per node.
+ConstraintDeclPtr SrcKey() {
+  return std::make_shared<const ConstraintDecl>(
+      "src_key", std::vector<std::string>{"src"}, "c_E");
+}
+
+/// `DENY EACH a IN c_E, EACH b IN c_E: a.src < b.src AND b.dst < a.dst`
+/// — an ordering constraint (edges may not invert: a later source cannot
+/// reach an earlier destination). No equality conjunct means no hash key,
+/// so a full recheck is a genuine nested-loop self-join — the class of
+/// constraint Nicolas-style simplification exists for.
+ConstraintDeclPtr NoInversion() {
+  return std::make_shared<const ConstraintDecl>(
+      "no_inversion",
+      std::vector<Binding>{Each("a", Rel("c_E")), Each("b", Rel("c_E"))},
+      And({Lt(FieldRef("a", "src"), FieldRef("b", "src")),
+           Lt(FieldRef("b", "dst"), FieldRef("a", "dst"))}));
+}
+
+std::unique_ptr<Database> MakeDb(bool with_constraints, bool simplify) {
+  DatabaseOptions options;
+  options.cache = false;  // isolate constraint checking from the mat-cache
+  options.constraints_simplify = simplify;
+  auto db = std::make_unique<Database>(options);
+  Must(workload::SetupClosure(db.get(), "c", workload::Chain(kChain)));
+  if (with_constraints) {
+    Must(db->DefineConstraint(NoSelfLoop()));
+    Must(db->DefineConstraint(NoConverge()));
+    Must(db->DefineConstraint(NoTwoCycle()));
+    Must(db->DefineConstraint(SrcKey()));
+    Must(db->DefineConstraint(NoInversion()));
+  }
+  return db;
+}
+
+void ExportConstraintCounters(benchmark::State& state) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  state.counters["checks"] =
+      static_cast<double>(registry.GetCounter("constraints.checks")->value());
+  state.counters["simplified"] = static_cast<double>(
+      registry.GetCounter("constraints.simplified")->value());
+  state.counters["full_rechecks"] = static_cast<double>(
+      registry.GetCounter("constraints.full_rechecks")->value());
+  state.counters["violations"] = static_cast<double>(
+      registry.GetCounter("constraints.violations")->value());
+}
+
+/// Full recheck (Arg 0) vs simplified residues (Arg 1): one fresh disjoint
+/// edge per iteration, K = 5 constraints re-checked per insert.
+void BM_Constraints_InsertChurn(benchmark::State& state) {
+  const bool simplify = state.range(0) != 0;
+  std::unique_ptr<Database> db = MakeDb(/*with_constraints=*/true, simplify);
+  // Fresh node ids beyond the chain keep every inserted edge disjoint, so
+  // all four constraints stay satisfied and no rollback path runs.
+  int64_t next_node = 10 * kChain;
+  for (auto _ : state) {
+    Must(db->Insert(
+        "c_E", Tuple({Value::Int(next_node), Value::Int(next_node + 1)})));
+    next_node += 2;
+  }
+  state.counters["simplify"] = simplify ? 1.0 : 0.0;
+  ExportConstraintCounters(state);
+}
+
+/// The absolute overhead of checking: the same churn against a database
+/// with no constraints at all (Arg 0) vs the simplified regime (Arg 1).
+void BM_Constraints_Overhead(benchmark::State& state) {
+  const bool with_constraints = state.range(0) != 0;
+  std::unique_ptr<Database> db =
+      MakeDb(with_constraints, /*simplify=*/true);
+  int64_t next_node = 10 * kChain;
+  for (auto _ : state) {
+    Must(db->Insert(
+        "c_E", Tuple({Value::Int(next_node), Value::Int(next_node + 1)})));
+    next_node += 2;
+  }
+  state.counters["constraints"] = with_constraints ? 1.0 : 0.0;
+  ExportConstraintCounters(state);
+}
+
+BENCHMARK(BM_Constraints_InsertChurn)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Constraints_Overhead)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace datacon
+
+int main(int argc, char** argv) {
+  return datacon::bench::RunBenchmarks(argc, argv, "constraints");
+}

@@ -16,8 +16,8 @@ echo "== tier-1: ctest =="
 echo "== lint: example corpus =="
 # Every shipped example must be clean even with warnings promoted (the
 # lint_example_* ctest entries check the same thing file by file),
-# adornment findings included.
-./build/tools/datacon-lint --werror --adorn examples/dbpl/*.dbpl
+# adornment and constraint data-flow findings included.
+./build/tools/datacon-lint --werror --adorn --constraints examples/dbpl/*.dbpl
 
 echo "== bench: parallel + specialize + cache (smoke, --json artifacts) =="
 # Quick single-repetition passes over the engine-level benchmarks; the
@@ -27,6 +27,7 @@ echo "== bench: parallel + specialize + cache (smoke, --json artifacts) =="
 ./build/bench/bench_parallel --json --benchmark_min_time=0.01
 ./build/bench/bench_specialize --json --benchmark_min_time=0.01
 ./build/bench/bench_cache --json --benchmark_min_time=0.01
+./build/bench/bench_constraints --json --benchmark_min_time=0.01
 
 echo "== trace: end-to-end trace-out =="
 # Drive a same-generation query (recursive but not closure-shaped, so the
@@ -58,6 +59,18 @@ echo "== trace: end-to-end trace-out =="
 python3 scripts/check_trace.py trace.json \
   --require-span parse --require-span evaluate --require-span round \
   --require-span fanout --require-span chunk
+
+echo "== thread-safety: clang annotation analysis =="
+# Clang's -Wthread-safety checks the GUARDED_BY/REQUIRES annotations
+# (common/thread_annotations.h) statically; CMakeLists.txt promotes it to
+# an error whenever the compiler is clang. GCC-only hosts skip the pass —
+# CI runs it under clang.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ >/dev/null
+  cmake --build build-tsa -j --target datacon_common datacon_core
+else
+  echo "clang++ not found; skipping (annotations are no-ops under GCC)"
+fi
 
 echo "== tsan: build =="
 cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null

@@ -42,4 +42,8 @@ if [ "$#" -gt 0 ]; then
   sources=("${filtered[@]}")
 fi
 
-clang-tidy -p "$build_dir" "${sources[@]}"
+# The likely-bug and performance check groups are enforced (a finding
+# fails the run); the naming checks stay advisory.
+clang-tidy -p "$build_dir" \
+  --warnings-as-errors='bugprone-*,performance-*' \
+  "${sources[@]}"

@@ -1,0 +1,138 @@
+#ifndef DATACON_ANALYSIS_CONSTRAINT_H_
+#define DATACON_ANALYSIS_CONSTRAINT_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "common/result.h"
+#include "core/catalog.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Compile-time audit and simplification of declarative integrity
+/// constraints (the Nicolas/Decker line of work, adapted to the paper's
+/// three-level framework):
+///
+///  * level 1 (define time): the constraint is desugared to denial form,
+///    name-resolved and type-checked (E120/E121), and folded (W230);
+///  * level 2 (define time): for every input relation the analysis decides
+///    how an INSERT into it must be re-checked — not at all (the relation
+///    occurs only at odd NOT/ALL parity, so new tuples can only destroy
+///    witnesses), by a *simplified* residue check (every even-parity
+///    occurrence is a direct plain binding, so a new witness must bind the
+///    inserted tuple at one of them), or by full re-evaluation;
+///  * level 3 (commit time, core/database.cc): the residues run as prepared
+///    queries seeded with the delta tuple's attribute values, which the
+///    adornment analysis then specializes exactly like any other
+///    parameter-bound query.
+
+/// A constraint in denial form: the constraint is VIOLATED iff some
+/// assignment of the bindings satisfies the predicate.
+struct ConstraintBody {
+  std::vector<Binding> bindings;
+  PredPtr pred;
+};
+
+/// How an INSERT into one input relation must be re-checked.
+enum class ConstraintCheckMode {
+  /// Every occurrence of the relation is at odd NOT/ALL parity: inserting
+  /// can only remove witnesses, never create one.
+  kSkip,
+  /// Every even-parity occurrence is a direct plain binding of the denial:
+  /// a new witness must bind the inserted tuple there, so checking the
+  /// per-binding residues over the delta is complete.
+  kSimplified,
+  /// The relation reaches the denial through a derived range, a selector
+  /// predicate, or an even-parity quantifier — only re-evaluating the whole
+  /// denial is sound.
+  kFull,
+};
+
+/// "skip", "simplified", or "full".
+std::string_view ConstraintCheckModeName(ConstraintCheckMode mode);
+
+/// The compile-time plan for INSERTs into one input relation.
+struct ConstraintEvent {
+  std::string relation;
+  ConstraintCheckMode insert_mode = ConstraintCheckMode::kFull;
+  /// Indices into ConstraintBody::bindings of the direct plain bindings
+  /// over `relation`; one residue per index when kSimplified.
+  std::vector<size_t> residue_bindings;
+};
+
+/// One simplified check: the denial with binding `binding_index`
+/// instantiated by the inserted tuple. Every reference `v.f` to the delta
+/// binding is replaced by the parameter carrying delta attribute f, so the
+/// residue is an ordinary parameter-bound prepared query (and thus eligible
+/// for magic-seed specialization).
+struct ConstraintResidue {
+  size_t binding_index = 0;
+  /// Single-branch query; non-empty result = violation witness.
+  CalcExprPtr expr;
+  /// Parameter name per delta attribute, aligned with the input relation's
+  /// schema fields ("delta_<field>").
+  std::vector<std::string> param_fields;
+  /// Placeholder types for Database::Prepare.
+  std::map<std::string, ValueType> placeholders;
+};
+
+/// The define-time analysis result. When `diagnostics` contains an error
+/// the remaining members are unspecified and the definition must be
+/// rejected.
+struct ConstraintAnalysis {
+  ConstraintBody body;
+  /// Every base relation the denial reads (directly or through applied
+  /// selectors/constructors).
+  std::set<std::string> inputs;
+  /// One entry per input relation, sorted by name.
+  std::vector<ConstraintEvent> events;
+  std::vector<Diagnostic> diagnostics;
+
+  bool HasErrors() const;
+};
+
+/// Lowers the surface form to denial form. KEY <f...> ON Rel becomes the
+/// two-variable agreement denial; FOREIGN f OF lhs REFERENCES g OF rhs
+/// becomes the unmatched-tuple denial. Denial constraints pass through.
+/// Fails with kNotFound for unknown relations and kTypeError for unknown
+/// fields (mapped to E121/E120 by LintConstraint).
+Result<ConstraintBody> DesugarConstraint(const ConstraintDecl& decl,
+                                         const Catalog& catalog);
+
+/// Define-time diagnostics: E121 (unknown relation/selector/constructor),
+/// E120 (the desugared denial is unsafe or ill-typed, or references a
+/// parameter — constraints take none), W230 (the denial folds to FALSE and
+/// can never be violated).
+std::vector<Diagnostic> LintConstraint(const ConstraintDecl& decl,
+                                       const Catalog& catalog);
+
+/// Full define-time analysis: LintConstraint plus the per-input event
+/// classification. Events are computed only when the lint found no errors.
+ConstraintAnalysis AnalyzeConstraint(const ConstraintDecl& decl,
+                                     const Catalog& catalog);
+
+/// The full denial as a query expression: one branch over all bindings,
+/// projecting every bound attribute (the violation witness).
+Result<CalcExprPtr> DenialQuery(const ConstraintBody& body,
+                                const Catalog& catalog);
+
+/// Builds the simplified residue for INSERTs binding `binding_index`
+/// (which must name a direct plain binding). The delta binding is removed
+/// and its field references replaced by parameters; when it was the only
+/// binding, it is kept and pinned to the delta tuple by parameter
+/// equalities instead (a branch needs at least one binding).
+Result<ConstraintResidue> BuildResidue(const ConstraintBody& body,
+                                       size_t binding_index,
+                                       const Catalog& catalog);
+
+}  // namespace datacon
+
+#endif  // DATACON_ANALYSIS_CONSTRAINT_H_

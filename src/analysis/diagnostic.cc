@@ -18,7 +18,7 @@ struct CodeEntry {
 
 /// The registry behind DiagnosticCodeMeaning/AllDiagnosticCodes. Order is
 /// errors first, numerically — the order DESIGN.md documents them in.
-constexpr std::array<CodeEntry, 19> kCodeTable = {{
+constexpr std::array<CodeEntry, 24> kCodeTable = {{
     {kDiagParseError, "the source fragment failed to parse"},
     {kDiagUnknownName,
      "a relation, selector, constructor, or parameter name is not declared"},
@@ -29,6 +29,13 @@ constexpr std::array<CodeEntry, 19> kCodeTable = {{
     {kDiagRedefinition, "the name is already defined"},
     {kDiagUnsafeVariable,
      "a target or predicate variable is not bound by any range"},
+    {kDiagUnsafeConstraint,
+     "the constraint body is unsafe: a variable is unbound, a parameter "
+     "placeholder occurs (constraints take no parameters), or the denial "
+     "fails the type checker"},
+    {kDiagConstraintUnknownRelation,
+     "the constraint references a relation, selector, or constructor that "
+     "is not declared"},
     {kDiagUnusedBinding,
      "a tuple variable is bound by EACH but used neither in the predicate "
      "nor in the target list"},
@@ -65,6 +72,15 @@ constexpr std::array<CodeEntry, 19> kCodeTable = {{
      "a bound attribute cannot be specialized: relevance propagation is "
      "blocked by a recursive reference under negation or inside a branch "
      "predicate"},
+    {kDiagConstraintTrivial,
+     "the constraint's denial folds to FALSE; no database state can ever "
+     "violate it"},
+    {kDiagConstraintRefuted,
+     "the constraint is refuted by existing facts: the denial already has a "
+     "witness in the current database state"},
+    {kDiagConstraintUnreachable,
+     "no INSERT or assignment in the script touches any input relation of "
+     "the constraint; its support can never change"},
 }};
 
 }  // namespace

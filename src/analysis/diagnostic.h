@@ -31,6 +31,8 @@ inline constexpr std::string_view kDiagTypeError = "E102";
 inline constexpr std::string_view kDiagNonStratifiable = "E103";
 inline constexpr std::string_view kDiagRedefinition = "E104";
 inline constexpr std::string_view kDiagUnsafeVariable = "E110";
+inline constexpr std::string_view kDiagUnsafeConstraint = "E120";
+inline constexpr std::string_view kDiagConstraintUnknownRelation = "E121";
 inline constexpr std::string_view kDiagUnusedBinding = "W201";
 inline constexpr std::string_view kDiagUnusedParameter = "W202";
 inline constexpr std::string_view kDiagShadowedName = "W203";
@@ -44,6 +46,9 @@ inline constexpr std::string_view kDiagStratifiedNegation = "W212";
 inline constexpr std::string_view kDiagAdornmentNonLinear = "W220";
 inline constexpr std::string_view kDiagAdornmentFreeJoin = "W221";
 inline constexpr std::string_view kDiagAdornmentNegation = "W222";
+inline constexpr std::string_view kDiagConstraintTrivial = "W230";
+inline constexpr std::string_view kDiagConstraintRefuted = "W231";
+inline constexpr std::string_view kDiagConstraintUnreachable = "W232";
 
 /// One-line meaning of a diagnostic code, or empty for an unknown code.
 std::string_view DiagnosticCodeMeaning(std::string_view code);

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "analysis/constraint.h"
 #include "analysis/fold.h"
 #include "ast/printer.h"
 #include "core/positivity.h"
@@ -755,6 +756,9 @@ LintReport LintCatalogDecls(const Catalog& catalog,
     all.push_back(entry.second);
   }
   report.Append(LintConstructorGroup(all, catalog, options));
+  for (const auto& entry : catalog.constraints()) {
+    report.Append(LintConstraint(*entry.second, catalog));
+  }
   report.SortBySpan();
   return report;
 }

@@ -22,6 +22,13 @@ struct LintOptions {
   /// the findings only matter when PRAGMA SPECIALIZE performance is wanted.
   /// The `datacon-lint --adorn` flag turns it on.
   bool adorn = false;
+  /// Audit declared constraints against the script's own data flow: W231
+  /// when a constraint is refuted by the facts the script inserts, W232
+  /// when no statement of the script can ever change one of the
+  /// constraint's input relations. Off by default — both checks replay the
+  /// script's definitions/inserts into a scratch database. The
+  /// `datacon-lint --constraints` flag turns it on.
+  bool constraints = false;
 };
 
 /// Lints one selector declaration against `catalog` (which supplies the

@@ -1,12 +1,16 @@
 #include "analysis/script_lint.h"
 
+#include <set>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
 
 #include "analysis/adorn.h"
+#include "analysis/constraint.h"
 #include "ast/builder.h"
 #include "core/catalog.h"
+#include "core/database.h"
 #include "core/instantiate.h"
 
 namespace datacon {
@@ -24,10 +28,66 @@ std::vector<Diagnostic> WithLoc(std::vector<Diagnostic> ds, SourceLoc loc) {
 
 }  // namespace
 
+namespace {
+
+/// Replays the script's definitions and inserted facts into a scratch
+/// database so declared constraints can be evaluated against the script's
+/// own data (the W231 pass). Constructor statements are grouped exactly as
+/// the main lint walk groups them; assignments are evaluated for real.
+/// Returns false when any statement failed to replay — the earlier passes
+/// already reported why, and the facts can no longer be trusted.
+bool ReplayScript(const Script& script, Database* scratch) {
+  bool ok = true;
+  std::vector<ConstructorDeclPtr> group;
+  auto flush_group = [&] {
+    if (group.empty()) return;
+    if (!scratch->DefineConstructorGroup(group).ok()) ok = false;
+    group.clear();
+  };
+  for (const ScriptStmt& stmt : script.stmts) {
+    if (!std::holds_alternative<ConstructorStmt>(stmt)) flush_group();
+    Status s;
+    if (const auto* type_decl = std::get_if<TypeDeclStmt>(&stmt)) {
+      if (type_decl->is_relation) {
+        s = scratch->DefineRelationType(type_decl->name, type_decl->schema);
+      }
+    } else if (const auto* var_decl = std::get_if<VarDeclStmt>(&stmt)) {
+      s = scratch->CreateRelation(var_decl->name, var_decl->type_name);
+    } else if (const auto* selector = std::get_if<SelectorStmt>(&stmt)) {
+      s = scratch->DefineSelector(selector->decl);
+    } else if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
+      group.push_back(ctor->decl);
+    } else if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+      s = scratch->InsertAll(insert->relation, insert->tuples);
+    } else if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+      Result<Relation> value = assign->value.range != nullptr
+                                   ? scratch->EvalRange(assign->value.range)
+                                   : scratch->EvalQuery(assign->value.expr);
+      if (!value.ok()) {
+        ok = false;
+        continue;
+      }
+      s = assign->selector.has_value()
+              ? scratch->AssignThroughSelector(assign->relation,
+                                               *assign->selector,
+                                               assign->selector_args,
+                                               value.value())
+              : scratch->Assign(assign->relation, value.value());
+    }
+    if (!s.ok()) ok = false;
+  }
+  flush_group();
+  return ok;
+}
+
+}  // namespace
+
 LintReport LintScript(const Script& script, const LintOptions& options) {
   LintReport report;
   Catalog catalog;
   std::vector<ConstructorDeclPtr> group;
+  std::set<std::string> mutated;
+  std::vector<ConstraintDeclPtr> constraint_decls;
 
   auto flush_group = [&] {
     if (group.empty()) return;
@@ -84,13 +144,24 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
       (void)catalog.DefineSelector(selector->decl);
     } else if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
       group.push_back(ctor->decl);
+    } else if (const auto* constraint = std::get_if<ConstraintStmt>(&stmt)) {
+      report.Append(WithLoc(LintConstraint(*constraint->decl, catalog),
+                            constraint->decl->loc()));
+      Status s = catalog.DefineConstraint(constraint->decl);
+      if (!s.ok()) {
+        report.Append(DiagnosticFromStatus(s));
+      } else {
+        constraint_decls.push_back(constraint->decl);
+      }
     } else if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+      mutated.insert(insert->relation);
       if (!catalog.LookupRelation(insert->relation).ok()) {
         report.Append(MakeDiagnostic(
             kDiagUnknownName, "unknown relation '" + insert->relation + "'",
             insert->loc));
       }
     } else if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
+      mutated.insert(assign->relation);
       if (!catalog.LookupRelation(assign->relation).ok()) {
         report.Append(MakeDiagnostic(
             kDiagUnknownName, "unknown relation '" + assign->relation + "'",
@@ -113,9 +184,57 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
                                               build::True())}),
           explain->loc);
     }
-    // CheckStmt and PragmaStmt introduce no names and need no lint.
+    // CheckStmt, PragmaStmt, and ShowStmt introduce no names and need no
+    // lint.
   }
   flush_group();
+
+  // Constraint data-flow audit (--constraints): W232 when no statement of
+  // the script can change any input relation of a constraint (the check
+  // would never fire), W231 when the facts the script itself establishes
+  // already refute a constraint.
+  if (options.constraints && !constraint_decls.empty()) {
+    DatabaseOptions scratch_options;
+    scratch_options.constraints = false;  // report refutations, not reject
+    scratch_options.cache = false;
+    scratch_options.allow_stratified_negation =
+        options.allow_stratified_negation;
+    Database scratch(scratch_options);
+    bool replay_ok = ReplayScript(script, &scratch);
+    for (const ConstraintDeclPtr& decl : constraint_decls) {
+      ConstraintAnalysis analysis = AnalyzeConstraint(*decl, catalog);
+      if (analysis.HasErrors()) continue;  // E12x already reported above
+      bool reachable = false;
+      for (const std::string& input : analysis.inputs) {
+        if (mutated.count(input) != 0) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) {
+        report.Append(MakeDiagnostic(
+            kDiagConstraintUnreachable,
+            "constraint '" + decl->name() +
+                "' is never re-checked: no statement of this script inserts "
+                "into or assigns any of its input relations",
+            decl->loc()));
+      }
+      if (!replay_ok) continue;  // the scratch facts can't be trusted
+      Result<CalcExprPtr> denial = DenialQuery(analysis.body,
+                                               scratch.catalog());
+      if (!denial.ok()) continue;
+      Result<Relation> witnesses = scratch.EvalQuery(denial.value());
+      if (witnesses.ok() && witnesses.value().size() > 0) {
+        report.Append(MakeDiagnostic(
+            kDiagConstraintRefuted,
+            "constraint '" + decl->name() +
+                "' is refuted by the script's own facts: witness " +
+                witnesses.value().SortedTuples().front().ToString(),
+            decl->loc()));
+      }
+    }
+  }
+
   report.SortBySpan();
   return report;
 }

@@ -111,6 +111,86 @@ class ConstructorDecl {
 
 using ConstructorDeclPtr = std::shared_ptr<const ConstructorDecl>;
 
+/// CONSTRAINT declaration — an integrity constraint in denial form (the
+/// deductive-database convention: the constraint is *violated* iff the
+/// denial's bindings admit a witness satisfying the predicate):
+///
+///   CONSTRAINT name DENY EACH v1 IN range1, ...: pred;
+///
+/// Two sugar forms cover the common relational cases and desugar to denials
+/// at analysis time (the desugaring needs the catalog's schemas, so the AST
+/// keeps the surface form):
+///
+///   CONSTRAINT name KEY <f1, ...> ON Rel;
+///       two tuples agreeing on the key fields must not differ elsewhere
+///   CONSTRAINT name FOREIGN f OF <lhs range> REFERENCES g OF <rhs range>;
+///       every lhs f-value must occur as some rhs g-value (inclusion;
+///       either side may be selected/constructed)
+class ConstraintDecl {
+ public:
+  enum class Kind { kDenial, kKey, kForeign };
+
+  /// Denial form.
+  ConstraintDecl(std::string name, std::vector<Binding> bindings, PredPtr pred,
+                 SourceLoc loc = {})
+      : name_(std::move(name)),
+        kind_(Kind::kDenial),
+        bindings_(std::move(bindings)),
+        pred_(std::move(pred)),
+        loc_(loc) {}
+
+  /// KEY sugar.
+  ConstraintDecl(std::string name, std::vector<std::string> key_fields,
+                 std::string relation, SourceLoc loc = {})
+      : name_(std::move(name)),
+        kind_(Kind::kKey),
+        key_fields_(std::move(key_fields)),
+        relation_(std::move(relation)),
+        loc_(loc) {}
+
+  /// FOREIGN sugar.
+  ConstraintDecl(std::string name, std::string fk_field, RangePtr fk_range,
+                 std::string ref_field, RangePtr ref_range, SourceLoc loc = {})
+      : name_(std::move(name)),
+        kind_(Kind::kForeign),
+        fk_field_(std::move(fk_field)),
+        fk_range_(std::move(fk_range)),
+        ref_field_(std::move(ref_field)),
+        ref_range_(std::move(ref_range)),
+        loc_(loc) {}
+
+  const std::string& name() const { return name_; }
+  Kind kind() const { return kind_; }
+  /// Denial form only.
+  const std::vector<Binding>& bindings() const { return bindings_; }
+  const PredPtr& pred() const { return pred_; }
+  /// KEY form only.
+  const std::vector<std::string>& key_fields() const { return key_fields_; }
+  const std::string& relation() const { return relation_; }
+  /// FOREIGN form only.
+  const std::string& fk_field() const { return fk_field_; }
+  const RangePtr& fk_range() const { return fk_range_; }
+  const std::string& ref_field() const { return ref_field_; }
+  const RangePtr& ref_range() const { return ref_range_; }
+  /// Position of the CONSTRAINT keyword (invalid for built ASTs).
+  const SourceLoc& loc() const { return loc_; }
+
+ private:
+  std::string name_;
+  Kind kind_;
+  std::vector<Binding> bindings_;
+  PredPtr pred_;
+  std::vector<std::string> key_fields_;
+  std::string relation_;
+  std::string fk_field_;
+  RangePtr fk_range_;
+  std::string ref_field_;
+  RangePtr ref_range_;
+  SourceLoc loc_;
+};
+
+using ConstraintDeclPtr = std::shared_ptr<const ConstraintDecl>;
+
 }  // namespace datacon
 
 #endif  // DATACON_AST_DECL_H_

@@ -214,4 +214,36 @@ std::string ToString(const ConstructorDecl& decl) {
   return out;
 }
 
+std::string ToString(const ConstraintDecl& decl) {
+  std::string out = "CONSTRAINT " + decl.name() + " ";
+  switch (decl.kind()) {
+    case ConstraintDecl::Kind::kDenial: {
+      out += "DENY ";
+      for (size_t i = 0; i < decl.bindings().size(); ++i) {
+        if (i > 0) out += ", ";
+        const Binding& b = decl.bindings()[i];
+        out += "EACH " + b.var + " IN " + ToString(*b.range);
+      }
+      out += ": " + ToString(*decl.pred());
+      break;
+    }
+    case ConstraintDecl::Kind::kKey: {
+      out += "KEY <";
+      for (size_t i = 0; i < decl.key_fields().size(); ++i) {
+        if (i > 0) out += ", ";
+        out += decl.key_fields()[i];
+      }
+      out += "> ON " + decl.relation();
+      break;
+    }
+    case ConstraintDecl::Kind::kForeign: {
+      out += "FOREIGN " + decl.fk_field() + " OF " + ToString(*decl.fk_range()) +
+             " REFERENCES " + decl.ref_field() + " OF " +
+             ToString(*decl.ref_range());
+      break;
+    }
+  }
+  return out;
+}
+
 }  // namespace datacon

@@ -21,6 +21,7 @@ std::string ToString(const Branch& branch);
 std::string ToString(const CalcExpr& expr);
 std::string ToString(const SelectorDecl& decl);
 std::string ToString(const ConstructorDecl& decl);
+std::string ToString(const ConstraintDecl& decl);
 
 }  // namespace datacon
 

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace datacon {
 
 /// A monotonic wall-clock timer. Construction starts it; ElapsedNs reads it
@@ -251,8 +253,10 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> entries_;
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> entries_
+      DATACON_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      DATACON_GUARDED_BY(mu_);
 };
 
 /// A bounded log of the slowest statements seen by a Database: at most
@@ -298,9 +302,10 @@ class SlowQueryLog {
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
-  int64_t threshold_ns_ = 0;
-  uint64_t next_sequence_ = 0;
-  std::vector<Entry> entries_;  // kept sorted slowest-first
+  int64_t threshold_ns_ DATACON_GUARDED_BY(mu_) = 0;
+  uint64_t next_sequence_ DATACON_GUARDED_BY(mu_) = 0;
+  // Kept sorted slowest-first.
+  std::vector<Entry> entries_ DATACON_GUARDED_BY(mu_);
 };
 
 }  // namespace datacon

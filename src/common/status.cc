@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "POSITIVITY_VIOLATION";
     case StatusCode::kKeyViolation:
       return "KEY_VIOLATION";
+    case StatusCode::kConstraintViolation:
+      return "CONSTRAINT_VIOLATION";
     case StatusCode::kDivergence:
       return "DIVERGENCE";
     case StatusCode::kParseError:

@@ -30,6 +30,10 @@ enum class StatusCode {
   /// The key constraint of section 2.2 is violated: two tuples agree on the
   /// key attributes but differ elsewhere.
   kKeyViolation,
+  /// A declared integrity constraint (CONSTRAINT ... DENY ...) would be
+  /// violated by the attempted update; the statement is rejected and the
+  /// database state is unchanged.
+  kConstraintViolation,
   /// A fixpoint iteration exceeded its bound without converging (only
   /// reachable in unchecked mode; checked constructors always converge).
   kDivergence,
@@ -83,6 +87,9 @@ class Status {
   }
   static Status KeyViolation(std::string msg) {
     return Status(StatusCode::kKeyViolation, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
   }
   static Status Divergence(std::string msg) {
     return Status(StatusCode::kDivergence, std::move(msg));

@@ -1,0 +1,49 @@
+#ifndef DATACON_COMMON_THREAD_ANNOTATIONS_H_
+#define DATACON_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety annotations (-Wthread-safety), compiled to no-ops on
+// every other toolchain. The macros follow the standard capability model:
+// a mutex is a capability, GUARDED_BY ties data to it, REQUIRES marks
+// functions that must be called with it held, EXCLUDES marks functions
+// that acquire it themselves. scripts/check.sh promotes the analysis to an
+// error under clang; GCC builds see plain declarations.
+//
+// Only the subset this codebase uses is defined — add macros as needed
+// rather than importing the full attribute list.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DATACON_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DATACON_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op
+#endif
+
+/// Documents that a field is protected by the given mutex: reads and
+/// writes outside a critical section on it are flagged.
+#define DATACON_GUARDED_BY(x) \
+  DATACON_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Documents that the *pointee* of a pointer field is protected by the
+/// given mutex (the pointer itself is not).
+#define DATACON_PT_GUARDED_BY(x) \
+  DATACON_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that callers must hold the given mutex(es) when calling.
+#define DATACON_REQUIRES(...) \
+  DATACON_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the mutex itself — callers must
+/// NOT already hold it (flags self-deadlock on non-recursive mutexes).
+#define DATACON_EXCLUDES(...) \
+  DATACON_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares a type as a lockable capability (std::mutex already is one in
+/// libc++/libstdc++ under clang; needed for wrapper types only).
+#define DATACON_CAPABILITY(x) \
+  DATACON_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Escape hatch: turns the analysis off for one function whose locking is
+/// correct but inexpressible (e.g. locks handed across functions).
+#define DATACON_NO_THREAD_SAFETY_ANALYSIS \
+  DATACON_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // DATACON_COMMON_THREAD_ANNOTATIONS_H_

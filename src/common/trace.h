@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace datacon {
 
 /// One key/value argument attached to a trace event. Values are either
@@ -132,9 +134,10 @@ class TraceRecorder {
  private:
   struct ThreadBuffer {
     std::mutex mu;
+    /// Assigned once at registration, read without the lock afterwards.
     uint32_t tid = 0;
-    std::string name;
-    std::vector<TraceEvent> events;
+    std::string name DATACON_GUARDED_BY(mu);
+    std::vector<TraceEvent> events DATACON_GUARDED_BY(mu);
   };
 
   TraceRecorder();
@@ -150,9 +153,11 @@ class TraceRecorder {
   static std::atomic<bool> enabled_;
 
   mutable std::mutex mu_;  // registry: buffers_, retired_*, thread names
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
-  std::vector<TraceEvent> retired_events_;
-  std::vector<std::pair<uint32_t, std::string>> retired_threads_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      DATACON_GUARDED_BY(mu_);
+  std::vector<TraceEvent> retired_events_ DATACON_GUARDED_BY(mu_);
+  std::vector<std::pair<uint32_t, std::string>> retired_threads_
+      DATACON_GUARDED_BY(mu_);
   std::atomic<uint32_t> next_tid_{1};
   std::chrono::steady_clock::time_point epoch_;
 

@@ -91,4 +91,22 @@ Result<const ConstructorDecl*> Catalog::LookupConstructor(
   return it->second.get();
 }
 
+Status Catalog::DefineConstraint(ConstraintDeclPtr decl) {
+  const std::string& name = decl->name();
+  if (constraints_.count(name) > 0) {
+    return Status::AlreadyExists("constraint '" + name + "'");
+  }
+  constraints_.emplace(name, std::move(decl));
+  return Status::OK();
+}
+
+Result<const ConstraintDecl*> Catalog::LookupConstraint(
+    const std::string& name) const {
+  auto it = constraints_.find(name);
+  if (it == constraints_.end()) {
+    return Status::NotFound("constraint '" + name + "'");
+  }
+  return it->second.get();
+}
+
 }  // namespace datacon

@@ -53,6 +53,18 @@ class Catalog {
   /// their own type check, so registration happens first).
   void RemoveConstructor(const std::string& name) { constructors_.erase(name); }
 
+  // --- Integrity constraints ---
+
+  Status DefineConstraint(ConstraintDeclPtr decl);
+  Result<const ConstraintDecl*> LookupConstraint(const std::string& name) const;
+
+  /// Rolls back a constraint registration whose initial full check failed.
+  void RemoveConstraint(const std::string& name) { constraints_.erase(name); }
+
+  const std::map<std::string, ConstraintDeclPtr>& constraints() const {
+    return constraints_;
+  }
+
   const std::map<std::string, ConstructorDeclPtr>& constructors() const {
     return constructors_;
   }
@@ -72,6 +84,7 @@ class Catalog {
   std::map<std::string, std::string> relation_var_types_;
   std::map<std::string, SelectorDeclPtr> selectors_;
   std::map<std::string, ConstructorDeclPtr> constructors_;
+  std::map<std::string, ConstraintDeclPtr> constraints_;
 };
 
 }  // namespace datacon

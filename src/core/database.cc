@@ -26,7 +26,36 @@ Status Database::CreateRelation(const std::string& name,
 Status Database::Insert(const std::string& relation, Tuple tuple) {
   DATACON_ASSIGN_OR_RETURN(Relation * rel, catalog_.LookupRelation(relation));
   DATACON_ASSIGN_OR_RETURN(bool grew, rel->Insert(tuple));
-  (void)grew;
+  if (grew) {
+    Status checked = CheckConstraintsAfterUpdate();
+    if (!checked.ok()) {
+      rel->Erase(tuple);
+      return checked;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::InsertAll(const std::string& relation,
+                           const std::vector<Tuple>& tuples) {
+  DATACON_ASSIGN_OR_RETURN(Relation * rel, catalog_.LookupRelation(relation));
+  std::vector<Tuple> grown;
+  grown.reserve(tuples.size());
+  Status status = Status::OK();
+  for (const Tuple& t : tuples) {
+    Result<bool> grew = rel->Insert(t);
+    if (!grew.ok()) {
+      status = grew.status();
+      break;
+    }
+    if (grew.value()) grown.push_back(t);
+  }
+  if (status.ok() && !grown.empty()) status = CheckConstraintsAfterUpdate();
+  if (!status.ok()) {
+    // Statement atomicity: undo exactly the tuples this statement added.
+    for (const Tuple& t : grown) rel->Erase(t);
+    return status;
+  }
   return Status::OK();
 }
 
@@ -44,7 +73,13 @@ Status Database::Assign(const std::string& relation, const Relation& value) {
   // unchanged — the paper's IF <test> THEN rel := rex ELSE <exception>.
   Relation fresh(rel->schema());
   DATACON_RETURN_IF_ERROR(fresh.InsertAll(value));
+  Relation saved = std::move(*rel);
   *rel = std::move(fresh);
+  Status checked = CheckConstraintsAfterUpdate();
+  if (!checked.ok()) {
+    *rel = std::move(saved);
+    return checked;
+  }
   return Status::OK();
 }
 
@@ -137,6 +172,217 @@ Status Database::DefineConstructorGroup(
 
 Status Database::DefineConstructorUnchecked(ConstructorDeclPtr decl) {
   return DefineConstructorGroup({std::move(decl)}, /*check_positivity=*/false);
+}
+
+namespace {
+
+/// Renders the first (lexicographically smallest) witness tuple of a
+/// non-empty violation result — deterministic across runs.
+std::string FirstWitness(const Relation& witnesses) {
+  std::vector<Tuple> sorted = witnesses.SortedTuples();
+  return sorted.front().ToString();
+}
+
+Counter* ConstraintCounter(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+Status Database::DefineConstraint(ConstraintDeclPtr decl) {
+  if (constraints_.count(decl->name()) > 0) {
+    return Status::AlreadyExists("constraint '" + decl->name() + "'");
+  }
+  ConstraintAnalysis analysis = AnalyzeConstraint(*decl, catalog_);
+  if (analysis.HasErrors()) {
+    for (const Diagnostic& d : analysis.diagnostics) {
+      if (d.severity != Severity::kError) continue;
+      Status status(d.code == kDiagConstraintUnknownRelation
+                        ? StatusCode::kNotFound
+                        : StatusCode::kTypeError,
+                    d.code + ": " + d.message);
+      return status;
+    }
+  }
+
+  CompiledConstraint compiled;
+  compiled.decl = decl;
+  compiled.body = analysis.body;
+  DATACON_ASSIGN_OR_RETURN(CalcExprPtr denial,
+                           DenialQuery(compiled.body, catalog_));
+  DATACON_ASSIGN_OR_RETURN(PreparedQuery full, Prepare(denial, {}));
+  // Checks must be invisible to later queries: never warm the cache.
+  full.cache_bypass_ = true;
+  compiled.full = std::move(full);
+
+  for (const ConstraintEvent& event : analysis.events) {
+    CompiledEvent ce;
+    ce.insert_mode = event.insert_mode;
+    if (event.insert_mode == ConstraintCheckMode::kSimplified) {
+      for (size_t index : event.residue_bindings) {
+        Result<ConstraintResidue> residue =
+            BuildResidue(compiled.body, index, catalog_);
+        Result<PreparedQuery> prepared =
+            residue.ok() ? Prepare(residue->expr, residue->placeholders)
+                         : Result<PreparedQuery>(residue.status());
+        if (!prepared.ok()) {
+          // A residue the query compiler cannot handle degrades the event
+          // to full re-evaluation instead of rejecting the constraint.
+          ce.insert_mode = ConstraintCheckMode::kFull;
+          ce.residues.clear();
+          break;
+        }
+        PreparedQuery residue_query = std::move(prepared).value();
+        residue_query.cache_bypass_ = true;
+        ce.residues.push_back(CompiledResidue{std::move(residue_query),
+                                              residue->param_fields});
+      }
+    }
+    compiled.events.emplace(event.relation, std::move(ce));
+  }
+
+  // The W231 case at runtime: a constraint refuted by the facts already in
+  // the database is rejected (while enforcement is off it is admitted and
+  // caught by the first checked statement).
+  if (options_.constraints) {
+    DATACON_ASSIGN_OR_RETURN(Relation witnesses, compiled.full->Execute({}));
+    if (witnesses.size() > 0) {
+      return Status::ConstraintViolation(
+          "constraint '" + decl->name() +
+          "' is already violated by existing facts: witness " +
+          FirstWitness(witnesses));
+    }
+  }
+  for (const std::string& input : analysis.inputs) {
+    DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                             catalog_.LookupRelation(input));
+    compiled.snapshot[input] = rel->generation();
+  }
+  DATACON_RETURN_IF_ERROR(catalog_.DefineConstraint(decl));
+  constraints_.emplace(decl->name(), std::move(compiled));
+  return Status::OK();
+}
+
+Status Database::CheckConstraintsAfterUpdate() {
+  if (!options_.constraints || constraints_.empty()) return Status::OK();
+  for (auto& [name, compiled] : constraints_) {
+    DATACON_RETURN_IF_ERROR(CheckOneConstraint(&compiled));
+  }
+  return Status::OK();
+}
+
+Status Database::CheckOneConstraint(CompiledConstraint* constraint) {
+  static Counter* checks = ConstraintCounter("constraints.checks");
+  static Counter* simplified = ConstraintCounter("constraints.simplified");
+  static Counter* full_rechecks =
+      ConstraintCounter("constraints.full_rechecks");
+  static Counter* violations = ConstraintCounter("constraints.violations");
+
+  // Which inputs moved since the last successful check, and are their
+  // deltas still reconstructible as pure inserts?
+  struct MovedInput {
+    std::string relation;
+    std::optional<std::vector<Tuple>> delta;
+  };
+  std::vector<MovedInput> moved;
+  bool rebase = false;
+  for (const auto& [input, generation] : constraint->snapshot) {
+    DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                             catalog_.LookupRelation(input));
+    if (rel->generation() == generation) continue;
+    std::optional<std::vector<Tuple>> delta = rel->InsertedSince(generation);
+    // Erase/Clear churn or insert-log overflow: the delta is gone, so only
+    // full re-evaluation is sound (erases can create witnesses through
+    // odd-parity occurrences that inserts never could).
+    if (!delta.has_value()) rebase = true;
+    moved.push_back(MovedInput{input, std::move(delta)});
+  }
+  if (moved.empty()) return Status::OK();
+
+  checks->Increment();
+  TraceSpan span("constraint");
+  if (span.active()) span.AddArg("name", constraint->decl->name());
+
+  bool need_full = rebase || !options_.constraints_simplify;
+  if (!need_full) {
+    for (const MovedInput& input : moved) {
+      auto it = constraint->events.find(input.relation);
+      if (it == constraint->events.end() ||
+          it->second.insert_mode == ConstraintCheckMode::kFull) {
+        need_full = true;
+        break;
+      }
+    }
+  }
+
+  if (need_full) {
+    if (span.active()) span.AddArg("mode", "full");
+    full_rechecks->Increment();
+    DATACON_ASSIGN_OR_RETURN(Relation witnesses, constraint->full->Execute({}));
+    if (witnesses.size() > 0) {
+      violations->Increment();
+      return Status::ConstraintViolation(
+          "constraint '" + constraint->decl->name() + "' violated: witness " +
+          FirstWitness(witnesses));
+    }
+  } else {
+    if (span.active()) span.AddArg("mode", "simplified");
+    for (const MovedInput& input : moved) {
+      CompiledEvent& event = constraint->events.at(input.relation);
+      if (event.insert_mode == ConstraintCheckMode::kSkip) continue;
+      for (const Tuple& delta_tuple : *input.delta) {
+        for (CompiledResidue& residue : event.residues) {
+          simplified->Increment();
+          std::map<std::string, Value> params;
+          for (size_t i = 0; i < residue.param_fields.size(); ++i) {
+            params.emplace(residue.param_fields[i],
+                           delta_tuple.value(static_cast<int>(i)));
+          }
+          DATACON_ASSIGN_OR_RETURN(Relation witnesses,
+                                   residue.query.Execute(params));
+          if (witnesses.size() > 0) {
+            violations->Increment();
+            return Status::ConstraintViolation(
+                "constraint '" + constraint->decl->name() +
+                "' violated by tuple " + delta_tuple.ToString() + " (" +
+                input.relation + "): witness " + FirstWitness(witnesses));
+          }
+        }
+      }
+    }
+  }
+
+  // Success: advance the delta baseline to the current generations.
+  for (auto& [input, generation] : constraint->snapshot) {
+    DATACON_ASSIGN_OR_RETURN(const Relation* rel,
+                             catalog_.LookupRelation(input));
+    generation = rel->generation();
+  }
+  return Status::OK();
+}
+
+std::string Database::DescribeConstraints() const {
+  if (constraints_.empty()) return "no constraints defined\n";
+  std::string out;
+  for (const auto& [name, compiled] : constraints_) {
+    out += ToString(*compiled.decl) + "\n";
+    out += "  full check: " + compiled.full->plan_description() + "\n";
+    for (const auto& [relation, event] : compiled.events) {
+      out += "  on INSERT INTO " + relation + ": " +
+             std::string(ConstraintCheckModeName(event.insert_mode));
+      if (event.insert_mode == ConstraintCheckMode::kSimplified) {
+        out += " (" + std::to_string(event.residues.size()) + " residue" +
+               (event.residues.size() == 1 ? "" : "s") + ")";
+      }
+      out += "\n";
+      for (size_t i = 0; i < event.residues.size(); ++i) {
+        out += "    residue " + std::to_string(i) + ": " +
+               event.residues[i].query.plan_description() + "\n";
+      }
+    }
+    out += "  on erase/rebase of any input: full recheck\n";
+  }
+  return out;
 }
 
 Result<Relation> Database::EvalRange(const RangePtr& range) {
@@ -424,13 +670,14 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
 
 Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
                                            const Schema& schema,
-                                           const Environment& params) {
+                                           const Environment& params,
+                                           bool allow_cache) {
   ApplicationGraph graph(&catalog_);
   DATACON_RETURN_IF_ERROR(graph.AddRoots(*expr));
   SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
   // Parameterized executions bypass the cache: parameter values change
   // results (and magic seeds) without appearing in any cache key.
-  const bool use_cache = options_.cache && !params.HasParams();
+  const bool use_cache = allow_cache && options_.cache && !params.HasParams();
   if (use_cache) ev.InstallMatCache(&mat_cache_);
   std::optional<SpecializationPlan> plan;
   if (options_.specialize) {
@@ -519,7 +766,7 @@ Result<Relation> PreparedQuery::Execute(
   Result<Relation> out =
       seeded_plan_.has_value()
           ? db_->ExecuteSeeded(expr_, schema_, env, *seeded_plan_)
-          : db_->EvaluateGeneral(expr_, schema_, env);
+          : db_->EvaluateGeneral(expr_, schema_, env, !cache_bypass_);
   if (span.active()) {
     span.AddArg("rounds", static_cast<int64_t>(db_->last_stats_.iterations));
     span.AddArg("tuples_inserted",

@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/constraint.h"
 #include "analysis/lint.h"
 #include "ast/branch.h"
 #include "ast/decl.h"
@@ -55,9 +56,47 @@ struct DatabaseOptions {
   /// Entry capacity of that cache, LRU-evicted (`PRAGMA CACHE_CAPACITY`);
   /// 0 stops new entries from being stored.
   size_t cache_capacity = 64;
+  /// Enforce declared integrity constraints on INSERT and assignment
+  /// (`PRAGMA CONSTRAINTS`). Definitions are still audited and compiled
+  /// while off; violations admitted while off surface on the next checked
+  /// statement (its full recheck).
+  bool constraints = true;
+  /// Run the compile-time simplified (delta-driven) checks where the
+  /// analysis proved them complete; false forces full re-evaluation on
+  /// every check — the A/B lever of bench_constraints.
+  bool constraints_simplify = true;
 };
 
-class PreparedQuery;
+class Database;
+
+/// A compiled parameterized query form. Holds the instantiated application
+/// graph and any seeded-closure plan; Execute supplies the constants.
+class PreparedQuery {
+ public:
+  /// Runs the compiled form with the given parameter values.
+  Result<Relation> Execute(const std::map<std::string, Value>& params);
+
+  /// One line describing the chosen plan ("seeded transitive closure on
+  /// parameter 'p'" / "general evaluation").
+  const std::string& plan_description() const { return plan_description_; }
+
+  const Schema& result_schema() const { return schema_; }
+
+ private:
+  friend class Database;
+  PreparedQuery() = default;
+
+  Database* db_ = nullptr;
+  CalcExprPtr expr_;
+  Schema schema_;
+  std::map<std::string, ValueType> placeholders_;
+  std::optional<SeededTcPlan> seeded_plan_;
+  std::string plan_description_;
+  // Constraint checks set this: checking must be invisible, so even a
+  // parameterless denial may neither read nor warm the materialization
+  // cache (a warmed entry would change later queries' replayed stats).
+  bool cache_bypass_ = false;
+};
 
 /// The DBPL database program facade: definitions run level-1 analysis
 /// (type check, positivity, definition partitioning), queries run level-2
@@ -81,7 +120,17 @@ class Database {
   Status CreateRelation(const std::string& name, const std::string& type_name);
 
   /// Inserts one tuple into a base relation (key constraint enforced).
+  /// With constraints on, every compiled integrity constraint whose inputs
+  /// moved is re-checked; a violation erases the tuple again and returns
+  /// kConstraintViolation.
   Status Insert(const std::string& relation, Tuple tuple);
+
+  /// Inserts a batch of tuples atomically: on a key or constraint
+  /// violation every tuple that grew the relation is erased again and the
+  /// relation's tuple set is exactly what it was (the backend of a
+  /// multi-tuple `INSERT INTO ...;` statement).
+  Status InsertAll(const std::string& relation,
+                   const std::vector<Tuple>& tuples);
 
   Result<const Relation*> GetRelation(const std::string& name) const;
   Result<Relation*> GetMutableRelation(const std::string& name);
@@ -117,6 +166,18 @@ class Database {
   /// reproduce the section 3.3 examples (`nonsense`, `strange`) in
   /// unchecked evaluation mode; not part of the paper's DBPL surface.
   Status DefineConstructorUnchecked(ConstructorDeclPtr decl);
+
+  /// Defines an integrity constraint: runs the define-time audit
+  /// (analysis/constraint.h; error diagnostics reject), compiles the full
+  /// denial check plus the per-event simplified residues, and — with
+  /// constraints on — verifies the constraint against the existing facts
+  /// (refuted constraints are rejected with kConstraintViolation and the
+  /// catalog is left untouched).
+  Status DefineConstraint(ConstraintDeclPtr decl);
+
+  /// The `SHOW CONSTRAINTS;` table: every constraint with its compiled
+  /// full-check plan and per-input-relation event modes/residue plans.
+  std::string DescribeConstraints() const;
 
   // --- Static analysis ---
 
@@ -204,6 +265,35 @@ class Database {
  private:
   friend class PreparedQuery;
 
+  /// One compiled residue: the parameterized denial remainder plus the
+  /// parameter name carrying each delta attribute.
+  struct CompiledResidue {
+    PreparedQuery query;
+    std::vector<std::string> param_fields;
+  };
+  /// The compiled plan for INSERTs into one input relation. A residue that
+  /// failed to compile degrades the event to kFull at define time.
+  struct CompiledEvent {
+    ConstraintCheckMode insert_mode = ConstraintCheckMode::kFull;
+    std::vector<CompiledResidue> residues;
+  };
+  /// A defined constraint with its compiled checks and the input
+  /// generations as of the last successful check (the delta baseline).
+  struct CompiledConstraint {
+    ConstraintDeclPtr decl;
+    ConstraintBody body;
+    std::optional<PreparedQuery> full;
+    std::map<std::string, CompiledEvent> events;
+    std::map<std::string, uint64_t> snapshot;
+  };
+
+  /// Re-checks every constraint whose input generations moved since its
+  /// snapshot; kConstraintViolation on the first witness found. No-op with
+  /// constraints off or none defined. Callers roll the mutation back on
+  /// failure.
+  Status CheckConstraintsAfterUpdate();
+  Status CheckOneConstraint(CompiledConstraint* constraint);
+
   /// Shared evaluation pipeline: level-2 rewrites + plan dispatch, wrapped
   /// in the per-query observability (trace span, latency/rounds/tuples
   /// histograms, slow-query log).
@@ -228,10 +318,12 @@ class Database {
                                  const SeededTcPlan& plan);
 
   /// Level-3 general execution (instantiate, capture install, fixpoint);
-  /// `expr` must already be rewritten.
+  /// `expr` must already be rewritten. `allow_cache = false` forces the
+  /// run past the materialization cache (constraint checks).
   Result<Relation> EvaluateGeneral(const CalcExprPtr& expr,
                                    const Schema& schema,
-                                   const Environment& params);
+                                   const Environment& params,
+                                   bool allow_cache = true);
 
   Status DefineConstructorGroup(const std::vector<ConstructorDeclPtr>& decls,
                                 bool check_positivity);
@@ -253,34 +345,10 @@ class Database {
   std::vector<std::pair<int64_t, std::unique_ptr<ProfileNode>>> profiles_;
   SlowQueryLog slow_query_log_;
   MatCache mat_cache_;
+  std::map<std::string, CompiledConstraint> constraints_;
   /// Counter snapshot taken by BeginEvaluation, so last_cache_stats() can
   /// report the most recent query's deltas.
   MatCacheStats cache_before_;
-};
-
-/// A compiled parameterized query form. Holds the instantiated application
-/// graph and any seeded-closure plan; Execute supplies the constants.
-class PreparedQuery {
- public:
-  /// Runs the compiled form with the given parameter values.
-  Result<Relation> Execute(const std::map<std::string, Value>& params);
-
-  /// One line describing the chosen plan ("seeded transitive closure on
-  /// parameter 'p'" / "general evaluation").
-  const std::string& plan_description() const { return plan_description_; }
-
-  const Schema& result_schema() const { return schema_; }
-
- private:
-  friend class Database;
-  PreparedQuery() = default;
-
-  Database* db_ = nullptr;
-  CalcExprPtr expr_;
-  Schema schema_;
-  std::map<std::string, ValueType> placeholders_;
-  std::optional<SeededTcPlan> seeded_plan_;
-  std::string plan_description_;
 };
 
 }  // namespace datacon

@@ -91,6 +91,7 @@ void MatCache::CountMiss() {
 }
 
 CacheLookup MatCache::Lookup(const std::string& key, const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
   CacheLookup result;
   auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -151,6 +152,7 @@ void MatCache::Insert(const std::string& key,
                       std::vector<CachedRelation> members,
                       std::vector<CacheInput> inputs, EvalStats stats,
                       bool maintainable) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (capacity_ == 0) return;
   Entry& entry = entries_[key];
   entry.members = std::move(members);
@@ -165,6 +167,7 @@ void MatCache::NoteMaintained(const std::string& key,
                               std::vector<CachedRelation> members,
                               std::vector<CacheInput> inputs,
                               EvalStats stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.delta_maintained;
   global_delta_maintained_->Increment();
   auto it = entries_.find(key);
@@ -177,14 +180,19 @@ void MatCache::NoteMaintained(const std::string& key,
 }
 
 void MatCache::InvalidateAfterFailure(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.erase(key);
   CountInvalidation();
   CountMiss();
 }
 
-void MatCache::Clear() { entries_.clear(); }
+void MatCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
 
 void MatCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
   capacity_ = capacity;
   EvictOverCapacity();
 }

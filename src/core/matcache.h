@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "ast/range.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 #include "common/result.h"
 #include "core/catalog.h"
 #include "core/fixpoint.h"
@@ -113,9 +115,10 @@ Result<std::vector<CacheInput>> SnapshotCacheInputs(
 ///   entry maintainable               -> kDeltaHit (re-seed semi-naive)
 ///   anything else                    -> invalidate + kMiss (full recompute)
 ///
-/// The cache is per-Database and not thread-safe (evaluations are
-/// serialized per database); the global metric counters it mirrors into
-/// are atomic.
+/// The cache is per-Database; evaluations are serialized per database, but
+/// all entry/counter state is guarded by one mutex anyway so concurrent
+/// observers (PRAGMA CACHE_CAPACITY from another session, stats scrapes)
+/// are safe. The global metric counters it mirrors into are atomic.
 class MatCache {
  public:
   explicit MatCache(size_t capacity = 64);
@@ -149,10 +152,20 @@ class MatCache {
 
   /// Shrinks to the new capacity immediately (LRU order).
   void set_capacity(size_t capacity);
-  size_t capacity() const { return capacity_; }
-  size_t size() const { return entries_.size(); }
+  size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
-  const MatCacheStats& stats() const { return stats_; }
+  /// Counter snapshot (by value — the counters keep moving).
+  MatCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   struct Entry {
@@ -163,15 +176,18 @@ class MatCache {
     uint64_t last_used = 0;
   };
 
-  void Touch(Entry* entry) { entry->last_used = ++tick_; }
-  void EvictOverCapacity();
-  void CountInvalidation();
-  void CountMiss();
+  void Touch(Entry* entry) DATACON_REQUIRES(mu_) {
+    entry->last_used = ++tick_;
+  }
+  void EvictOverCapacity() DATACON_REQUIRES(mu_);
+  void CountInvalidation() DATACON_REQUIRES(mu_);
+  void CountMiss() DATACON_REQUIRES(mu_);
 
-  size_t capacity_;
-  uint64_t tick_ = 0;
-  std::map<std::string, Entry> entries_;
-  MatCacheStats stats_;
+  mutable std::mutex mu_;
+  size_t capacity_ DATACON_GUARDED_BY(mu_);
+  uint64_t tick_ DATACON_GUARDED_BY(mu_) = 0;
+  std::map<std::string, Entry> entries_ DATACON_GUARDED_BY(mu_);
+  MatCacheStats stats_ DATACON_GUARDED_BY(mu_);
 
   /// Global mirrors (registry-owned, stable pointers).
   Counter* global_hits_;

@@ -1,5 +1,6 @@
 #include "lang/interpreter.h"
 
+#include "analysis/constraint.h"
 #include "ast/printer.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -12,8 +13,8 @@ namespace {
 /// Trace label per ScriptStmt alternative, in variant order.
 constexpr const char* kStmtKinds[] = {
     "type decl", "var decl", "selector decl", "constructor decl",
-    "insert",    "assign",   "query",         "explain",
-    "check",     "pragma",   "show",
+    "constraint decl", "insert", "assign", "query",
+    "explain",   "check",    "pragma", "show",
 };
 static_assert(std::variant_size_v<ScriptStmt> ==
                   sizeof(kStmtKinds) / sizeof(kStmtKinds[0]),
@@ -125,11 +126,20 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
     }
     return db_->DefineConstructor(ctor->decl);
   }
-  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
-    for (const Tuple& t : insert->tuples) {
-      DATACON_RETURN_IF_ERROR(db_->Insert(insert->relation, t));
+  if (const auto* constraint = std::get_if<ConstraintStmt>(&stmt)) {
+    if (lint_enabled_) {
+      // Lint BEFORE defining, like selectors/constructors: warnings are
+      // collected, errors reject and leave the catalog untouched.
+      TraceSpan lint_span("lint");
+      DATACON_RETURN_IF_ERROR(ReportDefinitionLint(
+          LintConstraint(*constraint->decl, db_->catalog())));
     }
-    return Status::OK();
+    return db_->DefineConstraint(constraint->decl);
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    // One statement, one atomic batch: a key or constraint violation rolls
+    // every tuple of the statement back.
+    return db_->InsertAll(insert->relation, insert->tuples);
   }
   if (const auto* assign = std::get_if<AssignStmt>(&stmt)) {
     DATACON_ASSIGN_OR_RETURN(Relation value, EvalRelationExpr(assign->value));
@@ -275,12 +285,28 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       db_->mat_cache().set_capacity(static_cast<size_t>(pragma->value));
       return Status::OK();
     }
+    if (pragma->name == "CONSTRAINTS") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA CONSTRAINTS requires ON or OFF");
+      }
+      db_->options().constraints = pragma->value != 0;
+      return Status::OK();
+    }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");
   }
   if (const auto* show = std::get_if<ShowStmt>(&stmt)) {
-    std::string text = show->what == ShowStmt::What::kMetrics
-                           ? "METRICS:\n" + MetricsRegistry::Global().ToText()
-                           : "SLOWLOG:\n" + db_->slow_query_log().ToText();
+    std::string text;
+    switch (show->what) {
+      case ShowStmt::What::kMetrics:
+        text = "METRICS:\n" + MetricsRegistry::Global().ToText();
+        break;
+      case ShowStmt::What::kSlowLog:
+        text = "SLOWLOG:\n" + db_->slow_query_log().ToText();
+        break;
+      case ShowStmt::What::kConstraints:
+        text = "CONSTRAINTS:\n" + db_->DescribeConstraints();
+        break;
+    }
     results_.push_back(QueryResult{std::move(text), Relation()});
     return Status::OK();
   }

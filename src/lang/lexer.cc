@@ -14,6 +14,7 @@ bool IsKeyword(std::string_view word) {
       "TRUE",   "FALSE",    "INTEGER",     "CARDINAL", "STRING", "BOOLEAN",
       "DIV",    "MOD",      "QUERY",       "INSERT", "INTO",   "EXPLAIN",
       "PRAGMA", "ANALYZE",  "CHECK",       "SCRIPT", "SHOW",
+      "CONSTRAINT", "DENY", "FOREIGN",     "REFERENCES",
   };
   return kKeywords.count(word) > 0;
 }

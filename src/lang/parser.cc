@@ -105,6 +105,7 @@ class Parser {
     if (CheckKeyword("VAR")) return ParseVarDecl();
     if (CheckKeyword("SELECTOR")) return ParseSelectorDecl();
     if (CheckKeyword("CONSTRUCTOR")) return ParseConstructorDecl();
+    if (CheckKeyword("CONSTRAINT")) return ParseConstraintDecl();
     if (CheckKeyword("INSERT")) return ParseInsert();
     if (CheckKeyword("QUERY")) return ParseQuery();
     if (CheckKeyword("EXPLAIN")) return ParseExplain();
@@ -305,6 +306,63 @@ class Parser {
     return ScriptStmt(std::move(stmt));
   }
 
+  Result<ScriptStmt> ParseConstraintDecl() {
+    SourceLoc loc = Loc();
+    DATACON_RETURN_IF_ERROR(ExpectKeyword("CONSTRAINT"));
+    DATACON_ASSIGN_OR_RETURN(std::string name, ExpectIdent("constraint name"));
+
+    ConstraintStmt stmt;
+    if (MatchKeyword("DENY")) {
+      // Denial form: the constraint is violated iff a witness exists.
+      std::vector<Binding> bindings;
+      do {
+        SourceLoc binding_loc = Loc();
+        DATACON_RETURN_IF_ERROR(ExpectKeyword("EACH"));
+        DATACON_ASSIGN_OR_RETURN(std::string var, ExpectIdent("tuple variable"));
+        DATACON_RETURN_IF_ERROR(ExpectKeyword("IN"));
+        DATACON_ASSIGN_OR_RETURN(RangePtr range, ParseRange());
+        bindings.push_back(
+            Binding{std::move(var), std::move(range), binding_loc});
+      } while (Match(TokenKind::kComma));
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'").status());
+      DATACON_ASSIGN_OR_RETURN(PredPtr pred, ParsePred());
+      stmt.decl = std::make_shared<ConstraintDecl>(
+          std::move(name), std::move(bindings), std::move(pred), loc);
+    } else if (MatchKeyword("KEY")) {
+      std::vector<std::string> fields;
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kLess, "'<'").status());
+      do {
+        DATACON_ASSIGN_OR_RETURN(std::string field, ExpectIdent("key field"));
+        fields.push_back(std::move(field));
+      } while (Match(TokenKind::kComma));
+      DATACON_RETURN_IF_ERROR(Expect(TokenKind::kGreater, "'>'").status());
+      // ON is not a reserved word (PRAGMA values use it as a plain ident).
+      if (!Check(TokenKind::kIdent) || Peek().text != "ON") {
+        return Error("expected 'ON'");
+      }
+      Advance();
+      DATACON_ASSIGN_OR_RETURN(std::string relation,
+                               ExpectIdent("relation name"));
+      stmt.decl = std::make_shared<ConstraintDecl>(
+          std::move(name), std::move(fields), std::move(relation), loc);
+    } else if (MatchKeyword("FOREIGN")) {
+      DATACON_ASSIGN_OR_RETURN(std::string fk_field, ExpectIdent("field name"));
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      DATACON_ASSIGN_OR_RETURN(RangePtr fk_range, ParseRange());
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("REFERENCES"));
+      DATACON_ASSIGN_OR_RETURN(std::string ref_field, ExpectIdent("field name"));
+      DATACON_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      DATACON_ASSIGN_OR_RETURN(RangePtr ref_range, ParseRange());
+      stmt.decl = std::make_shared<ConstraintDecl>(
+          std::move(name), std::move(fk_field), std::move(fk_range),
+          std::move(ref_field), std::move(ref_range), loc);
+    } else {
+      return Error("expected DENY, KEY, or FOREIGN after the constraint name");
+    }
+    DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
+    return ScriptStmt(std::move(stmt));
+  }
+
   Result<ScriptStmt> ParseInsert() {
     InsertStmt stmt;
     stmt.loc = Loc();
@@ -356,13 +414,15 @@ class Parser {
     stmt.loc = Loc();
     DATACON_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
     DATACON_ASSIGN_OR_RETURN(std::string what,
-                             ExpectIdent("METRICS or SLOWLOG"));
+                             ExpectIdent("METRICS, SLOWLOG, or CONSTRAINTS"));
     if (what == "METRICS") {
       stmt.what = ShowStmt::What::kMetrics;
     } else if (what == "SLOWLOG") {
       stmt.what = ShowStmt::What::kSlowLog;
+    } else if (what == "CONSTRAINTS") {
+      stmt.what = ShowStmt::What::kConstraints;
     } else {
-      return Error("expected METRICS or SLOWLOG after SHOW");
+      return Error("expected METRICS, SLOWLOG, or CONSTRAINTS after SHOW");
     }
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));

@@ -48,6 +48,14 @@ struct ConstructorStmt {
   ConstructorDeclPtr decl;
 };
 
+/// `CONSTRAINT name DENY EACH v IN R, ...: pred;` (or the KEY/FOREIGN
+/// sugar) — an integrity constraint, audited and compiled at define time
+/// and enforced on every subsequent mutation while PRAGMA CONSTRAINTS is
+/// ON.
+struct ConstraintStmt {
+  ConstraintDeclPtr decl;
+};
+
 /// `INSERT INTO Infront <"vase", "table">, <"table", "chair">;`
 struct InsertStmt {
   std::string relation;
@@ -100,17 +108,19 @@ struct PragmaStmt {
 
 /// `SHOW METRICS;` prints the process-wide query histograms (latency,
 /// fixpoint rounds, tuples derived, seed tuples pruned) with p50/p95/p99;
-/// `SHOW SLOWLOG;` prints the database's slow-query log, slowest first.
+/// `SHOW SLOWLOG;` prints the database's slow-query log, slowest first;
+/// `SHOW CONSTRAINTS;` prints every defined constraint with its compiled
+/// per-update check plans.
 struct ShowStmt {
-  enum class What { kMetrics, kSlowLog };
+  enum class What { kMetrics, kSlowLog, kConstraints };
   What what = What::kMetrics;
   SourceLoc loc;
 };
 
 using ScriptStmt =
     std::variant<TypeDeclStmt, VarDeclStmt, SelectorStmt, ConstructorStmt,
-                 InsertStmt, AssignStmt, QueryStmt, ExplainStmt, CheckStmt,
-                 PragmaStmt, ShowStmt>;
+                 ConstraintStmt, InsertStmt, AssignStmt, QueryStmt, ExplainStmt,
+                 CheckStmt, PragmaStmt, ShowStmt>;
 
 /// A parsed program: the statement sequence in source order.
 struct Script {

@@ -1,0 +1,312 @@
+#include "analysis/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "analysis/script_lint.h"
+#include "ast/builder.h"
+#include "ast/printer.h"
+#include "lang/parser.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction in tests
+
+/// Populates a catalog with Edge(src, dst) and Mark(node). (Catalog is
+/// neither copyable nor movable, so the caller owns the object.)
+void FillGraphCatalog(Catalog& catalog) {
+  EXPECT_TRUE(catalog
+                  .DefineRelationType("edgerel",
+                                      Schema({{"src", ValueType::kInt},
+                                              {"dst", ValueType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(catalog
+                  .DefineRelationType("markrel",
+                                      Schema({{"node", ValueType::kInt}}))
+                  .ok());
+  EXPECT_TRUE(catalog.CreateRelation("Edge", "edgerel").ok());
+  EXPECT_TRUE(catalog.CreateRelation("Mark", "markrel").ok());
+}
+
+/// Parses a script and returns its first constraint declaration.
+ConstraintDeclPtr ParseConstraint(const std::string& source) {
+  Result<Script> script = ParseScript(source);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  if (!script.ok()) return nullptr;
+  for (const ScriptStmt& stmt : script.value().stmts) {
+    if (const auto* c = std::get_if<ConstraintStmt>(&stmt)) return c->decl;
+  }
+  ADD_FAILURE() << "no constraint statement in source";
+  return nullptr;
+}
+
+const ConstraintEvent* FindEvent(const ConstraintAnalysis& analysis,
+                                 const std::string& relation) {
+  for (const ConstraintEvent& event : analysis.events) {
+    if (event.relation == relation) return &event;
+  }
+  return nullptr;
+}
+
+size_t CountCode(const std::vector<Diagnostic>& diagnostics,
+                 std::string_view code) {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+// --- Desugaring ------------------------------------------------------------
+
+TEST(DesugarConstraint, KeyBecomesAgreementDenial) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl =
+      ParseConstraint("CONSTRAINT k KEY <src> ON Edge;");
+  ASSERT_NE(decl, nullptr);
+  Result<ConstraintBody> body = DesugarConstraint(*decl, catalog);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  ASSERT_EQ(body.value().bindings.size(), 2u);
+  EXPECT_EQ(body.value().bindings[0].range->relation(), "Edge");
+  EXPECT_EQ(body.value().bindings[1].range->relation(), "Edge");
+  // The predicate mentions the key agreement and the non-key disagreement.
+  std::string pred = ToString(*body.value().pred);
+  EXPECT_NE(pred.find("src"), std::string::npos);
+  EXPECT_NE(pred.find("dst"), std::string::npos);
+}
+
+TEST(DesugarConstraint, ForeignBecomesUnmatchedDenial) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl = ParseConstraint(
+      "CONSTRAINT f FOREIGN node OF Mark REFERENCES src OF Edge;");
+  ASSERT_NE(decl, nullptr);
+  Result<ConstraintBody> body = DesugarConstraint(*decl, catalog);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  ASSERT_EQ(body.value().bindings.size(), 1u);
+  EXPECT_EQ(body.value().bindings[0].range->relation(), "Mark");
+  std::string pred = ToString(*body.value().pred);
+  EXPECT_NE(pred.find("NOT"), std::string::npos);
+  EXPECT_NE(pred.find("SOME"), std::string::npos);
+}
+
+TEST(DesugarConstraint, KeyUnknownFieldIsTypeError) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl =
+      ParseConstraint("CONSTRAINT k KEY <nope> ON Edge;");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_EQ(DesugarConstraint(*decl, catalog).status().code(),
+            StatusCode::kTypeError);
+}
+
+// --- Define-time diagnostics -----------------------------------------------
+
+TEST(LintConstraint, UnknownRelationIsE121) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl =
+      ParseConstraint("CONSTRAINT c DENY EACH p IN Nope: p.src = p.dst;");
+  ASSERT_NE(decl, nullptr);
+  std::vector<Diagnostic> diagnostics = LintConstraint(*decl, catalog);
+  EXPECT_EQ(CountCode(diagnostics, kDiagConstraintUnknownRelation), 1u);
+}
+
+TEST(LintConstraint, UnsafePredicateIsE120) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  // `q` is never bound — the denial is unsafe.
+  ConstraintDeclPtr decl = ParseConstraint(
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = q.dst;");
+  ASSERT_NE(decl, nullptr);
+  std::vector<Diagnostic> diagnostics = LintConstraint(*decl, catalog);
+  EXPECT_GE(CountCode(diagnostics, kDiagUnsafeConstraint), 1u);
+}
+
+TEST(LintConstraint, TriviallySatisfiedIsW230) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  // A key over every field: the disagreement disjunct is empty, the
+  // denial folds to FALSE and can never be violated.
+  ConstraintDeclPtr decl =
+      ParseConstraint("CONSTRAINT k KEY <src, dst> ON Edge;");
+  ASSERT_NE(decl, nullptr);
+  std::vector<Diagnostic> diagnostics = LintConstraint(*decl, catalog);
+  EXPECT_EQ(CountCode(diagnostics, kDiagConstraintTrivial), 1u);
+}
+
+TEST(LintConstraint, CleanConstraintHasNoDiagnostics) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl = ParseConstraint(
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_TRUE(LintConstraint(*decl, catalog).empty());
+}
+
+// --- Event classification --------------------------------------------------
+
+TEST(AnalyzeConstraint, DirectBindingsAreSimplified) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl =
+      ParseConstraint("CONSTRAINT k KEY <src> ON Edge;");
+  ASSERT_NE(decl, nullptr);
+  ConstraintAnalysis analysis = AnalyzeConstraint(*decl, catalog);
+  ASSERT_FALSE(analysis.HasErrors());
+  const ConstraintEvent* event = FindEvent(analysis, "Edge");
+  ASSERT_NE(event, nullptr);
+  EXPECT_EQ(event->insert_mode, ConstraintCheckMode::kSimplified);
+  // One residue per side of the two-variable agreement denial.
+  EXPECT_EQ(event->residue_bindings.size(), 2u);
+}
+
+TEST(AnalyzeConstraint, ReferencedSideOfForeignKeyIsSkip) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl = ParseConstraint(
+      "CONSTRAINT f FOREIGN node OF Mark REFERENCES src OF Edge;");
+  ASSERT_NE(decl, nullptr);
+  ConstraintAnalysis analysis = AnalyzeConstraint(*decl, catalog);
+  ASSERT_FALSE(analysis.HasErrors());
+  // Inserting a referenced tuple can only *satisfy* the FK — no check.
+  const ConstraintEvent* referenced = FindEvent(analysis, "Edge");
+  ASSERT_NE(referenced, nullptr);
+  EXPECT_EQ(referenced->insert_mode, ConstraintCheckMode::kSkip);
+  // The referencing side must find a match — simplified residue.
+  const ConstraintEvent* referencing = FindEvent(analysis, "Mark");
+  ASSERT_NE(referencing, nullptr);
+  EXPECT_EQ(referencing->insert_mode, ConstraintCheckMode::kSimplified);
+}
+
+TEST(AnalyzeConstraint, QuantifiedEvenOccurrenceForcesFull) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  // Edge occurs inside an even-parity SOME in addition to the direct
+  // binding of Mark: a new Edge tuple can create a witness without binding
+  // any denial variable, so Edge inserts need a full recheck.
+  ConstraintDeclPtr decl = ParseConstraint(
+      "CONSTRAINT c DENY EACH m IN Mark: "
+      "SOME e IN Edge (e.src = m.node AND e.dst = m.node);");
+  ASSERT_NE(decl, nullptr);
+  ConstraintAnalysis analysis = AnalyzeConstraint(*decl, catalog);
+  ASSERT_FALSE(analysis.HasErrors());
+  const ConstraintEvent* edge = FindEvent(analysis, "Edge");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->insert_mode, ConstraintCheckMode::kFull);
+}
+
+TEST(BuildResidue, SubstitutesDeltaBindingIntoParams) {
+  Catalog catalog;
+  FillGraphCatalog(catalog);
+  ConstraintDeclPtr decl =
+      ParseConstraint("CONSTRAINT k KEY <src> ON Edge;");
+  ASSERT_NE(decl, nullptr);
+  Result<ConstraintBody> body = DesugarConstraint(*decl, catalog);
+  ASSERT_TRUE(body.ok());
+  Result<ConstraintResidue> residue = BuildResidue(body.value(), 0, catalog);
+  ASSERT_TRUE(residue.ok()) << residue.status().ToString();
+  // One parameter per attribute of the delta tuple, schema order.
+  ASSERT_EQ(residue.value().param_fields.size(), 2u);
+  EXPECT_EQ(residue.value().param_fields[0], "delta_src");
+  EXPECT_EQ(residue.value().param_fields[1], "delta_dst");
+  // The delta binding is gone; the surviving binding joins on parameters
+  // (the printer renders a parameter reference by its bare name).
+  std::string printed = ToString(*residue.value().expr);
+  EXPECT_NE(printed.find("delta_src"), std::string::npos);
+}
+
+// --- Surface round-trips ---------------------------------------------------
+
+TEST(ConstraintParser, RoundTripsAllThreeForms) {
+  for (const std::string source : {
+           "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst",
+           "CONSTRAINT k KEY <src> ON Edge",
+           "CONSTRAINT f FOREIGN node OF Mark REFERENCES src OF Edge",
+       }) {
+    ConstraintDeclPtr decl = ParseConstraint(source + ";");
+    ASSERT_NE(decl, nullptr) << source;
+    EXPECT_EQ(ToString(*decl), source);
+    // Printing must re-parse to the same rendering.
+    ConstraintDeclPtr again = ParseConstraint(ToString(*decl) + ";");
+    ASSERT_NE(again, nullptr) << source;
+    EXPECT_EQ(ToString(*again), source);
+  }
+}
+
+// --- Script-level data-flow audit (W231 / W232) ----------------------------
+
+constexpr char kScriptPrelude[] =
+    "TYPE edgerel = RELATION OF RECORD src, dst: INTEGER END;\n"
+    "VAR Edge: edgerel;\n";
+
+LintReport LintWithConstraints(const std::string& source) {
+  Result<Script> script = ParseScript(source);
+  EXPECT_TRUE(script.ok()) << script.status().ToString();
+  if (!script.ok()) return {};
+  LintOptions options;
+  options.constraints = true;
+  return LintScript(script.value(), options);
+}
+
+size_t CountReport(const LintReport& report, std::string_view code) {
+  size_t n = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+TEST(LintScriptConstraints, RefutedByScriptFactsIsW231) {
+  LintReport report = LintWithConstraints(
+      std::string(kScriptPrelude) +
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;\n"
+      "INSERT INTO Edge <1, 1>;\n");
+  EXPECT_EQ(CountReport(report, kDiagConstraintRefuted), 1u);
+}
+
+TEST(LintScriptConstraints, SatisfiedFactsProduceNoW231) {
+  LintReport report = LintWithConstraints(
+      std::string(kScriptPrelude) +
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;\n"
+      "INSERT INTO Edge <1, 2>;\n");
+  EXPECT_EQ(CountReport(report, kDiagConstraintRefuted), 0u);
+  EXPECT_EQ(CountReport(report, kDiagConstraintUnreachable), 0u);
+}
+
+TEST(LintScriptConstraints, UntouchedInputsAreW232) {
+  // The script never inserts into or assigns Edge — the constraint can
+  // never fire after definition time.
+  LintReport report = LintWithConstraints(
+      std::string(kScriptPrelude) +
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;\n"
+      "QUERY Edge;\n");
+  EXPECT_EQ(CountReport(report, kDiagConstraintUnreachable), 1u);
+}
+
+TEST(LintScriptConstraints, OffByDefault) {
+  Result<Script> script = ParseScript(
+      std::string(kScriptPrelude) +
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;\n"
+      "INSERT INTO Edge <1, 1>;\n");
+  ASSERT_TRUE(script.ok());
+  LintReport report = LintScript(script.value());  // default options
+  EXPECT_EQ(CountReport(report, kDiagConstraintRefuted), 0u);
+  EXPECT_EQ(CountReport(report, kDiagConstraintUnreachable), 0u);
+}
+
+TEST(LintScriptConstraints, DuplicateNameIsReported) {
+  LintReport report = LintWithConstraints(
+      std::string(kScriptPrelude) +
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;\n"
+      "CONSTRAINT c DENY EACH p IN Edge: p.src = p.dst;\n"
+      "INSERT INTO Edge <1, 2>;\n");
+  EXPECT_EQ(CountReport(report, kDiagRedefinition), 1u);
+}
+
+}  // namespace
+}  // namespace datacon

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+
 #include "common/status.h"
 #include "lang/parser.h"
 
@@ -43,6 +46,34 @@ TEST(Diagnostic, CodeTableIsCompleteAndOrdered) {
     EXPECT_LT(std::string(codes[i - 1]), std::string(codes[i]));
   }
   EXPECT_TRUE(DiagnosticCodeMeaning("E999").empty());
+}
+
+TEST(Diagnostic, EveryRegisteredConstantIsEnumerated) {
+  // `datacon-lint --codes` prints exactly AllDiagnosticCodes(); a constant
+  // missing here would silently vanish from the listing. Every kDiag*
+  // constant declared in diagnostic.h must appear, with a meaning — the
+  // W22x adornment family and the E12x/W23x constraint family included.
+  const std::string_view all_constants[] = {
+      kDiagParseError,       kDiagUnknownName,
+      kDiagTypeError,        kDiagNonStratifiable,
+      kDiagRedefinition,     kDiagUnsafeVariable,
+      kDiagUnsafeConstraint, kDiagConstraintUnknownRelation,
+      kDiagUnusedBinding,    kDiagUnusedParameter,
+      kDiagShadowedName,     kDiagCrossProduct,
+      kDiagAlwaysFalseBranch, kDiagConstantConjunct,
+      kDiagDuplicateBranch,  kDiagNonDifferentiable,
+      kDiagNonLinearRecursion, kDiagStratifiedNegation,
+      kDiagAdornmentNonLinear, kDiagAdornmentFreeJoin,
+      kDiagAdornmentNegation, kDiagConstraintTrivial,
+      kDiagConstraintRefuted, kDiagConstraintUnreachable,
+  };
+  std::vector<std::string_view> codes = AllDiagnosticCodes();
+  EXPECT_EQ(codes.size(), std::size(all_constants));
+  for (std::string_view constant : all_constants) {
+    EXPECT_NE(std::find(codes.begin(), codes.end(), constant), codes.end())
+        << constant;
+    EXPECT_FALSE(DiagnosticCodeMeaning(constant).empty()) << constant;
+  }
 }
 
 TEST(Diagnostic, FromStatusMapsCodes) {

@@ -1,6 +1,7 @@
 // datacon-lint: standalone lint driver for DBPL programs.
 //
-//   datacon-lint [--json] [--werror] [--adorn] [--codes] file.dbpl...
+//   datacon-lint [--json] [--werror] [--adorn] [--constraints] [--codes]
+//                file.dbpl...
 //
 // Each file is parsed and run through the static-analysis pipeline
 // (analysis/script_lint.h) without executing anything. Diagnostics print as
@@ -8,9 +9,12 @@
 // file in the metrics conventions. --adorn additionally runs the adornment/
 // relevance analysis (analysis/adorn.h) over every query expression and
 // reports W220/W221/W222 where an adorned constructor application cannot be
-// specialized. Exit status: 0 when no file has errors (under --werror, when
-// no file has any diagnostic at all), 1 otherwise, 2 on usage or I/O
-// failure.
+// specialized. --constraints additionally audits declared integrity
+// constraints against the script's own data flow: W231 when the facts the
+// script inserts already refute a constraint, W232 when no statement of the
+// script can ever change one of the constraint's input relations. Exit
+// status: 0 when no file has errors (under --werror, when no file has any
+// diagnostic at all), 1 otherwise, 2 on usage or I/O failure.
 
 #include <fstream>
 #include <iostream>
@@ -27,8 +31,8 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: datacon-lint [--json] [--werror] [--adorn] [--codes] "
-               "file.dbpl...\n";
+  std::cerr << "usage: datacon-lint [--json] [--werror] [--adorn] "
+               "[--constraints] [--codes] file.dbpl...\n";
   return 2;
 }
 
@@ -43,6 +47,11 @@ void PrintHelp() {
          "  --werror   any diagnostic (not just errors) fails the run\n"
          "  --adorn    run the adornment/relevance analysis and report\n"
          "             W220/W221/W222 for unspecializable adorned queries\n"
+         "  --constraints\n"
+         "             audit integrity constraints against the script's\n"
+         "             data flow: W231 when the script's own facts refute a\n"
+         "             constraint, W232 when no statement can ever change\n"
+         "             one of its input relations\n"
          "  --codes    list every diagnostic code with its meaning and exit\n"
          "  --version  print version and build info and exit\n"
          "  --help     show this help and exit\n"
@@ -94,6 +103,8 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--adorn") {
       options.adorn = true;
+    } else if (arg == "--constraints") {
+      options.constraints = true;
     } else if (arg == "--codes") {
       PrintCodes();
       return 0;
