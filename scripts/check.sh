@@ -16,18 +16,25 @@ echo "== tier-1: ctest =="
 echo "== lint: example corpus =="
 # Every shipped example must be clean even with warnings promoted (the
 # lint_example_* ctest entries check the same thing file by file),
-# adornment and constraint data-flow findings included.
-./build/tools/datacon-lint --werror --adorn --constraints examples/dbpl/*.dbpl
+# adornment, constraint data-flow, and type-inference findings included.
+# The glob skips examples/dbpl/bad/ — those fixtures are *supposed* to be
+# flagged, and the second line insists the type checker actually does.
+./build/tools/datacon-lint --werror --adorn --constraints --types \
+  examples/dbpl/*.dbpl
+(./build/tools/datacon-lint --types examples/dbpl/bad/ill_typed.dbpl || true) \
+  | grep -q "E130"
 
-echo "== bench: parallel + specialize + cache (smoke, --json artifacts) =="
+echo "== bench: parallel + specialize + cache + typed (smoke, --json) =="
 # Quick single-repetition passes over the engine-level benchmarks; the
 # runs double as correctness smoke tests (bench bodies abort on evaluation
 # errors) and leave BENCH_parallel.json / BENCH_specialize.json /
-# BENCH_cache.json behind as the EXPERIMENTS.md artifacts.
+# BENCH_cache.json / BENCH_typed.json behind as the EXPERIMENTS.md
+# artifacts.
 ./build/bench/bench_parallel --json --benchmark_min_time=0.01
 ./build/bench/bench_specialize --json --benchmark_min_time=0.01
 ./build/bench/bench_cache --json --benchmark_min_time=0.01
 ./build/bench/bench_constraints --json --benchmark_min_time=0.01
+./build/bench/bench_typed --json --benchmark_min_time=0.01
 
 echo "== trace: end-to-end trace-out =="
 # Drive a same-generation query (recursive but not closure-shaped, so the

@@ -15,6 +15,7 @@ namespace {
 LintOptions OptionsOf(const DatabaseOptions& db_options) {
   LintOptions options;
   options.allow_stratified_negation = db_options.allow_stratified_negation;
+  options.types = db_options.typecheck;
   return options;
 }
 

@@ -18,7 +18,7 @@ struct CodeEntry {
 
 /// The registry behind DiagnosticCodeMeaning/AllDiagnosticCodes. Order is
 /// errors first, numerically — the order DESIGN.md documents them in.
-constexpr std::array<CodeEntry, 24> kCodeTable = {{
+constexpr std::array<CodeEntry, 30> kCodeTable = {{
     {kDiagParseError, "the source fragment failed to parse"},
     {kDiagUnknownName,
      "a relation, selector, constructor, or parameter name is not declared"},
@@ -36,6 +36,17 @@ constexpr std::array<CodeEntry, 24> kCodeTable = {{
     {kDiagConstraintUnknownRelation,
      "the constraint references a relation, selector, or constructor that "
      "is not declared"},
+    {kDiagTypeConflict,
+     "whole-program type inference found two contributions that assign "
+     "incompatible types to the same attribute, parameter, or term (both "
+     "contributing spans are named in the message)"},
+    {kDiagIllTypedOperation,
+     "an arithmetic operator is applied to a non-integer operand, or an "
+     "ordered comparison (<, <=, >, >=) mixes operands of different types"},
+    {kDiagCaptureNonBinary,
+     "the constructor matches the transitive-closure capture shape but its "
+     "base or result relation is not binary; the capture rule would fail at "
+     "evaluation time"},
     {kDiagUnusedBinding,
      "a tuple variable is bound by EACH but used neither in the predicate "
      "nor in the target list"},
@@ -81,6 +92,15 @@ constexpr std::array<CodeEntry, 24> kCodeTable = {{
     {kDiagConstraintUnreachable,
      "no INSERT or assignment in the script touches any input relation of "
      "the constraint; its support can never change"},
+    {kDiagDisjointComparison,
+     "an equality or inequality compares operands of statically disjoint "
+     "types; the comparison has a constant truth value"},
+    {kDiagUnconstrainedAttribute,
+     "no branch constrains the type of this derived-relation attribute; "
+     "inference leaves it unknown"},
+    {kDiagUnionNameMismatch,
+     "the union's branches disagree on a result field name; a positional "
+     "name is used instead of the first branch's"},
 }};
 
 }  // namespace

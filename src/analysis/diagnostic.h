@@ -33,6 +33,9 @@ inline constexpr std::string_view kDiagRedefinition = "E104";
 inline constexpr std::string_view kDiagUnsafeVariable = "E110";
 inline constexpr std::string_view kDiagUnsafeConstraint = "E120";
 inline constexpr std::string_view kDiagConstraintUnknownRelation = "E121";
+inline constexpr std::string_view kDiagTypeConflict = "E130";
+inline constexpr std::string_view kDiagIllTypedOperation = "E131";
+inline constexpr std::string_view kDiagCaptureNonBinary = "E132";
 inline constexpr std::string_view kDiagUnusedBinding = "W201";
 inline constexpr std::string_view kDiagUnusedParameter = "W202";
 inline constexpr std::string_view kDiagShadowedName = "W203";
@@ -49,6 +52,9 @@ inline constexpr std::string_view kDiagAdornmentNegation = "W222";
 inline constexpr std::string_view kDiagConstraintTrivial = "W230";
 inline constexpr std::string_view kDiagConstraintRefuted = "W231";
 inline constexpr std::string_view kDiagConstraintUnreachable = "W232";
+inline constexpr std::string_view kDiagDisjointComparison = "W240";
+inline constexpr std::string_view kDiagUnconstrainedAttribute = "W241";
+inline constexpr std::string_view kDiagUnionNameMismatch = "W242";
 
 /// One-line meaning of a diagnostic code, or empty for an unknown code.
 std::string_view DiagnosticCodeMeaning(std::string_view code);

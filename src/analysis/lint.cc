@@ -8,6 +8,7 @@
 
 #include "analysis/constraint.h"
 #include "analysis/fold.h"
+#include "analysis/typecheck.h"
 #include "ast/printer.h"
 #include "core/positivity.h"
 #include "graph/digraph.h"
@@ -758,6 +759,9 @@ LintReport LintCatalogDecls(const Catalog& catalog,
   report.Append(LintConstructorGroup(all, catalog, options));
   for (const auto& entry : catalog.constraints()) {
     report.Append(LintConstraint(*entry.second, catalog));
+  }
+  if (options.types) {
+    report.Append(InferCatalogTypes(catalog).diagnostics);
   }
   report.SortBySpan();
   return report;

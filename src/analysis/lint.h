@@ -29,6 +29,12 @@ struct LintOptions {
   /// script's definitions/inserts into a scratch database. The
   /// `datacon-lint --constraints` flag turns it on.
   bool constraints = false;
+  /// Run whole-program type inference (analysis/typecheck.h) over every
+  /// selector, constructor group, and query expression and report
+  /// E130/E131/E132/W240/W241/W242. Off by default; the `datacon-lint
+  /// --types` flag and `DatabaseOptions::typecheck` (CHECK SCRIPT) turn it
+  /// on.
+  bool types = false;
 };
 
 /// Lints one selector declaration against `catalog` (which supplies the

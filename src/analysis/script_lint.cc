@@ -8,6 +8,7 @@
 
 #include "analysis/adorn.h"
 #include "analysis/constraint.h"
+#include "analysis/typecheck.h"
 #include "ast/builder.h"
 #include "core/catalog.h"
 #include "core/database.h"
@@ -92,6 +93,9 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
   auto flush_group = [&] {
     if (group.empty()) return;
     report.Append(LintConstructorGroup(group, catalog, options));
+    if (options.types) {
+      report.Append(TypecheckConstructorGroup(group, catalog));
+    }
     for (const ConstructorDeclPtr& decl : group) {
       // A duplicate name already produced E104 above; keep the first decl.
       (void)catalog.DefineConstructor(decl);
@@ -123,6 +127,9 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
     }
     if (value.expr != nullptr) {
       report.Append(WithLoc(LintQueryExpr(*value.expr, catalog), loc));
+      if (options.types) {
+        report.Append(WithLoc(TypecheckQueryExpr(*value.expr, catalog), loc));
+      }
       adorn_expr(value.expr, loc);
     }
   };
@@ -141,6 +148,10 @@ LintReport LintScript(const Script& script, const LintOptions& options) {
       if (!s.ok()) report.Append(DiagnosticFromStatus(s));
     } else if (const auto* selector = std::get_if<SelectorStmt>(&stmt)) {
       report.Append(LintSelector(*selector->decl, catalog));
+      if (options.types) {
+        report.Append(WithLoc(TypecheckSelector(*selector->decl, catalog),
+                              selector->decl->loc()));
+      }
       (void)catalog.DefineSelector(selector->decl);
     } else if (const auto* ctor = std::get_if<ConstructorStmt>(&stmt)) {
       group.push_back(ctor->decl);

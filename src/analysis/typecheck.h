@@ -1,0 +1,104 @@
+#ifndef DATACON_ANALYSIS_TYPECHECK_H_
+#define DATACON_ANALYSIS_TYPECHECK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "ast/branch.h"
+#include "ast/decl.h"
+#include "ast/source_loc.h"
+#include "core/catalog.h"
+#include "types/value.h"
+
+namespace datacon {
+
+/// Whole-program type inference (DESIGN §4.16).
+///
+/// Computes a static ValueType for every derived-relation attribute by
+/// propagating types from branch target lists and identity ranges through
+/// constructor recursion, over the SCC condensation of the constructor
+/// reference graph. The lattice per attribute is
+///
+///     unknown  ⊑  INTEGER | STRING | BOOLEAN  ⊑  conflict
+///
+/// Inference is *bottom-up* — it never seeds from the declared result
+/// schemas, so comparing the inferred types against the declarations yields
+/// genuine findings: E130 when two contributions (or a contribution and the
+/// declaration) disagree, W241 when no branch constrains an attribute at
+/// all. A walk over every predicate adds E131 (ill-typed arithmetic or
+/// ordered comparison), W240 (equality between statically disjoint types —
+/// a constant truth value), and E132 (transitive-closure capture shape over
+/// a non-binary relation, promoted from capture.cc's runtime error).
+///
+/// A catalog whose every definition passes these checks is *typed-proven*:
+/// evaluation may run the fast Evaluator variant that replaces per-tuple
+/// Value::type() dispatch with debug-only assertions (ra/eval.h).
+
+/// One attribute's inference cell. `loc`/`origin` describe the first
+/// contribution that fixed the type; `other_*` the contribution that
+/// conflicted with it (valid only in the kConflict state).
+struct InferredType {
+  enum class State { kUnknown, kKnown, kConflict };
+
+  State state = State::kUnknown;
+  ValueType type = ValueType::kInt;
+  SourceLoc loc;
+  std::string origin;
+  ValueType other_type = ValueType::kInt;
+  SourceLoc other_loc;
+  std::string other_origin;
+
+  static InferredType Unknown() { return InferredType{}; }
+  static InferredType Known(ValueType type, SourceLoc loc, std::string origin);
+
+  /// "INTEGER", "?", or "<conflict>".
+  std::string ToString() const;
+};
+
+/// The inferred full schema (names + types) of one derived relation.
+struct InferredSchema {
+  std::vector<std::string> names;
+  std::vector<InferredType> columns;
+
+  /// "RECORD src: STRING; len: INTEGER END" with "?" for unknown columns.
+  std::string ToString() const;
+};
+
+/// The outcome of inference over a whole catalog.
+struct TypeInference {
+  /// Constructor name -> inferred result schema.
+  std::map<std::string, InferredSchema> constructors;
+  std::vector<Diagnostic> diagnostics;
+
+  bool HasErrors() const;
+};
+
+/// Runs inference and checking over every selector and constructor in the
+/// catalog. Constructors are processed as one group, so mutual recursion
+/// across existing definitions is typed precisely.
+TypeInference InferCatalogTypes(const Catalog& catalog);
+
+/// Type-checks one constructor group (the unit of mutual recursion) against
+/// `catalog`. Members of `group` are resolved from the group itself, so the
+/// pass works whether or not they are registered in the catalog yet — the
+/// define path calls it before committing, the lint path after provisional
+/// registration.
+std::vector<Diagnostic> TypecheckConstructorGroup(
+    const std::vector<ConstructorDeclPtr>& group, const Catalog& catalog);
+
+/// Type-checks a selector body (E131/W240 findings; the binding structure
+/// itself is level-1's job).
+std::vector<Diagnostic> TypecheckSelector(const SelectorDecl& decl,
+                                          const Catalog& catalog);
+
+/// Type-checks a query expression: per-branch predicate/term findings plus
+/// W242 when the union's branches disagree on a result field name.
+std::vector<Diagnostic> TypecheckQueryExpr(
+    const CalcExpr& expr, const Catalog& catalog,
+    const std::map<std::string, ValueType>& placeholders = {});
+
+}  // namespace datacon
+
+#endif  // DATACON_ANALYSIS_TYPECHECK_H_

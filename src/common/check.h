@@ -28,6 +28,17 @@ namespace datacon::internal_check {
     }                                                                       \
   } while (0)
 
+/// Debug-only DATACON_CHECK. Compiles to nothing under NDEBUG — used on the
+/// typed-proven evaluation path, where the type checker has already proved
+/// the condition and release builds must not pay for it per tuple.
+#ifdef NDEBUG
+#define DATACON_DCHECK(cond, ...) \
+  do {                            \
+  } while (0)
+#else
+#define DATACON_DCHECK(cond, ...) DATACON_CHECK(cond, ##__VA_ARGS__)
+#endif
+
 /// Marks a code path that must be unreachable.
 #define DATACON_UNREACHABLE(msg)                                            \
   ::datacon::internal_check::CheckFailed(__FILE__, __LINE__, "unreachable", \

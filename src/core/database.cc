@@ -1,6 +1,9 @@
 #include "core/database.h"
 
+#include <set>
+
 #include "analysis/adorn.h"
+#include "analysis/typecheck.h"
 #include "ast/builder.h"
 #include "ast/printer.h"
 #include "common/check.h"
@@ -106,9 +109,11 @@ Status Database::AssignThroughSelector(const std::string& relation,
     }
     env.BindParam(sel->params()[i].name, args[i]);
   }
-  SystemEvaluator ev(&catalog_, &graph, options_.eval, env);
+  EvalOptions eval_options = options_.eval;
+  eval_options.typed_proven = TypedProven();
+  SystemEvaluator ev(&catalog_, &graph, eval_options, env);
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
-  Evaluator eval(&ev);
+  Evaluator eval(&ev, eval_options.typed_proven);
 
   Environment tuple_env = env;
   for (const Tuple& t : value.tuples()) {
@@ -124,7 +129,13 @@ Status Database::AssignThroughSelector(const std::string& relation,
 }
 
 Status Database::DefineSelector(SelectorDeclPtr decl) {
-  DATACON_RETURN_IF_ERROR(CheckSelectorDecl(*decl, catalog_));
+  if (options_.typecheck) {
+    DATACON_RETURN_IF_ERROR(CheckSelectorDecl(*decl, catalog_));
+  } else {
+    // Admitting an unchecked definition permanently demotes the catalog to
+    // the checked interpreter (the typed proof no longer holds).
+    catalog_typed_clean_ = false;
+  }
   return catalog_.DefineSelector(std::move(decl));
 }
 
@@ -142,8 +153,10 @@ Status Database::DefineConstructorGroup(
   }
   if (status.ok()) {
     for (const ConstructorDeclPtr& decl : decls) {
-      status = CheckConstructorDecl(*decl, catalog_);
-      if (!status.ok()) break;
+      if (options_.typecheck) {
+        status = CheckConstructorDecl(*decl, catalog_);
+        if (!status.ok()) break;
+      }
       if (check_positivity) {
         // The strict DBPL rule: reject at definition time (section 3.3).
         // With the stratified extension, negative references are instead
@@ -153,6 +166,18 @@ Status Database::DefineConstructorGroup(
       }
     }
   }
+  if (status.ok() && options_.typecheck) {
+    // Whole-program inference over the group: E130 conflicts, E131
+    // ill-typed operations, and E132 non-binary capture shapes reject the
+    // definition outright; warnings surface through CHECK/datacon-lint.
+    for (const Diagnostic& d : TypecheckConstructorGroup(decls, catalog_)) {
+      if (d.severity == Severity::kError) {
+        status = Status::TypeError(d.ToString());
+        break;
+      }
+    }
+  }
+  if (status.ok() && !options_.typecheck) catalog_typed_clean_ = false;
   if (!status.ok()) {
     for (const std::string& name : registered) catalog_.RemoveConstructor(name);
     return status;
@@ -501,6 +526,7 @@ bool SeededPlanApplies(const CalcExpr& expr, const SeededTcPlan& plan) {
 void Database::BeginEvaluation() {
   ++eval_index_;
   last_stats_ = EvalStats{};
+  last_typed_proven_ = TypedProven();
   cache_before_ = mat_cache_.stats();
 }
 
@@ -596,7 +622,9 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
   TraceSpan span("seeded closure");
   Timer timer;
   ApplicationGraph graph(&catalog_);
-  SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
+  EvalOptions eval_options = options_.eval;
+  eval_options.typed_proven = TypedProven();
+  SystemEvaluator ev(&catalog_, &graph, eval_options, params);
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
 
   DATACON_ASSIGN_OR_RETURN(const Relation* edges,
@@ -631,7 +659,7 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
     }
   }
   Relation out(schema);
-  Evaluator eval(&ev);
+  Evaluator eval(&ev, eval_options.typed_proven);
   BranchExecStats exec_stats;
   DATACON_RETURN_IF_ERROR(ExecuteBranch(branch, resolved, eval, params, &out,
                                         &exec_stats, options_.eval.exec));
@@ -674,7 +702,9 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
                                            bool allow_cache) {
   ApplicationGraph graph(&catalog_);
   DATACON_RETURN_IF_ERROR(graph.AddRoots(*expr));
-  SystemEvaluator ev(&catalog_, &graph, options_.eval, params);
+  EvalOptions eval_options = options_.eval;
+  eval_options.typed_proven = TypedProven();
+  SystemEvaluator ev(&catalog_, &graph, eval_options, params);
   // Parameterized executions bypass the cache: parameter values change
   // results (and magic seeds) without appearing in any cache key.
   const bool use_cache = allow_cache && options_.cache && !params.HasParams();
@@ -851,6 +881,22 @@ Result<std::string> Database::Explain(const RangePtr& range) const {
                  : " -> naive fixpoint\n";
     }
   }
+
+  out += "level 2 (inferred schemas):\n";
+  TypeInference inference = InferCatalogTypes(catalog_);
+  std::set<std::string> explained;
+  for (const ApplicationGraph::Node& node : graph.nodes()) {
+    const std::string& ctor_name = node.ctor->name();
+    if (!explained.insert(ctor_name).second) continue;
+    auto it = inference.constructors.find(ctor_name);
+    if (it != inference.constructors.end()) {
+      out += "  " + ctor_name + ": " + it->second.ToString() + "\n";
+    }
+  }
+  out += TypedProven()
+             ? "  typed evaluation: proven (per-tuple type checks elided)\n"
+             : "  typed evaluation: checked fallback (catalog not "
+               "typed-proven)\n";
 
   out += "level 2 (adornment & relevance):\n";
   out += adornment.ToText(graph);

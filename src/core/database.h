@@ -65,6 +65,13 @@ struct DatabaseOptions {
   /// analysis proved them complete; false forces full re-evaluation on
   /// every check — the A/B lever of bench_constraints.
   bool constraints_simplify = true;
+  /// Run the level-1 type checks and the whole-program type inference at
+  /// definition time (`PRAGMA TYPECHECK`). While every definition in the
+  /// catalog was admitted with this on, evaluation is *typed-proven*: the
+  /// inner loop skips per-tuple Value::type() dispatch (ra/eval.h). Turning
+  /// it off admits ill-typed definitions, permanently demoting the catalog
+  /// to the checked interpreter (eval-time kTypeError becomes reachable).
+  bool typecheck = true;
 };
 
 class Database;
@@ -234,6 +241,15 @@ class Database {
   /// the next index.
   int64_t last_eval_index() const { return eval_index_; }
 
+  /// True when the most recent evaluation ran on the typed-proven fast
+  /// path: typecheck on, every definition admitted under it, and the
+  /// checked (non-unchecked) evaluation mode.
+  bool last_typed_proven() const { return last_typed_proven_; }
+
+  /// True while every definition in the catalog was admitted with
+  /// typecheck on (the proof obligation of the typed fast path).
+  bool catalog_typed_clean() const { return catalog_typed_clean_; }
+
   /// Profile tree of evaluation `index`, or null when profiling was off for
   /// that evaluation or the profile has been evicted. The most recent
   /// kRetainedProfiles profiled evaluations are retained, so a pointer
@@ -336,9 +352,18 @@ class Database {
   Status InstallCaptures(const ApplicationGraph& graph, SystemEvaluator* ev,
                          const SpecializationPlan* plan, bool use_cache);
 
+  /// The typed-proven verdict for the next evaluation; see
+  /// last_typed_proven().
+  bool TypedProven() const {
+    return options_.typecheck && catalog_typed_clean_ &&
+           !options_.eval.unchecked;
+  }
+
   DatabaseOptions options_;
   Catalog catalog_;
   EvalStats last_stats_;
+  bool catalog_typed_clean_ = true;
+  bool last_typed_proven_ = false;
   int64_t eval_index_ = 0;
   /// (evaluation index, profile) pairs, oldest first, at most
   /// kRetainedProfiles entries.

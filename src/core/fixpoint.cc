@@ -622,7 +622,7 @@ Status SystemEvaluator::DifferentialRounds(
           graph_->nodes()[static_cast<size_t>(node)].result_schema);
       for (const Tuple& t : totals_[static_cast<size_t>(node)]->tuples()) {
         if (deltas[node]->Contains(t)) continue;
-        DATACON_ASSIGN_OR_RETURN(bool inserted, old_rel->Insert(t));
+        DATACON_ASSIGN_OR_RETURN(bool inserted, InsertDerived(old_rel.get(), t));
         (void)inserted;
       }
       const Relation* result = old_rel.get();
@@ -682,7 +682,7 @@ Status SystemEvaluator::DifferentialRounds(
               rel, FilteredBinding(info.owner, info.branch_index, j, rel));
           resolved.push_back(ResolvedBinding{bindings[j].var, rel});
         }
-        Evaluator eval(this);
+        Evaluator eval(this, options_.typed_proven);
         BranchExecStats exec_stats;
         DATACON_RETURN_IF_ERROR(ExecuteBranch(*info.branch, resolved, eval,
                                               params_, out, &exec_stats,
@@ -698,7 +698,8 @@ Status SystemEvaluator::DifferentialRounds(
           graph_->nodes()[static_cast<size_t>(n)].result_schema);
       for (const Tuple& t : raws[n]->tuples()) {
         if (!totals_[static_cast<size_t>(n)]->Contains(t)) {
-          DATACON_ASSIGN_OR_RETURN(bool inserted, new_delta->Insert(t));
+          DATACON_ASSIGN_OR_RETURN(bool inserted,
+                                   InsertDerived(new_delta.get(), t));
           (void)inserted;
         }
       }
@@ -927,13 +928,13 @@ Status SystemEvaluator::MaintainComponent(const std::vector<int>& component,
                              catalog_->LookupRelation(d.relation));
     auto delta = std::make_unique<Relation>(base->schema());
     for (const Tuple& t : d.inserted) {
-      DATACON_ASSIGN_OR_RETURN(bool inserted, delta->Insert(t));
+      DATACON_ASSIGN_OR_RETURN(bool inserted, InsertDerived(delta.get(), t));
       (void)inserted;
     }
     auto old_rel = std::make_unique<Relation>(base->schema());
     for (const Tuple& t : base->tuples()) {
       if (delta->Contains(t)) continue;
-      DATACON_ASSIGN_OR_RETURN(bool inserted, old_rel->Insert(t));
+      DATACON_ASSIGN_OR_RETURN(bool inserted, InsertDerived(old_rel.get(), t));
       (void)inserted;
     }
     delta_rels[d.relation] = std::move(delta);
@@ -1011,7 +1012,7 @@ Status SystemEvaluator::MaintainComponent(const std::vector<int>& component,
               rel, FilteredBinding(info.owner, info.branch_index, j, rel));
           resolved.push_back(ResolvedBinding{bindings[j].var, rel});
         }
-        Evaluator eval(this);
+        Evaluator eval(this, options_.typed_proven);
         BranchExecStats exec_stats;
         DATACON_RETURN_IF_ERROR(ExecuteBranch(*info.branch, resolved, eval,
                                               params_, out, &exec_stats,
@@ -1025,7 +1026,8 @@ Status SystemEvaluator::MaintainComponent(const std::vector<int>& component,
           graph_->nodes()[static_cast<size_t>(n)].result_schema);
       for (const Tuple& t : raws[n]->tuples()) {
         if (!totals_[static_cast<size_t>(n)]->Contains(t)) {
-          DATACON_ASSIGN_OR_RETURN(bool inserted, new_delta->Insert(t));
+          DATACON_ASSIGN_OR_RETURN(bool inserted,
+                                   InsertDerived(new_delta.get(), t));
           (void)inserted;
         }
       }
@@ -1108,7 +1110,7 @@ Result<const Relation*> SystemEvaluator::FilteredBinding(
   auto filtered = std::make_unique<Relation>(rel->schema());
   for (const Tuple& t : rel->tuples()) {
     if (relevant->count(t.value(filter->field)) == 0) continue;
-    DATACON_ASSIGN_OR_RETURN(bool inserted, filtered->Insert(t));
+    DATACON_ASSIGN_OR_RETURN(bool inserted, InsertDerived(filtered.get(), t));
     (void)inserted;
   }
   const size_t pruned = rel->size() - filtered->size();
@@ -1131,7 +1133,7 @@ Status SystemEvaluator::EvaluateBranch(const Branch& branch, Relation* out,
     DATACON_ASSIGN_OR_RETURN(rel, FilteredBinding(node, branch_index, j, rel));
     resolved.push_back(ResolvedBinding{b.var, rel});
   }
-  Evaluator eval(this);
+  Evaluator eval(this, options_.typed_proven);
   BranchExecStats exec_stats;
   DATACON_RETURN_IF_ERROR(ExecuteBranch(branch, resolved, eval, params_, out,
                                         &exec_stats, options_.exec));
@@ -1195,7 +1197,7 @@ Result<std::unique_ptr<Relation>> SystemEvaluator::ApplySelector(
     return Status::TypeError("selector '" + app.name +
                              "' argument count mismatch");
   }
-  Evaluator eval(this);
+  Evaluator eval(this, options_.typed_proven);
   Environment env = params_;
   for (size_t i = 0; i < app.term_args.size(); ++i) {
     // Selector arguments in range position must be constants (literals or
@@ -1215,7 +1217,7 @@ Result<std::unique_ptr<Relation>> SystemEvaluator::ApplySelector(
     env.Bind(sel->var(), &t, &input.schema());
     DATACON_ASSIGN_OR_RETURN(bool keep, eval.EvalPred(*sel->pred(), env));
     if (keep) {
-      DATACON_ASSIGN_OR_RETURN(bool inserted, out->Insert(t));
+      DATACON_ASSIGN_OR_RETURN(bool inserted, InsertDerived(out.get(), t));
       (void)inserted;
     }
   }

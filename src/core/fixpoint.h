@@ -54,6 +54,12 @@ struct EvalOptions {
   /// sizes, branch-level counters) alongside the flat EvalStats. Off by
   /// default; EXPLAIN ANALYZE and `PRAGMA PROFILE = ON` turn it on.
   bool profile = false;
+  /// The whole-program type checker proved every definition well-typed:
+  /// run the typed-proven Evaluator variant, which replaces per-tuple
+  /// Value::type() dispatch and error construction with debug-only
+  /// assertions (ra/eval.h). Set by Database per evaluation; never set it
+  /// for a catalog holding definitions admitted with typecheck off.
+  bool typed_proven = false;
 };
 
 /// Counters reported by evaluation, consumed by EXPLAIN ANALYZE and the
@@ -186,6 +192,14 @@ class SystemEvaluator : public RelationResolver {
     std::set<std::string> inputs;
     bool maintainable = false;
   };
+
+  /// Insert into an engine-owned scratch/delta relation: when the catalog
+  /// is typed-proven the per-tuple schema validation is statically
+  /// discharged (storage/relation.h InsertProven), otherwise the checked
+  /// insert runs.
+  Result<bool> InsertDerived(Relation* rel, const Tuple& t) const {
+    return options_.typed_proven ? rel->InsertProven(t) : rel->Insert(t);
+  }
 
   /// Single-pass evaluation of a non-recursive node.
   Status EvaluateAcyclicNode(int node);

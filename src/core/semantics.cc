@@ -349,7 +349,7 @@ Result<Schema> InferQuerySchema(
   scope.scalar_params = placeholders;
 
   const Branch& first = *expr.branches()[0];
-  Schema inferred;
+  std::vector<Field> fields;
   if (!first.targets().has_value()) {
     if (first.bindings().size() != 1) {
       return Status::TypeError(
@@ -358,9 +358,8 @@ Result<Schema> InferQuerySchema(
     DATACON_ASSIGN_OR_RETURN(const Schema* schema,
                              RangeSchemaOf(*first.bindings()[0].range, scope));
     // Derived results use set semantics: drop any key declaration.
-    inferred = Schema(schema->fields());
+    fields = schema->fields();
   } else {
-    std::vector<Field> fields;
     for (const Binding& b : first.bindings()) {
       DATACON_ASSIGN_OR_RETURN(const Schema* schema,
                                RangeSchemaOf(*b.range, scope));
@@ -378,17 +377,46 @@ Result<Schema> InferQuerySchema(
       fields.push_back(Field{std::move(name), type});
       ++i;
     }
-    // Disambiguate duplicate field names positionally.
-    for (size_t a = 0; a < fields.size(); ++a) {
-      for (size_t b = a + 1; b < fields.size(); ++b) {
-        if (fields[a].name == fields[b].name) {
-          fields[b].name += "_" + std::to_string(b);
-        }
-      }
-    }
-    inferred = Schema(std::move(fields));
     scope.vars.clear();
   }
+  // Positions where later branches propose a different source field name
+  // revert to positional names, so a union's schema never depends on which
+  // branch happens to be written first. Branches the later CheckQuery will
+  // reject (wrong arity, unresolved ranges) get no vote here. The lint
+  // pipeline reports the disagreement itself as W242.
+  for (size_t bi = 1; bi < expr.branches().size(); ++bi) {
+    const Branch& br = *expr.branches()[bi];
+    std::vector<std::string> names;  // "" = no opinion (computed target)
+    if (!br.targets().has_value()) {
+      if (br.bindings().size() != 1) continue;
+      Result<const Schema*> schema =
+          RangeSchemaOf(*br.bindings()[0].range, scope);
+      if (!schema.ok()) continue;
+      if (schema.value()->arity() != static_cast<int>(fields.size())) continue;
+      for (const Field& f : schema.value()->fields()) names.push_back(f.name);
+    } else {
+      if (br.targets()->size() != fields.size()) continue;
+      for (const TermPtr& t : *br.targets()) {
+        names.push_back(t->kind() == Term::Kind::kFieldRef
+                            ? static_cast<const FieldRefTerm&>(*t).field()
+                            : "");
+      }
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (!names[i].empty() && names[i] != fields[i].name) {
+        fields[i].name = "c" + std::to_string(i);
+      }
+    }
+  }
+  // Disambiguate duplicate field names positionally.
+  for (size_t a = 0; a < fields.size(); ++a) {
+    for (size_t b = a + 1; b < fields.size(); ++b) {
+      if (fields[a].name == fields[b].name) {
+        fields[b].name += "_" + std::to_string(b);
+      }
+    }
+  }
+  Schema inferred(std::move(fields));
   DATACON_RETURN_IF_ERROR(CheckQuery(expr, catalog, inferred, placeholders));
   return inferred;
 }

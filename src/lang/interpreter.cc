@@ -1,6 +1,7 @@
 #include "lang/interpreter.h"
 
 #include "analysis/constraint.h"
+#include "analysis/typecheck.h"
 #include "ast/printer.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -292,6 +293,13 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       db_->options().constraints = pragma->value != 0;
       return Status::OK();
     }
+    if (pragma->name == "TYPECHECK") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA TYPECHECK requires ON or OFF");
+      }
+      db_->options().typecheck = pragma->value != 0;
+      return Status::OK();
+    }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");
   }
   if (const auto* show = std::get_if<ShowStmt>(&stmt)) {
@@ -306,6 +314,18 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       case ShowStmt::What::kConstraints:
         text = "CONSTRAINTS:\n" + db_->DescribeConstraints();
         break;
+      case ShowStmt::What::kSchemas: {
+        TypeInference inference = InferCatalogTypes(db_->catalog());
+        text = "SCHEMAS:\n";
+        if (inference.constructors.empty()) {
+          text += "  no constructors defined\n";
+        } else {
+          for (const auto& [name, schema] : inference.constructors) {
+            text += "  " + name + ": " + schema.ToString() + "\n";
+          }
+        }
+        break;
+      }
     }
     results_.push_back(QueryResult{std::move(text), Relation()});
     return Status::OK();

@@ -413,16 +413,20 @@ class Parser {
     ShowStmt stmt;
     stmt.loc = Loc();
     DATACON_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
-    DATACON_ASSIGN_OR_RETURN(std::string what,
-                             ExpectIdent("METRICS, SLOWLOG, or CONSTRAINTS"));
+    DATACON_ASSIGN_OR_RETURN(
+        std::string what,
+        ExpectIdent("METRICS, SLOWLOG, CONSTRAINTS, or SCHEMAS"));
     if (what == "METRICS") {
       stmt.what = ShowStmt::What::kMetrics;
     } else if (what == "SLOWLOG") {
       stmt.what = ShowStmt::What::kSlowLog;
     } else if (what == "CONSTRAINTS") {
       stmt.what = ShowStmt::What::kConstraints;
+    } else if (what == "SCHEMAS") {
+      stmt.what = ShowStmt::What::kSchemas;
     } else {
-      return Error("expected METRICS, SLOWLOG, or CONSTRAINTS after SHOW");
+      return Error(
+          "expected METRICS, SLOWLOG, CONSTRAINTS, or SCHEMAS after SHOW");
     }
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));

@@ -110,9 +110,10 @@ struct PragmaStmt {
 /// fixpoint rounds, tuples derived, seed tuples pruned) with p50/p95/p99;
 /// `SHOW SLOWLOG;` prints the database's slow-query log, slowest first;
 /// `SHOW CONSTRAINTS;` prints every defined constraint with its compiled
-/// per-update check plans.
+/// per-update check plans; `SHOW SCHEMAS;` prints every constructor's
+/// inferred result schema (analysis/typecheck.h).
 struct ShowStmt {
-  enum class What { kMetrics, kSlowLog, kConstraints };
+  enum class What { kMetrics, kSlowLog, kConstraints, kSchemas };
   What what = What::kMetrics;
   SourceLoc loc;
 };

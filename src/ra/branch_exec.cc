@@ -135,7 +135,9 @@ struct BranchPipeline {
       } else {
         result = *env.Lookup((*bindings)[0].var)->tuple;
       }
-      DATACON_ASSIGN_OR_RETURN(bool grew, out->Insert(result));
+      DATACON_ASSIGN_OR_RETURN(bool grew, eval.typed_proven()
+                                              ? out->InsertProven(result)
+                                              : out->Insert(result));
       if (grew) ++stats->inserted;
       return Status::OK();
     }
@@ -268,7 +270,7 @@ Status ExecuteBranch(const Branch& branch,
   }
   SnapshotResolver snapshot;
   DATACON_RETURN_IF_ERROR(snapshot.Prewarm(*branch.pred(), eval.resolver()));
-  Evaluator worker_eval(&snapshot);
+  Evaluator worker_eval(&snapshot, eval.typed_proven());
 
   std::vector<const Tuple*> outer_tuples;
   outer_tuples.reserve(outer.size());

@@ -5,8 +5,16 @@
 
 namespace datacon {
 
-Result<Value> Evaluator::EvalTerm(const Term& term,
-                                  const Environment& env) const {
+// The walk is compiled twice (Proven = false/true). The checked variant
+// tests operand types and constructs kTypeError on mismatch; the proven
+// variant reduces those tests to DATACON_DCHECKs, which vanish in release
+// builds — the type checker already discharged them (DESIGN §4.16).
+// Division/MOD by zero stays a checked runtime error in both variants: no
+// static analysis here proves divisors non-zero.
+
+template <bool Proven>
+Result<Value> Evaluator::EvalTermImpl(const Term& term,
+                                      const Environment& env) const {
   switch (term.kind()) {
     case Term::Kind::kLiteral:
       return static_cast<const LiteralTerm&>(term).value();
@@ -33,11 +41,17 @@ Result<Value> Evaluator::EvalTerm(const Term& term,
     }
     case Term::Kind::kArith: {
       const auto& t = static_cast<const ArithTerm&>(term);
-      DATACON_ASSIGN_OR_RETURN(Value lhs, EvalTerm(*t.lhs(), env));
-      DATACON_ASSIGN_OR_RETURN(Value rhs, EvalTerm(*t.rhs(), env));
-      if (lhs.type() != ValueType::kInt || rhs.type() != ValueType::kInt) {
-        return Status::TypeError("arithmetic over non-integers in " +
-                                 ToString(term));
+      DATACON_ASSIGN_OR_RETURN(Value lhs, EvalTermImpl<Proven>(*t.lhs(), env));
+      DATACON_ASSIGN_OR_RETURN(Value rhs, EvalTermImpl<Proven>(*t.rhs(), env));
+      if constexpr (Proven) {
+        DATACON_DCHECK(
+            lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt,
+            "typed-proven arithmetic over non-integers in " + ToString(term));
+      } else {
+        if (lhs.type() != ValueType::kInt || rhs.type() != ValueType::kInt) {
+          return Status::TypeError("arithmetic over non-integers in " +
+                                   ToString(term));
+        }
       }
       int64_t a = lhs.AsInt(), b = rhs.AsInt();
       switch (t.op()) {
@@ -60,18 +74,25 @@ Result<Value> Evaluator::EvalTerm(const Term& term,
   DATACON_UNREACHABLE("term kind");
 }
 
-Result<bool> Evaluator::EvalPred(const Pred& pred,
-                                 const Environment& env) const {
+template <bool Proven>
+Result<bool> Evaluator::EvalPredImpl(const Pred& pred,
+                                     const Environment& env) const {
   switch (pred.kind()) {
     case Pred::Kind::kBool:
       return static_cast<const BoolPred&>(pred).value();
     case Pred::Kind::kCompare: {
       const auto& p = static_cast<const ComparePred&>(pred);
-      DATACON_ASSIGN_OR_RETURN(Value lhs, EvalTerm(*p.lhs(), env));
-      DATACON_ASSIGN_OR_RETURN(Value rhs, EvalTerm(*p.rhs(), env));
-      if (lhs.type() != rhs.type()) {
-        return Status::TypeError("comparison across types in " +
-                                 ToString(pred));
+      DATACON_ASSIGN_OR_RETURN(Value lhs, EvalTermImpl<Proven>(*p.lhs(), env));
+      DATACON_ASSIGN_OR_RETURN(Value rhs, EvalTermImpl<Proven>(*p.rhs(), env));
+      if constexpr (Proven) {
+        DATACON_DCHECK(lhs.type() == rhs.type(),
+                       "typed-proven comparison across types in " +
+                           ToString(pred));
+      } else {
+        if (lhs.type() != rhs.type()) {
+          return Status::TypeError("comparison across types in " +
+                                   ToString(pred));
+        }
       }
       int c = lhs.Compare(rhs);
       switch (p.op()) {
@@ -92,21 +113,22 @@ Result<bool> Evaluator::EvalPred(const Pred& pred,
     }
     case Pred::Kind::kAnd: {
       for (const PredPtr& op : static_cast<const AndPred&>(pred).operands()) {
-        DATACON_ASSIGN_OR_RETURN(bool v, EvalPred(*op, env));
+        DATACON_ASSIGN_OR_RETURN(bool v, EvalPredImpl<Proven>(*op, env));
         if (!v) return false;
       }
       return true;
     }
     case Pred::Kind::kOr: {
       for (const PredPtr& op : static_cast<const OrPred&>(pred).operands()) {
-        DATACON_ASSIGN_OR_RETURN(bool v, EvalPred(*op, env));
+        DATACON_ASSIGN_OR_RETURN(bool v, EvalPredImpl<Proven>(*op, env));
         if (v) return true;
       }
       return false;
     }
     case Pred::Kind::kNot: {
       DATACON_ASSIGN_OR_RETURN(
-          bool v, EvalPred(*static_cast<const NotPred&>(pred).operand(), env));
+          bool v, EvalPredImpl<Proven>(
+                      *static_cast<const NotPred&>(pred).operand(), env));
       return !v;
     }
     case Pred::Kind::kQuant: {
@@ -122,7 +144,7 @@ Result<bool> Evaluator::EvalPred(const Pred& pred,
       Environment inner = env;
       for (const Tuple& t : rel->tuples()) {
         inner.Bind(p.var(), &t, &rel->schema());
-        DATACON_ASSIGN_OR_RETURN(bool v, EvalPred(*p.body(), inner));
+        DATACON_ASSIGN_OR_RETURN(bool v, EvalPredImpl<Proven>(*p.body(), inner));
         if (p.quantifier() == Quantifier::kSome && v) return true;
         if (p.quantifier() == Quantifier::kAll && !v) return false;
       }
@@ -139,13 +161,25 @@ Result<bool> Evaluator::EvalPred(const Pred& pred,
       std::vector<Value> values;
       values.reserve(p.tuple().size());
       for (const TermPtr& t : p.tuple()) {
-        DATACON_ASSIGN_OR_RETURN(Value v, EvalTerm(*t, env));
+        DATACON_ASSIGN_OR_RETURN(Value v, EvalTermImpl<Proven>(*t, env));
         values.push_back(std::move(v));
       }
       return rel->Contains(Tuple(std::move(values)));
     }
   }
   DATACON_UNREACHABLE("pred kind");
+}
+
+Result<Value> Evaluator::EvalTerm(const Term& term,
+                                  const Environment& env) const {
+  return typed_proven_ ? EvalTermImpl<true>(term, env)
+                       : EvalTermImpl<false>(term, env);
+}
+
+Result<bool> Evaluator::EvalPred(const Pred& pred,
+                                 const Environment& env) const {
+  return typed_proven_ ? EvalPredImpl<true>(pred, env)
+                       : EvalPredImpl<false>(pred, env);
 }
 
 }  // namespace datacon

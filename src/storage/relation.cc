@@ -66,6 +66,16 @@ Status Relation::ValidateTuple(const Tuple& t) const {
 
 Result<bool> Relation::Insert(const Tuple& t) {
   DATACON_RETURN_IF_ERROR(ValidateTuple(t));
+  return InsertValidated(t);
+}
+
+Result<bool> Relation::InsertProven(const Tuple& t) {
+  DATACON_DCHECK(ValidateTuple(t).ok(),
+                 "typed-proven insert violates the relation schema");
+  return InsertValidated(t);
+}
+
+Result<bool> Relation::InsertValidated(const Tuple& t) {
   if (tuples_.count(t) > 0) return false;
   if (enforce_key_) {
     Tuple key = t.Project(key_positions_);

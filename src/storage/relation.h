@@ -85,6 +85,13 @@ class Relation {
   /// Returns true when the relation grew, false when `t` was present.
   Result<bool> Insert(const Tuple& t);
 
+  /// Insert for tuples whose types are statically discharged: the caller
+  /// holds a whole-program proof (analysis/typecheck.h) that `t` matches
+  /// this schema, so the per-tuple arity/type validation reduces to a
+  /// debug assertion. Key enforcement still runs — key facts are data,
+  /// not types.
+  Result<bool> InsertProven(const Tuple& t);
+
   /// Inserts every tuple of `other` (union-compatible schema required).
   /// Atomic: the whole batch is validated (arity, field types, key
   /// constraint — both against stored tuples and between distinct new
@@ -113,6 +120,9 @@ class Relation {
   /// Arity/type/key validation of `t` against this relation's stored
   /// tuples (the per-tuple half of Insert, without mutating).
   Status ValidateTuple(const Tuple& t) const;
+
+  /// The mutation half of Insert/InsertProven, after validation.
+  Result<bool> InsertValidated(const Tuple& t);
 
   /// Records a tuple-set change that is not a pure insert: the insert log
   /// can no longer reconstruct deltas, so it restarts at the new

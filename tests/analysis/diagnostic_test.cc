@@ -58,7 +58,9 @@ TEST(Diagnostic, EveryRegisteredConstantIsEnumerated) {
       kDiagTypeError,        kDiagNonStratifiable,
       kDiagRedefinition,     kDiagUnsafeVariable,
       kDiagUnsafeConstraint, kDiagConstraintUnknownRelation,
-      kDiagUnusedBinding,    kDiagUnusedParameter,
+      kDiagTypeConflict,     kDiagIllTypedOperation,
+      kDiagCaptureNonBinary, kDiagUnusedBinding,
+      kDiagUnusedParameter,
       kDiagShadowedName,     kDiagCrossProduct,
       kDiagAlwaysFalseBranch, kDiagConstantConjunct,
       kDiagDuplicateBranch,  kDiagNonDifferentiable,
@@ -66,6 +68,8 @@ TEST(Diagnostic, EveryRegisteredConstantIsEnumerated) {
       kDiagAdornmentNonLinear, kDiagAdornmentFreeJoin,
       kDiagAdornmentNegation, kDiagConstraintTrivial,
       kDiagConstraintRefuted, kDiagConstraintUnreachable,
+      kDiagDisjointComparison, kDiagUnconstrainedAttribute,
+      kDiagUnionNameMismatch,
   };
   std::vector<std::string_view> codes = AllDiagnosticCodes();
   EXPECT_EQ(codes.size(), std::size(all_constants));

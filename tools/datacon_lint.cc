@@ -1,7 +1,7 @@
 // datacon-lint: standalone lint driver for DBPL programs.
 //
-//   datacon-lint [--json] [--werror] [--adorn] [--constraints] [--codes]
-//                file.dbpl...
+//   datacon-lint [--json] [--werror] [--adorn] [--constraints] [--types]
+//                [--codes] file.dbpl...
 //
 // Each file is parsed and run through the static-analysis pipeline
 // (analysis/script_lint.h) without executing anything. Diagnostics print as
@@ -12,7 +12,11 @@
 // specialized. --constraints additionally audits declared integrity
 // constraints against the script's own data flow: W231 when the facts the
 // script inserts already refute a constraint, W232 when no statement of the
-// script can ever change one of the constraint's input relations. Exit
+// script can ever change one of the constraint's input relations. --types
+// additionally runs whole-program type inference (analysis/typecheck.h) and
+// reports E130/E131/E132/W240/W241/W242 for type conflicts, ill-typed
+// operations, non-binary capture shapes, statically constant comparisons,
+// unconstrained derived attributes, and union name mismatches. Exit
 // status: 0 when no file has errors (under --werror, when no file has any
 // diagnostic at all), 1 otherwise, 2 on usage or I/O failure.
 
@@ -32,7 +36,7 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: datacon-lint [--json] [--werror] [--adorn] "
-               "[--constraints] [--codes] file.dbpl...\n";
+               "[--constraints] [--types] [--codes] file.dbpl...\n";
   return 2;
 }
 
@@ -52,6 +56,9 @@ void PrintHelp() {
          "             data flow: W231 when the script's own facts refute a\n"
          "             constraint, W232 when no statement can ever change\n"
          "             one of its input relations\n"
+         "  --types    run whole-program type inference and report\n"
+         "             E130/E131/E132 type errors and W240/W241/W242\n"
+         "             type warnings\n"
          "  --codes    list every diagnostic code with its meaning and exit\n"
          "  --version  print version and build info and exit\n"
          "  --help     show this help and exit\n"
@@ -105,6 +112,8 @@ int main(int argc, char** argv) {
       options.adorn = true;
     } else if (arg == "--constraints") {
       options.constraints = true;
+    } else if (arg == "--types") {
+      options.types = true;
     } else if (arg == "--codes") {
       PrintCodes();
       return 0;
