@@ -105,8 +105,8 @@ std::unique_ptr<Database> MakeDb(bool with_constraints, bool simplify) {
   return db;
 }
 
-void ExportConstraintCounters(benchmark::State& state) {
-  MetricsRegistry& registry = MetricsRegistry::Global();
+void ExportConstraintCounters(benchmark::State& state, Database* db) {
+  MetricsRegistry& registry = db->metrics();
   state.counters["checks"] =
       static_cast<double>(registry.GetCounter("constraints.checks")->value());
   state.counters["simplified"] = static_cast<double>(
@@ -131,7 +131,7 @@ void BM_Constraints_InsertChurn(benchmark::State& state) {
     next_node += 2;
   }
   state.counters["simplify"] = simplify ? 1.0 : 0.0;
-  ExportConstraintCounters(state);
+  ExportConstraintCounters(state, db.get());
 }
 
 /// The absolute overhead of checking: the same churn against a database
@@ -147,7 +147,7 @@ void BM_Constraints_Overhead(benchmark::State& state) {
     next_node += 2;
   }
   state.counters["constraints"] = with_constraints ? 1.0 : 0.0;
-  ExportConstraintCounters(state);
+  ExportConstraintCounters(state, db.get());
 }
 
 BENCHMARK(BM_Constraints_InsertChurn)

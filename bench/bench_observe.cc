@@ -1,0 +1,128 @@
+// Experiment E15 — overhead of the telemetry plane.
+//
+// The same chain-closure workload evaluated with the structured event log
+// OFF (the default: every emission site is a single relaxed atomic load)
+// and ON (events are built and appended to the bounded ring). The OFF/ON
+// gap bounds the cost a user pays for turning telemetry on; the OFF
+// number pins the claim that a disabled event log is free to within
+// measurement noise, since instruments (histograms, resource attribution)
+// are always live and identical in both regimes.
+//
+//  - repeat: an unchanged query repeated against a warm cache — the
+//            cheapest evaluations the engine does, so per-query telemetry
+//            cost is the largest relative fraction. Worst case for ON.
+//  - churn:  one fresh edge inserted before each repeat, driving delta
+//            maintenance — a realistic mixed read/write loop that emits
+//            cache.delta and query events every iteration.
+//  - emit:   the raw cost of EventLog::Emit itself, enabled vs disabled,
+//            isolating the fast path from evaluator noise.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ast/builder.h"
+#include "bench_util.h"
+#include "common/eventlog.h"
+#include "core/database.h"
+#include "workload/generators.h"
+
+namespace datacon {
+namespace {
+
+using namespace build;  // NOLINT: terse AST construction
+using bench::Must;
+using bench::MustValue;
+
+constexpr int kChain = 192;
+
+/// The unbound closure query `{ EACH v IN g_E {g_tc}: TRUE }`.
+CalcExprPtr ClosureQuery() {
+  return Union(
+      {IdentityBranch("v", Constructed(Rel("g_E"), "g_tc"), True())});
+}
+
+std::unique_ptr<Database> MakeDb(bool events_on) {
+  DatabaseOptions options;
+  options.use_capture_rules = false;  // exercise the generic engine + cache
+  options.specialize = false;
+  options.events = events_on;
+  auto db = std::make_unique<Database>(options);
+  Must(workload::SetupClosure(db.get(), "g", workload::Chain(kChain)));
+  return db;
+}
+
+void ExportEventCounters(benchmark::State& state, const Database& db,
+                         size_t rows) {
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["events_kept"] =
+      static_cast<double>(db.events().Events().size());
+  state.counters["events_dropped"] = static_cast<double>(db.events().dropped());
+}
+
+/// Repeat an unchanged query against a warm cache: each iteration is a
+/// cache hit plus (when ON) a query.start / cache.hit / query.finish
+/// emission — the highest telemetry-to-work ratio the engine exhibits.
+void BM_Observe_RepeatQuery(benchmark::State& state) {
+  const bool events_on = state.range(0) != 0;
+  std::unique_ptr<Database> db = MakeDb(events_on);
+  CalcExprPtr query = ClosureQuery();
+  size_t rows = MustValue(db->EvalQuery(query)).size();
+  for (auto _ : state) {
+    rows = MustValue(db->EvalQuery(query)).size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["events"] = events_on ? 1.0 : 0.0;
+  ExportEventCounters(state, *db, rows);
+}
+
+/// Insert-only churn: a one-tuple base delta before every repeat. Each
+/// iteration pays delta maintenance plus (when ON) the full event fan-out
+/// for a mutating workload.
+void BM_Observe_InsertChurn(benchmark::State& state) {
+  const bool events_on = state.range(0) != 0;
+  std::unique_ptr<Database> db = MakeDb(events_on);
+  CalcExprPtr query = ClosureQuery();
+  size_t rows = MustValue(db->EvalQuery(query)).size();
+  int64_t next_node = kChain;
+  for (auto _ : state) {
+    Must(db->Insert(
+        "g_E", Tuple({Value::Int(next_node), Value::Int(next_node + 1)})));
+    next_node += 2;
+    rows = MustValue(db->EvalQuery(query)).size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["events"] = events_on ? 1.0 : 0.0;
+  ExportEventCounters(state, *db, rows);
+}
+
+/// EventLog::Emit in isolation. Disabled (Arg 0) must cost one relaxed
+/// atomic load; enabled (Arg 1) pays field construction plus the ring
+/// append under its mutex.
+void BM_Observe_Emit(benchmark::State& state) {
+  EventLog log;
+  log.set_enabled(state.range(0) != 0);
+  int64_t i = 0;
+  for (auto _ : state) {
+    log.Emit("bench.tick", {EventField::Int("i", i++)});
+  }
+  state.counters["events"] = state.range(0) != 0 ? 1.0 : 0.0;
+  state.counters["events_dropped"] = static_cast<double>(log.dropped());
+}
+
+BENCHMARK(BM_Observe_RepeatQuery)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Observe_InsertChurn)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Observe_Emit)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace datacon
+
+int main(int argc, char** argv) {
+  return datacon::bench::RunBenchmarks(argc, argv, "observe");
+}

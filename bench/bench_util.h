@@ -30,12 +30,14 @@ T MustValue(Result<T> result) {
   return std::move(result).value();
 }
 
-/// Splices `"datacon_metrics":{...}` (the process-global histogram
-/// registry — query latency percentiles, fixpoint rounds, ...) into the
-/// Google Benchmark JSON artifact, just before its closing brace. A no-op
-/// when the run recorded no metrics or the file is malformed.
+/// Splices `"datacon_metrics":{...}` (the process-level aggregate —
+/// query latency percentiles, fixpoint rounds, ... merged from every
+/// destroyed Database) into the Google Benchmark JSON artifact, just
+/// before its closing brace. A no-op when the run recorded no metrics or
+/// the file is malformed. Benchmark fixtures must destroy their databases
+/// before Shutdown for their registries to be retired into the aggregate.
 inline void AppendMetricsToArtifact(const std::string& path) {
-  MetricsRegistry& registry = MetricsRegistry::Global();
+  MetricsRegistry& registry = ProcessMetrics();
   std::string metrics = registry.ToJson();
   if (metrics == "{\"histograms\":{}}" ||
       metrics == "{\"histograms\":{},\"counters\":{}}") {

@@ -25,6 +25,11 @@
 // session and writes a Chrome trace-event JSON file at EOF — open it in
 // chrome://tracing or https://ui.perfetto.dev. `PRAGMA TRACE = ON|OFF;`
 // toggles recording mid-session regardless of the flag.
+//
+// Telemetry: `--events-out=events.jsonl` enables the structured event log
+// for the session and writes it as JSONL at EOF (`PRAGMA EVENTS` still
+// toggles recording mid-session); `--metrics-out=metrics.prom` writes the
+// database's metrics in Prometheus text exposition format at EOF.
 
 #include <cstdio>
 #include <fstream>
@@ -40,16 +45,21 @@ namespace {
 
 int Usage(int code) {
   std::printf(
-      "usage: dbpl_repl [--trace-out=FILE] [--version] [--help]\n"
+      "usage: dbpl_repl [--trace-out=FILE] [--events-out=FILE]\n"
+      "                 [--metrics-out=FILE] [--version] [--help]\n"
       "\n"
       "Reads DBPL statements from stdin (interactively or piped).\n"
       "\n"
       "options:\n"
-      "  --trace-out=FILE  record a session-wide query trace and write it\n"
-      "                    to FILE as Chrome trace-event JSON at EOF\n"
-      "                    (open in chrome://tracing or ui.perfetto.dev)\n"
-      "  --version         print version and build info and exit\n"
-      "  --help            show this help and exit\n");
+      "  --trace-out=FILE    record a session-wide query trace and write it\n"
+      "                      to FILE as Chrome trace-event JSON at EOF\n"
+      "                      (open in chrome://tracing or ui.perfetto.dev)\n"
+      "  --events-out=FILE   enable the structured event log for the whole\n"
+      "                      session and write it to FILE as JSONL at EOF\n"
+      "  --metrics-out=FILE  write the database's metrics to FILE in\n"
+      "                      Prometheus text exposition format at EOF\n"
+      "  --version           print version and build info and exit\n"
+      "  --help              show this help and exit\n");
   return code;
 }
 
@@ -98,12 +108,26 @@ void PrintDiagnostic(const datacon::Diagnostic& d, bool color) {
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  std::string events_out;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::string("--trace-out=").size());
       if (trace_out.empty()) {
         std::fprintf(stderr, "error: --trace-out requires a file name\n");
+        return Usage(2);
+      }
+    } else if (arg.rfind("--events-out=", 0) == 0) {
+      events_out = arg.substr(std::string("--events-out=").size());
+      if (events_out.empty()) {
+        std::fprintf(stderr, "error: --events-out requires a file name\n");
+        return Usage(2);
+      }
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+      if (metrics_out.empty()) {
+        std::fprintf(stderr, "error: --metrics-out requires a file name\n");
         return Usage(2);
       }
     } else if (arg == "--version") {
@@ -122,6 +146,10 @@ int main(int argc, char** argv) {
   datacon::Interpreter interp(&db);
   bool interactive = isatty(0);
   bool color = isatty(1);
+  if (!events_out.empty()) {
+    db.options().events = true;
+    db.events().set_enabled(true);
+  }
 
   datacon::TraceRecorder& recorder = datacon::TraceRecorder::Global();
   recorder.SetCurrentThreadName("main");
@@ -180,6 +208,27 @@ int main(int argc, char** argv) {
     out << recorder.ToChromeJson() << "\n";
     std::fprintf(stderr, "trace: %zu event(s) written to %s\n",
                  recorder.EventCount(), trace_out.c_str());
+  }
+  if (!events_out.empty()) {
+    std::ofstream out(events_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write events to '%s'\n",
+                   events_out.c_str());
+      return 1;
+    }
+    out << db.events().ToJsonl();
+    std::fprintf(stderr, "events: %zu event(s) written to %s\n",
+                 db.events().Events().size(), events_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    out << db.metrics().ToPrometheus();
+    std::fprintf(stderr, "metrics: written to %s\n", metrics_out.c_str());
   }
   return 0;
 }

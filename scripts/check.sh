@@ -24,28 +24,32 @@ echo "== lint: example corpus =="
 (./build/tools/datacon-lint --types examples/dbpl/bad/ill_typed.dbpl || true) \
   | grep -q "E130"
 
-echo "== bench: parallel + specialize + cache + typed (smoke, --json) =="
+echo "== bench: parallel + specialize + cache + typed + observe (smoke, --json) =="
 # Quick single-repetition passes over the engine-level benchmarks; the
 # runs double as correctness smoke tests (bench bodies abort on evaluation
 # errors) and leave BENCH_parallel.json / BENCH_specialize.json /
-# BENCH_cache.json / BENCH_typed.json behind as the EXPERIMENTS.md
-# artifacts.
+# BENCH_cache.json / BENCH_typed.json / BENCH_observe.json behind as the
+# EXPERIMENTS.md artifacts.
 ./build/bench/bench_parallel --json --benchmark_min_time=0.01
 ./build/bench/bench_specialize --json --benchmark_min_time=0.01
 ./build/bench/bench_cache --json --benchmark_min_time=0.01
 ./build/bench/bench_constraints --json --benchmark_min_time=0.01
 ./build/bench/bench_typed --json --benchmark_min_time=0.01
+./build/bench/bench_observe --json --benchmark_min_time=0.01
 
-echo "== trace: end-to-end trace-out =="
+echo "== trace: end-to-end trace-out + events-out + metrics-out =="
 # Drive a same-generation query (recursive but not closure-shaped, so the
 # general semi-naive fixpoint runs — capture rules would shortcut a plain
 # closure) over a 63-node binary tree through the REPL's --trace-out path
 # at PRAGMA THREADS = 4, then validate the artifact is well-formed Chrome
 # trace-event JSON carrying the span taxonomy the observability layer
 # promises: per-round fixpoint spans and parallel chunk fan-out on
-# distinct worker tracks.
+# distinct worker tracks. The same run exercises the telemetry plane:
+# --events-out leaves a structured JSONL event stream and --metrics-out a
+# Prometheus exposition of the database's registry, both validated below.
 {
   echo "PRAGMA THREADS = 4;"
+  echo "PRAGMA EVENTS = ON;"
   echo "TYPE pairrel = RELATION OF RECORD front, back: INTEGER END;"
   echo "VAR Par: pairrel;"
   echo "VAR Seed: pairrel;"
@@ -62,10 +66,13 @@ echo "== trace: end-to-end trace-out =="
   echo ";"
   echo "INSERT INTO Seed <1, 1>;"
   echo "QUERY Seed {sg(Par)};"
-} | ./build/examples/dbpl_repl --trace-out=trace.json >/dev/null
+} | ./build/examples/dbpl_repl --trace-out=trace.json \
+      --events-out=events.jsonl --metrics-out=metrics.prom >/dev/null
 python3 scripts/check_trace.py trace.json \
   --require-span parse --require-span evaluate --require-span round \
   --require-span fanout --require-span chunk
+python3 scripts/check_trace.py --events events.jsonl
+python3 scripts/check_trace.py --prom metrics.prom
 
 echo "== thread-safety: clang annotation analysis =="
 # Clang's -Wthread-safety checks the GUARDED_BY/REQUIRES annotations
@@ -84,9 +91,9 @@ cmake -B build-tsan -S . -DDATACON_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j --target \
   common_thread_pool_test common_trace_test core_fixpoint_parallel_test \
   core_observability_test common_metrics_test core_matcache_test \
-  integration_cache_semantics_test
+  integration_cache_semantics_test common_eventlog_test
 
-echo "== tsan: parallel + cache tests =="
+echo "== tsan: parallel + cache + telemetry tests =="
 ./build-tsan/tests/common_thread_pool_test
 ./build-tsan/tests/common_trace_test
 ./build-tsan/tests/core_fixpoint_parallel_test
@@ -94,5 +101,6 @@ echo "== tsan: parallel + cache tests =="
 ./build-tsan/tests/common_metrics_test
 ./build-tsan/tests/core_matcache_test
 ./build-tsan/tests/integration_cache_semantics_test
+./build-tsan/tests/common_eventlog_test
 
 echo "All checks passed."

@@ -1,15 +1,30 @@
 #!/usr/bin/env python3
-"""Validates a Chrome trace-event JSON file produced by --trace-out.
+"""Validates the observability artifacts the REPL can emit.
 
-Checks that the file parses as JSON, has the trace-event envelope, and that
-every event carries the fields chrome://tracing / Perfetto require (pid,
-tid, ts; dur for complete "X" events). Exits 0 on success, 1 with a
-diagnostic otherwise.
+Three modes, selectable by leading flag (default: Chrome trace):
 
-usage: check_trace.py trace.json [--require-span NAME]...
+  check_trace.py trace.json [--require-span NAME]...
+      Chrome trace-event JSON from --trace-out: parses, has the
+      traceEvents envelope, every event carries pid/tid/ts (dur for
+      complete "X" events), and each --require-span name is present.
+
+  check_trace.py --events events.jsonl
+      Structured event log from --events-out: every line is a JSON
+      object carrying seq / steady_ns / wall_us / type, seq strictly
+      increasing, steady_ns monotone non-decreasing.
+
+  check_trace.py --prom metrics.prom
+      Prometheus text exposition from --metrics-out: every sample line
+      is `name[{labels}] value` with a datacon_-prefixed metric name,
+      every metric has a preceding # TYPE, histogram buckets are
+      cumulative (monotone in le) and agree with _count at +Inf.
+
+Exits 0 on success, 1 with a diagnostic otherwise.
 """
 
 import json
+import math
+import re
 import sys
 
 
@@ -18,19 +33,7 @@ def fail(msg):
     return 1
 
 
-def main(argv):
-    if len(argv) < 2:
-        return fail("usage: check_trace.py trace.json [--require-span NAME]...")
-    path = argv[1]
-    required = []
-    i = 2
-    while i < len(argv):
-        if argv[i] == "--require-span" and i + 1 < len(argv):
-            required.append(argv[i + 1])
-            i += 2
-        else:
-            return fail(f"unknown argument {argv[i]!r}")
-
+def check_chrome_trace(path, required):
     try:
         with open(path, "rb") as f:
             doc = json.load(f)
@@ -76,6 +79,167 @@ def main(argv):
         f"{len(tids)} thread track(s)"
     )
     return 0
+
+
+def check_events_jsonl(path):
+    """--events-out JSONL: parseable, required keys, ordered timestamps."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(f"{path}: {e}")
+    if not lines:
+        return fail(f"{path}: no events recorded")
+
+    prev_seq = None
+    prev_steady = None
+    types = set()
+    for n, line in enumerate(lines, start=1):
+        try:
+            event = json.loads(line)
+        except ValueError as e:
+            return fail(f"{path}:{n}: not valid JSON: {e}")
+        if not isinstance(event, dict):
+            return fail(f"{path}:{n}: line is not a JSON object")
+        for key in ("seq", "steady_ns", "wall_us", "type"):
+            if key not in event:
+                return fail(f"{path}:{n}: event lacks {key!r}: {line}")
+        if not isinstance(event["type"], str) or not event["type"]:
+            return fail(f"{path}:{n}: 'type' is not a non-empty string")
+        for key in ("seq", "steady_ns", "wall_us"):
+            if not isinstance(event[key], int):
+                return fail(f"{path}:{n}: {key!r} is not an integer")
+        if prev_seq is not None and event["seq"] <= prev_seq:
+            return fail(
+                f"{path}:{n}: seq {event['seq']} not strictly "
+                f"increasing (previous {prev_seq})"
+            )
+        if prev_steady is not None and event["steady_ns"] < prev_steady:
+            return fail(
+                f"{path}:{n}: steady_ns {event['steady_ns']} went "
+                f"backwards (previous {prev_steady})"
+            )
+        prev_seq = event["seq"]
+        prev_steady = event["steady_ns"]
+        types.add(event["type"])
+
+    print(
+        f"check_trace: {path} OK — {len(lines)} event(s), "
+        f"{len(types)} type(s): {', '.join(sorted(types))}"
+    )
+    return 0
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[0-9.eE+\-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def check_prometheus(path):
+    """--metrics-out exposition: TYPE headers, cumulative buckets."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return fail(f"{path}: {e}")
+    if not lines:
+        return fail(f"{path}: empty exposition")
+
+    typed = {}       # metric family name -> declared type
+    samples = 0
+    buckets = {}     # family -> list of (le, value) in order
+    counts = {}      # family -> _count value
+    for n, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter", "histogram"):
+                return fail(f"{path}:{n}: malformed TYPE line: {line}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            return fail(f"{path}:{n}: malformed sample line: {line!r}")
+        name = m.group("name")
+        if not name.startswith("datacon_"):
+            return fail(f"{path}:{n}: metric {name!r} lacks datacon_ prefix")
+        value = float(m.group("value"))
+        samples += 1
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                family = name[: -len(suffix)]
+                break
+        declared = typed.get(family) or typed.get(name)
+        if declared is None:
+            return fail(f"{path}:{n}: sample {name!r} has no # TYPE header")
+        if declared == "counter" and not name.endswith("_total"):
+            return fail(f"{path}:{n}: counter {name!r} lacks _total suffix")
+        if name.endswith("_bucket"):
+            labels = m.group("labels") or ""
+            le = re.match(r'^le="([^"]*)"$', labels)
+            if not le:
+                return fail(f"{path}:{n}: bucket lacks an le label: {line}")
+            bound = math.inf if le.group(1) == "+Inf" else float(le.group(1))
+            buckets.setdefault(family, []).append((bound, value))
+        elif name.endswith("_count"):
+            counts[family] = value
+
+    for family, series in buckets.items():
+        bounds = [b for b, _ in series]
+        values = [v for _, v in series]
+        if bounds != sorted(bounds):
+            return fail(f"{path}: {family} bucket bounds not sorted")
+        if values != sorted(values):
+            return fail(f"{path}: {family} buckets not cumulative: {values}")
+        if not bounds or bounds[-1] != math.inf:
+            return fail(f"{path}: {family} lacks a +Inf bucket")
+        if family not in counts:
+            return fail(f"{path}: {family} lacks a _count sample")
+        if counts[family] != values[-1]:
+            return fail(
+                f"{path}: {family} _count {counts[family]} disagrees "
+                f"with +Inf bucket {values[-1]}"
+            )
+
+    if samples == 0:
+        return fail(f"{path}: no sample lines")
+    print(
+        f"check_trace: {path} OK — {samples} sample(s), "
+        f"{len(typed)} metric familie(s), {len(buckets)} histogram(s)"
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 3 and argv[1] == "--events":
+        if len(argv) != 3:
+            return fail("usage: check_trace.py --events events.jsonl")
+        return check_events_jsonl(argv[2])
+    if len(argv) >= 3 and argv[1] == "--prom":
+        if len(argv) != 3:
+            return fail("usage: check_trace.py --prom metrics.prom")
+        return check_prometheus(argv[2])
+    if len(argv) < 2:
+        return fail(
+            "usage: check_trace.py trace.json [--require-span NAME]... | "
+            "--events events.jsonl | --prom metrics.prom"
+        )
+    path = argv[1]
+    required = []
+    i = 2
+    while i < len(argv):
+        if argv[i] == "--require-span" and i + 1 < len(argv):
+            required.append(argv[i + 1])
+            i += 2
+        else:
+            return fail(f"unknown argument {argv[i]!r}")
+    return check_chrome_trace(path, required)
 
 
 if __name__ == "__main__":

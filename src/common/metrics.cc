@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <ctime>
 
 #include "common/string_util.h"
+#include "common/trace.h"
 
 namespace datacon {
 
@@ -24,6 +27,19 @@ std::string FormatDurationNs(int64_t ns) {
   } else {
     std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(ns) / 1e9);
   }
+  return buf;
+}
+
+std::string FormatWallTimeUs(int64_t us) {
+  if (us <= 0) return "-";
+  std::time_t seconds = static_cast<std::time_t>(us / 1'000'000);
+  int64_t micros = us % 1'000'000;
+  std::tm tm{};
+  gmtime_r(&seconds, &tm);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%06dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(micros));
   return buf;
 }
 
@@ -218,7 +234,31 @@ std::string Histogram::ToText() const {
          " max=" + std::to_string(max());
 }
 
-MetricsRegistry& MetricsRegistry::Global() {
+void Histogram::AppendPrometheus(std::string* out,
+                                 const std::string& name) const {
+  std::array<int64_t, kBuckets> snapshot;
+  size_t highest = 0;
+  int64_t mass = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    mass += snapshot[i];
+    if (snapshot[i] != 0) highest = i;
+  }
+  int64_t total = std::max(mass, count());
+  int64_t cumulative = 0;
+  for (size_t i = 0; i <= highest; ++i) {
+    cumulative += snapshot[i];
+    int64_t upper =
+        i == 0 ? 0 : static_cast<int64_t>((uint64_t{1} << i) - 1);
+    *out += name + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+            std::to_string(cumulative) + "\n";
+  }
+  *out += name + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+  *out += name + "_sum " + std::to_string(sum()) + "\n";
+  *out += name + "_count " + std::to_string(total) + "\n";
+}
+
+MetricsRegistry& ProcessMetrics() {
   // Leaked for the same reason as TraceRecorder::Global: late threads must
   // always find it alive.
   static MetricsRegistry* registry = new MetricsRegistry();
@@ -247,6 +287,33 @@ void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, histogram] : entries_) histogram->Reset();
   for (auto& [key, counter] : counters_) counter->Reset();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot `other`'s name→pointer table under its lock, then merge with
+  // both locks released (GetHistogram/GetCounter re-lock this registry one
+  // name at a time). Holding both locks at once would deadlock two threads
+  // merging in opposite directions. The source pointers stay valid without
+  // the lock — registry entries are never removed.
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  std::vector<std::pair<std::string, int64_t>> counters;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    histograms.reserve(other.entries_.size());
+    for (const auto& [key, histogram] : other.entries_) {
+      histograms.emplace_back(key, histogram.get());
+    }
+    counters.reserve(other.counters_.size());
+    for (const auto& [key, counter] : other.counters_) {
+      counters.emplace_back(key, counter->value());
+    }
+  }
+  for (const auto& [key, histogram] : histograms) {
+    GetHistogram(key)->MergeFrom(*histogram);
+  }
+  for (const auto& [key, value] : counters) {
+    GetCounter(key)->Add(value);
+  }
 }
 
 std::string MetricsRegistry::ToJson() const {
@@ -293,6 +360,40 @@ std::string MetricsRegistry::ToText() const {
   return out;
 }
 
+namespace {
+
+/// `datacon_` + the metric name with every character outside
+/// [a-zA-Z0-9_] (dots, mostly) mapped to '_'.
+std::string PrometheusName(const std::string& key) {
+  std::string out = "datacon_";
+  for (char c : key) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [key, histogram] : entries_) {
+    std::string name = PrometheusName(key);
+    out += "# TYPE " + name + " histogram\n";
+    histogram->AppendPrometheus(&out, name);
+  }
+  for (const auto& [key, counter] : counters_) {
+    // Classic exposition format: the _total suffix is part of the metric
+    // name, so the TYPE header must carry it too.
+    std::string name = PrometheusName(key) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(counter->value()) + "\n";
+  }
+  return out;
+}
+
 void SlowQueryLog::set_threshold_ns(int64_t ns) {
   std::lock_guard<std::mutex> lock(mu_);
   threshold_ns_ = ns < 0 ? 0 : ns;
@@ -325,6 +426,13 @@ void SlowQueryLog::Record(std::string statement, int64_t elapsed_ns,
   entry.elapsed_ns = elapsed_ns;
   entry.digest = std::move(digest);
   entry.sequence = next_sequence_++;
+  // Capture both clocks at admission: the steady stamp shares the trace
+  // recorder's epoch (correlates entries with --trace-out spans), the wall
+  // stamp places them in calendar time.
+  entry.steady_ns = TraceRecorder::Global().NowNs();
+  entry.wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
   // Insert before the first strictly-slower-or-equal run's end so order stays
   // slowest-first with older entries winning ties.
   auto pos = std::find_if(entries_.begin(), entries_.end(),
@@ -358,6 +466,13 @@ std::string SlowQueryLog::ToText() const {
     out += "  ";
     out += entry.statement;
     out += "\n";
+    if (entry.wall_us > 0) {
+      out += "    at ";
+      out += FormatWallTimeUs(entry.wall_us);
+      out += "  steady=";
+      out += std::to_string(entry.steady_ns);
+      out += "ns\n";
+    }
     if (!entry.digest.empty()) {
       // Indent the digest block under its statement line.
       size_t start = 0;

@@ -44,6 +44,10 @@ class Timer {
 /// "1.05 s") with three significant digits.
 std::string FormatDurationNs(int64_t ns);
 
+/// Renders a system-clock timestamp (microseconds since the Unix epoch) as
+/// ISO 8601 UTC with microsecond precision: "2026-08-09T12:34:56.789012Z".
+std::string FormatWallTimeUs(int64_t us);
+
 /// An insertion-ordered registry of named integer counters. Insertion order
 /// is preserved so serialized output is stable across runs — a requirement
 /// for the profile-determinism regression test. Lookup is linear; counter
@@ -179,6 +183,13 @@ class Histogram {
   /// "count=5 sum=123 p50=32 p95=64 p99=64 max=57"
   std::string ToText() const;
 
+  /// Appends this histogram's Prometheus samples: the cumulative
+  /// `<name>_bucket{le="..."}` series with power-of-two upper bounds up to
+  /// the highest occupied bucket, then `le="+Inf"`, `<name>_sum`, and
+  /// `<name>_count`. The `+Inf` bucket and `_count` always agree even after
+  /// a torn MergeFrom (both report max(bucket mass, count)).
+  void AppendPrometheus(std::string* out, const std::string& name) const;
+
  private:
   static size_t BucketIndex(int64_t value);
 
@@ -213,18 +224,19 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// A process-global, insertion-ordered registry of named histograms — the
+/// An insertion-ordered registry of named histograms and counters — the
 /// continuous-observability counterpart of the per-query ProfileNode tree.
-/// The evaluation layer feeds it per query (end-to-end latency, fixpoint
-/// rounds, tuples derived, seed tuples pruned); `SHOW METRICS;` and the
-/// benchmark JSON artifacts read it. Registration takes a mutex; returned
-/// Histogram pointers are stable for the registry's lifetime, so hot paths
-/// record through a pointer without any registry lock.
+/// Every `Database` owns one (so concurrent databases never contend or
+/// cross-contaminate); the evaluation layer feeds it per query (end-to-end
+/// latency, fixpoint rounds, tuples derived, seed tuples pruned) and the
+/// cache/constraint subsystems feed their counters. `SHOW METRICS;` reads
+/// the owning database's registry; ProcessMetrics() aggregates registries
+/// of retired databases for process-wide artifacts. Registration takes a
+/// mutex; returned Histogram/Counter pointers are stable for the registry's
+/// lifetime, so hot paths record through a pointer without any registry
+/// lock.
 class MetricsRegistry {
  public:
-  /// The process-wide registry (never destroyed).
-  static MetricsRegistry& Global();
-
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
@@ -239,8 +251,16 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name);
 
   /// Resets every histogram's samples and every counter's value (names
-  /// stay registered) — test and REPL-session hygiene.
+  /// stay registered) — REPL-session hygiene.
   void Reset();
+
+  /// Folds every histogram and counter of `other` into this registry,
+  /// creating names on first sight (insertion order: existing names keep
+  /// their slot, new names append in `other`'s order). `other` should be
+  /// quiescent for an exact merge; a live source yields the same benign
+  /// torn-merge skew as Histogram::MergeFrom. Never holds both registry
+  /// locks at once, so opposing merges cannot deadlock.
+  void MergeFrom(const MetricsRegistry& other);
 
   /// {"histograms":{"query.latency_ns":{...},...},"counters":{"cache.hits":N,...}}
   std::string ToJson() const;
@@ -251,6 +271,12 @@ class MetricsRegistry {
   /// each.
   std::string ToText() const;
 
+  /// Prometheus text exposition (format 0.0.4). Metric names are prefixed
+  /// `datacon_` with dots mapped to underscores; counters render as
+  /// `<name>_total`, histograms as cumulative `<name>_bucket{le="..."}`
+  /// series (power-of-two upper bounds) plus `<name>_sum`/`<name>_count`.
+  std::string ToPrometheus() const;
+
  private:
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> entries_
@@ -258,6 +284,13 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
       DATACON_GUARDED_BY(mu_);
 };
+
+/// The process-level aggregator (never destroyed): the ONLY process-wide
+/// metrics state. Databases merge their registry into it on destruction, so
+/// benchmark artifacts and end-of-process dumps see the union of all work
+/// done, while live accounting stays per-database. Nothing records into it
+/// directly — feed it exclusively via MergeFrom.
+MetricsRegistry& ProcessMetrics();
 
 /// A bounded log of the slowest statements seen by a Database: at most
 /// `capacity` entries, always the slowest-so-far, ordered slowest-first.
@@ -275,6 +308,12 @@ class SlowQueryLog {
     /// Monotonic admission number — older entries have smaller sequences,
     /// which breaks latency ties in eviction (oldest evicted first).
     uint64_t sequence = 0;
+    /// Capture timestamps, taken inside Record: `steady_ns` is nanoseconds
+    /// on the TraceRecorder epoch (correlates with `--trace-out` Chrome
+    /// traces); `wall_us` is system-clock microseconds since the Unix epoch
+    /// (correlates with the outside world). -1/0 when never recorded.
+    int64_t steady_ns = -1;
+    int64_t wall_us = 0;
   };
 
   explicit SlowQueryLog(size_t capacity = 16) : capacity_(capacity) {}

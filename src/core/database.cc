@@ -17,6 +17,27 @@
 
 namespace datacon {
 
+Database::Database(DatabaseOptions options)
+    : options_(options),
+      // Eagerly registered so SHOW METRICS / ToPrometheus always expose the
+      // full instrument set (and so the hot paths below never re-hash names).
+      query_latency_ns_(metrics_.GetHistogram("query.latency_ns")),
+      query_fixpoint_rounds_(metrics_.GetHistogram("query.fixpoint_rounds")),
+      query_tuples_inserted_(metrics_.GetHistogram("query.tuples_inserted")),
+      query_seed_tuples_pruned_(
+          metrics_.GetHistogram("query.seed_tuples_pruned")),
+      constraints_checks_(metrics_.GetCounter("constraints.checks")),
+      constraints_simplified_(metrics_.GetCounter("constraints.simplified")),
+      constraints_full_rechecks_(
+          metrics_.GetCounter("constraints.full_rechecks")),
+      constraints_violations_(metrics_.GetCounter("constraints.violations")),
+      slow_query_log_(options.slow_query_log_capacity),
+      mat_cache_(options.cache_capacity, &metrics_, &event_log_) {
+  event_log_.set_enabled(options.events);
+}
+
+Database::~Database() { ProcessMetrics().MergeFrom(metrics_); }
+
 Status Database::DefineRelationType(const std::string& name, Schema schema) {
   return catalog_.DefineRelationType(name, std::move(schema));
 }
@@ -208,10 +229,6 @@ std::string FirstWitness(const Relation& witnesses) {
   return sorted.front().ToString();
 }
 
-Counter* ConstraintCounter(const char* name) {
-  return MetricsRegistry::Global().GetCounter(name);
-}
-
 }  // namespace
 
 Status Database::DefineConstraint(ConstraintDeclPtr decl) {
@@ -297,12 +314,6 @@ Status Database::CheckConstraintsAfterUpdate() {
 }
 
 Status Database::CheckOneConstraint(CompiledConstraint* constraint) {
-  static Counter* checks = ConstraintCounter("constraints.checks");
-  static Counter* simplified = ConstraintCounter("constraints.simplified");
-  static Counter* full_rechecks =
-      ConstraintCounter("constraints.full_rechecks");
-  static Counter* violations = ConstraintCounter("constraints.violations");
-
   // Which inputs moved since the last successful check, and are their
   // deltas still reconstructible as pure inserts?
   struct MovedInput {
@@ -324,7 +335,7 @@ Status Database::CheckOneConstraint(CompiledConstraint* constraint) {
   }
   if (moved.empty()) return Status::OK();
 
-  checks->Increment();
+  constraints_checks_->Increment();
   TraceSpan span("constraint");
   if (span.active()) span.AddArg("name", constraint->decl->name());
 
@@ -342,13 +353,19 @@ Status Database::CheckOneConstraint(CompiledConstraint* constraint) {
 
   if (need_full) {
     if (span.active()) span.AddArg("mode", "full");
-    full_rechecks->Increment();
+    constraints_full_rechecks_->Increment();
     DATACON_ASSIGN_OR_RETURN(Relation witnesses, constraint->full->Execute({}));
     if (witnesses.size() > 0) {
-      violations->Increment();
+      constraints_violations_->Increment();
+      std::string witness = FirstWitness(witnesses);
+      if (event_log_.enabled()) {
+        event_log_.Emit("constraint.violation",
+                        {EventField::Str("name", constraint->decl->name()),
+                         EventField::Str("witness", witness)});
+      }
       return Status::ConstraintViolation(
           "constraint '" + constraint->decl->name() + "' violated: witness " +
-          FirstWitness(witnesses));
+          witness);
     }
   } else {
     if (span.active()) span.AddArg("mode", "simplified");
@@ -357,7 +374,7 @@ Status Database::CheckOneConstraint(CompiledConstraint* constraint) {
       if (event.insert_mode == ConstraintCheckMode::kSkip) continue;
       for (const Tuple& delta_tuple : *input.delta) {
         for (CompiledResidue& residue : event.residues) {
-          simplified->Increment();
+          constraints_simplified_->Increment();
           std::map<std::string, Value> params;
           for (size_t i = 0; i < residue.param_fields.size(); ++i) {
             params.emplace(residue.param_fields[i],
@@ -366,11 +383,19 @@ Status Database::CheckOneConstraint(CompiledConstraint* constraint) {
           DATACON_ASSIGN_OR_RETURN(Relation witnesses,
                                    residue.query.Execute(params));
           if (witnesses.size() > 0) {
-            violations->Increment();
+            constraints_violations_->Increment();
+            std::string witness = FirstWitness(witnesses);
+            if (event_log_.enabled()) {
+              event_log_.Emit(
+                  "constraint.violation",
+                  {EventField::Str("name", constraint->decl->name()),
+                   EventField::Str("relation", input.relation),
+                   EventField::Str("witness", witness)});
+            }
             return Status::ConstraintViolation(
                 "constraint '" + constraint->decl->name() +
                 "' violated by tuple " + delta_tuple.ToString() + " (" +
-                input.relation + "): witness " + FirstWitness(witnesses));
+                input.relation + "): witness " + witness);
           }
         }
       }
@@ -526,6 +551,7 @@ bool SeededPlanApplies(const CalcExpr& expr, const SeededTcPlan& plan) {
 void Database::BeginEvaluation() {
   ++eval_index_;
   last_stats_ = EvalStats{};
+  last_usage_ = ResourceUsage{};
   last_typed_proven_ = TypedProven();
   cache_before_ = mat_cache_.stats();
 }
@@ -554,28 +580,53 @@ const ProfileNode* Database::profile_at(int64_t index) const {
   return nullptr;
 }
 
-void Database::FinishEvaluation(const CalcExpr& expr, int64_t elapsed_ns) {
+void Database::FinishEvaluation(const CalcExpr& expr, int64_t elapsed_ns,
+                                bool ok) {
   // Always-on monitoring: four relaxed-atomic histogram records per query.
-  MetricsRegistry& reg = MetricsRegistry::Global();
-  reg.GetHistogram("query.latency_ns")->Record(elapsed_ns);
-  reg.GetHistogram("query.fixpoint_rounds")
-      ->Record(static_cast<int64_t>(last_stats_.iterations));
-  reg.GetHistogram("query.tuples_inserted")
-      ->Record(static_cast<int64_t>(last_stats_.tuples_inserted));
-  reg.GetHistogram("query.seed_tuples_pruned")
-      ->Record(static_cast<int64_t>(last_stats_.seed_tuples_pruned));
+  query_latency_ns_->Record(elapsed_ns);
+  query_fixpoint_rounds_->Record(static_cast<int64_t>(last_stats_.iterations));
+  query_tuples_inserted_->Record(
+      static_cast<int64_t>(last_stats_.tuples_inserted));
+  query_seed_tuples_pruned_->Record(
+      static_cast<int64_t>(last_stats_.seed_tuples_pruned));
   // The statement/digest strings are only built once admission is certain.
   if (slow_query_log_.WouldRecord(elapsed_ns)) {
     std::string digest =
         "rounds=" + std::to_string(last_stats_.iterations) +
         " considered=" + std::to_string(last_stats_.tuples_considered) +
         " inserted=" + std::to_string(last_stats_.tuples_inserted) +
-        " index_probes=" + std::to_string(last_stats_.index_probes);
+        " index_probes=" + std::to_string(last_stats_.index_probes) + "\n" +
+        last_usage_.ToText();
     if (const ProfileNode* profile = profile_at(eval_index_)) {
       digest += "\n" + profile->ToText();
       while (!digest.empty() && digest.back() == '\n') digest.pop_back();
     }
     slow_query_log_.Record(ToString(expr), elapsed_ns, std::move(digest));
+    if (event_log_.enabled()) {
+      event_log_.Emit("slowlog.admit",
+                      {EventField::Int("eval_index", eval_index_),
+                       EventField::Int("elapsed_ns", elapsed_ns)});
+    }
+  }
+  if (event_log_.enabled()) {
+    event_log_.Emit(
+        "query.finish",
+        {EventField::Int("eval_index", eval_index_),
+         EventField::Int("ok", ok ? 1 : 0),
+         EventField::Int("elapsed_ns", elapsed_ns),
+         EventField::Int("rounds",
+                         static_cast<int64_t>(last_stats_.iterations)),
+         EventField::Int("tuples_considered",
+                         static_cast<int64_t>(last_stats_.tuples_considered)),
+         EventField::Int("tuples_inserted",
+                         static_cast<int64_t>(last_stats_.tuples_inserted)),
+         EventField::Int("peak_delta",
+                         static_cast<int64_t>(last_usage_.peak_delta_tuples)),
+         EventField::Int(
+             "materialized",
+             static_cast<int64_t>(last_usage_.tuples_materialized)),
+         EventField::Int("approx_bytes",
+                         static_cast<int64_t>(last_usage_.approx_bytes))});
   }
 }
 
@@ -584,6 +635,11 @@ Result<Relation> Database::Evaluate(const CalcExprPtr& expr,
                                     const Environment& params) {
   BeginEvaluation();
   TraceSpan span("evaluate");
+  if (event_log_.enabled()) {
+    event_log_.Emit("query.start",
+                    {EventField::Int("eval_index", eval_index_),
+                     EventField::Str("query", ToString(*expr))});
+  }
   Timer timer;
   Result<Relation> out = [&]() -> Result<Relation> {
     CalcExprPtr effective = expr;
@@ -609,7 +665,7 @@ Result<Relation> Database::Evaluate(const CalcExprPtr& expr,
                 static_cast<int64_t>(last_stats_.tuples_inserted));
     span.AddArg("ok", out.ok() ? int64_t{1} : int64_t{0});
   }
-  FinishEvaluation(*expr, timer.ElapsedNs());
+  FinishEvaluation(*expr, timer.ElapsedNs(), out.ok());
   return out;
 }
 
@@ -625,6 +681,7 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
   EvalOptions eval_options = options_.eval;
   eval_options.typed_proven = TypedProven();
   SystemEvaluator ev(&catalog_, &graph, eval_options, params);
+  ev.InstallEventLog(&event_log_);
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
 
   DATACON_ASSIGN_OR_RETURN(const Relation* edges,
@@ -670,6 +727,15 @@ Result<Relation> Database::ExecuteSeeded(const CalcExprPtr& expr,
   last_stats_.index_probes = exec_stats.index_probes;
   last_stats_.snapshot_materializations = exec_stats.snapshots;
   last_stats_.chunks_dispatched = exec_stats.chunks;
+  // Resource attribution: whatever MaterializeAll built, plus the seeded
+  // closure itself (the plan's working set) and the branch's index builds.
+  last_usage_ = ev.usage();
+  last_usage_.index_builds += exec_stats.index_builds;
+  last_usage_.tuples_materialized += closure.size();
+  last_usage_.approx_bytes += ApproxRelationBytes(closure);
+  if (closure.size() > last_usage_.peak_delta_tuples) {
+    last_usage_.peak_delta_tuples = closure.size();
+  }
   if (options_.eval.profile) {
     auto root = std::make_unique<ProfileNode>("evaluation");
     ProfileNode* n = root->AddChild("seeded transitive closure");
@@ -705,6 +771,7 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   EvalOptions eval_options = options_.eval;
   eval_options.typed_proven = TypedProven();
   SystemEvaluator ev(&catalog_, &graph, eval_options, params);
+  ev.InstallEventLog(&event_log_);
   // Parameterized executions bypass the cache: parameter values change
   // results (and magic seeds) without appearing in any cache key.
   const bool use_cache = allow_cache && options_.cache && !params.HasParams();
@@ -724,6 +791,7 @@ Result<Relation> Database::EvaluateGeneral(const CalcExprPtr& expr,
   DATACON_RETURN_IF_ERROR(ev.MaterializeAll());
   DATACON_ASSIGN_OR_RETURN(Relation out, ev.EvaluateExpr(*expr, schema));
   last_stats_ = ev.stats();
+  last_usage_ = ev.usage();
   StoreProfile(ev.TakeProfile());
   return out;
 }
@@ -792,6 +860,11 @@ Result<Relation> PreparedQuery::Execute(
   db_->BeginEvaluation();
   TraceSpan span("evaluate");
   if (span.active()) span.AddArg("plan", plan_description_);
+  if (db_->event_log_.enabled()) {
+    db_->event_log_.Emit("query.start",
+                         {EventField::Int("eval_index", db_->eval_index_),
+                          EventField::Str("plan", plan_description_)});
+  }
   Timer timer;
   Result<Relation> out =
       seeded_plan_.has_value()
@@ -803,7 +876,7 @@ Result<Relation> PreparedQuery::Execute(
                 static_cast<int64_t>(db_->last_stats_.tuples_inserted));
     span.AddArg("ok", out.ok() ? int64_t{1} : int64_t{0});
   }
-  db_->FinishEvaluation(*expr_, timer.ElapsedNs());
+  db_->FinishEvaluation(*expr_, timer.ElapsedNs(), out.ok());
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include "ast/branch.h"
 #include "ast/decl.h"
 #include "ast/range.h"
+#include "common/eventlog.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "core/catalog.h"
@@ -72,6 +73,11 @@ struct DatabaseOptions {
   /// it off admits ill-typed definitions, permanently demoting the catalog
   /// to the checked interpreter (eval-time kTypeError becomes reachable).
   bool typecheck = true;
+  /// Record structured events (`PRAGMA EVENTS`, `SHOW EVENTS;`): query
+  /// start/finish, cache outcomes, constraint violations, specialization
+  /// fallbacks, slow-query admissions. Off by default; while off, each
+  /// emission site costs one relaxed atomic load.
+  bool events = false;
 };
 
 class Database;
@@ -111,10 +117,11 @@ class PreparedQuery {
 /// evaluation (set-oriented fixpoint).
 class Database {
  public:
-  explicit Database(DatabaseOptions options = {})
-      : options_(options),
-        slow_query_log_(options.slow_query_log_capacity),
-        mat_cache_(options.cache_capacity) {}
+  explicit Database(DatabaseOptions options = {});
+  /// Retires this database's metrics into ProcessMetrics(), so process-wide
+  /// artifacts (benchmark JSON, end-of-process dumps) see the union of all
+  /// databases' work.
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -229,6 +236,11 @@ class Database {
   /// Statistics of the most recent EvalRange/EvalQuery call.
   const EvalStats& last_stats() const { return last_stats_; }
 
+  /// Resource attribution of the most recent evaluation (working-set peak,
+  /// materialized tuples/bytes, index builds, cache outcomes) — consumed by
+  /// EXPLAIN ANALYZE, the slow-query log, and query.finish events.
+  const ResourceUsage& last_usage() const { return last_usage_; }
+
   /// Profile tree of the most recent evaluation, or null when profiling was
   /// off (options().eval.profile) — consumed by EXPLAIN ANALYZE. Equivalent
   /// to profile_at(last_eval_index()).
@@ -260,6 +272,17 @@ class Database {
   /// The kRetainedProfiles bound (exposed for the eviction regression
   /// test).
   static constexpr size_t kRetainedProfiles = 32;
+
+  /// This database's metrics registry: the query histograms plus the
+  /// cache.*/constraints.* counters. `SHOW METRICS;` and the Prometheus
+  /// exposition read it; no other database ever writes it.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// This database's structured event log (`PRAGMA EVENTS`,
+  /// `SHOW EVENTS;`, REPL --events-out).
+  EventLog& events() { return event_log_; }
+  const EventLog& events() const { return event_log_; }
 
   /// The database's slow-query log (see DatabaseOptions
   /// slow_query_log_capacity). Every evaluation at or above the threshold
@@ -319,10 +342,10 @@ class Database {
   /// Starts a new evaluation sequence number and resets last_stats_.
   void BeginEvaluation();
 
-  /// Feeds the global metrics histograms and the slow-query log; called on
-  /// every evaluation exit (also failed ones — a slow failing query is
-  /// still a slow query).
-  void FinishEvaluation(const CalcExpr& expr, int64_t elapsed_ns);
+  /// Feeds this database's metrics histograms, the slow-query log, and the
+  /// event log; called on every evaluation exit (also failed ones — a slow
+  /// failing query is still a slow query).
+  void FinishEvaluation(const CalcExpr& expr, int64_t elapsed_ns, bool ok);
 
   /// Retains `profile` (may be null) for the current evaluation index,
   /// evicting beyond kRetainedProfiles.
@@ -362,12 +385,27 @@ class Database {
   DatabaseOptions options_;
   Catalog catalog_;
   EvalStats last_stats_;
+  ResourceUsage last_usage_;
   bool catalog_typed_clean_ = true;
   bool last_typed_proven_ = false;
   int64_t eval_index_ = 0;
   /// (evaluation index, profile) pairs, oldest first, at most
   /// kRetainedProfiles entries.
   std::vector<std::pair<int64_t, std::unique_ptr<ProfileNode>>> profiles_;
+  /// Declared before slow_query_log_/mat_cache_: MatCache registers its
+  /// counter mirrors against metrics_ in its constructor.
+  MetricsRegistry metrics_;
+  EventLog event_log_;
+  /// Registry-owned instruments this database feeds on every evaluation /
+  /// constraint check (stable pointers, registered in the constructor).
+  Histogram* query_latency_ns_;
+  Histogram* query_fixpoint_rounds_;
+  Histogram* query_tuples_inserted_;
+  Histogram* query_seed_tuples_pruned_;
+  Counter* constraints_checks_;
+  Counter* constraints_simplified_;
+  Counter* constraints_full_rechecks_;
+  Counter* constraints_violations_;
   SlowQueryLog slow_query_log_;
   MatCache mat_cache_;
   std::map<std::string, CompiledConstraint> constraints_;

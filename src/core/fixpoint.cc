@@ -5,6 +5,7 @@
 
 #include "ast/printer.h"
 #include "common/check.h"
+#include "common/eventlog.h"
 #include "common/trace.h"
 #include "core/matcache.h"
 #include "core/positivity.h"
@@ -30,6 +31,24 @@ EvalStats& EvalStats::operator+=(const EvalStats& other) {
 EvalStats operator+(EvalStats a, const EvalStats& b) {
   a += b;
   return a;
+}
+
+std::string ResourceUsage::ToText() const {
+  return "peak_delta=" + std::to_string(peak_delta_tuples) +
+         " materialized=" + std::to_string(tuples_materialized) +
+         " approx_bytes=" + std::to_string(approx_bytes) +
+         " index_builds=" + std::to_string(index_builds) +
+         " cache_hits=" + std::to_string(cache_hits) +
+         " cache_delta=" + std::to_string(cache_delta_hits) +
+         " cache_misses=" + std::to_string(cache_misses);
+}
+
+size_t ApproxRelationBytes(const Relation& rel) {
+  constexpr size_t kTupleOverhead = 24;
+  constexpr size_t kFieldBytes = 24;
+  return rel.size() *
+         (kTupleOverhead +
+          kFieldBytes * static_cast<size_t>(rel.schema().arity()));
 }
 
 EvalStats operator-(const EvalStats& a, const EvalStats& b) {
@@ -88,6 +107,7 @@ void SystemEvaluator::RecordBranchExec(const BranchExecStats& exec,
   if (count_inserted) stats_.tuples_inserted += exec.inserted;
   stats_.outer_tuples += exec.outer_tuples;
   stats_.index_builds += exec.index_builds;
+  usage_.index_builds += exec.index_builds;
   stats_.index_probes += exec.index_probes;
   stats_.snapshot_materializations += exec.snapshots;
   stats_.chunks_dispatched += exec.chunks;
@@ -160,6 +180,10 @@ Status SystemEvaluator::MaterializeAll() {
                              static_cast<int64_t>(magic_.TotalValues()));
       }
     } else {
+      if (events_ != nullptr && events_->enabled()) {
+        events_->Emit("specialize.fallback",
+                      {EventField::Str("reason", magic.status().message())});
+      }
       plan_ = nullptr;
     }
   }
@@ -222,6 +246,7 @@ Status SystemEvaluator::MaterializeAll() {
           // report the same logical counters as the run that filled it.
           stats_ += found.stats;
           satisfied = true;
+          ++usage_.cache_hits;
           if (cache_span.active()) {
             cache_span.AddArg("outcome", std::string("hit"));
           }
@@ -247,6 +272,7 @@ Status SystemEvaluator::MaterializeAll() {
                                    found.stats + (stats_ - before));
             satisfied = true;
             status = Status::OK();
+            ++usage_.cache_delta_hits;
             if (cache_span.active()) {
               cache_span.AddArg("outcome", std::string("delta_maintained"));
             }
@@ -274,6 +300,10 @@ Status SystemEvaluator::MaterializeAll() {
       }
     }
     if (!satisfied) {
+      // A consulted key that did not satisfy the component is a miss for
+      // attribution — including a delta hit whose maintenance degraded
+      // (matching MatCache's own miss accounting).
+      if (ck.has_value()) ++usage_.cache_misses;
       EvalStats before = stats_;
       if (!cyclic) {
         status = EvaluateAcyclicNode(members[0]);
@@ -297,6 +327,13 @@ Status SystemEvaluator::MaterializeAll() {
       cur_ = nullptr;
     }
     DATACON_RETURN_IF_ERROR(status);
+  }
+  // Attribute the materialized footprint: every application relation held
+  // at the end (freshly evaluated or cache-installed alike).
+  for (const std::shared_ptr<Relation>& rel : totals_) {
+    if (rel == nullptr) continue;
+    usage_.tuples_materialized += rel->size();
+    usage_.approx_bytes += ApproxRelationBytes(*rel);
   }
   materialized_ = true;
   return Status::OK();
@@ -396,6 +433,7 @@ Status SystemEvaluator::NaiveFixpoint(const std::vector<int>& component) {
       auto rel = std::make_unique<Relation>(
           graph_->nodes()[static_cast<size_t>(n)].result_schema);
       DATACON_RETURN_IF_ERROR(EvaluateNodeBody(n, rel.get()));
+      NotePeakDelta(rel->size());
       fresh.push_back(std::move(rel));
     }
 
@@ -539,6 +577,7 @@ Status SystemEvaluator::SemiNaiveFixpoint(const std::vector<int>& component) {
       DATACON_RETURN_IF_ERROR(EvaluateNodeBody(n, raw.get()));
       DATACON_RETURN_IF_ERROR(
           totals_[static_cast<size_t>(n)]->InsertAll(*raw));
+      NotePeakDelta(raw->size());
       deltas[n] = std::move(raw);
     }
     overrides_.clear();
@@ -713,6 +752,7 @@ Status SystemEvaluator::DifferentialRounds(
                                static_cast<int64_t>(new_delta->size()));
         }
       }
+      NotePeakDelta(new_delta->size());
       deltas[n] = std::move(new_delta);
     }
     if (comp_node != nullptr) {
@@ -1040,6 +1080,7 @@ Status SystemEvaluator::MaintainComponent(const std::vector<int>& component,
                                static_cast<int64_t>(new_delta->size()));
         }
       }
+      NotePeakDelta(new_delta->size());
       deltas[n] = std::move(new_delta);
     }
     ++stats_.iterations;

@@ -23,6 +23,7 @@
 namespace datacon {
 
 struct BranchExecStats;
+class EventLog;
 class MatCache;
 struct CacheLookup;
 struct CachedRelation;
@@ -99,6 +100,43 @@ struct EvalStats {
 EvalStats operator+(EvalStats a, const EvalStats& b);
 EvalStats operator-(const EvalStats& a, const EvalStats& b);
 
+/// Per-query resource attribution, threaded by the evaluator alongside
+/// EvalStats: the *physical* footprint of one evaluation rather than its
+/// logical work. Flows into slow-log digests, query.finish events, and the
+/// EXPLAIN ANALYZE resource line. Every field is deterministic at any
+/// thread-count setting, and collecting it never feeds back into EvalStats
+/// (the neutrality tests pin both).
+struct ResourceUsage {
+  /// Largest single-node delta (semi-naive) or fresh-set (naive)
+  /// cardinality seen in any fixpoint round — the working-set peak.
+  size_t peak_delta_tuples = 0;
+  /// Tuples held across all materialized application relations when
+  /// MaterializeAll finished (cache-installed members included).
+  size_t tuples_materialized = 0;
+  /// Deterministic size estimate of those materializations: a fixed
+  /// per-tuple overhead plus a per-field cost derived from the schema —
+  /// an attribution unit, not a malloc audit.
+  size_t approx_bytes = 0;
+  /// Hash indexes built for inner join levels (mirrors EvalStats).
+  size_t index_builds = 0;
+  /// Component-level materialization-cache outcomes of this evaluation
+  /// (all zero when the cache was not consulted).
+  size_t cache_hits = 0;
+  size_t cache_delta_hits = 0;
+  size_t cache_misses = 0;
+
+  /// "peak_delta=N materialized=N approx_bytes=N index_builds=N
+  ///  cache_hits=N cache_delta=N cache_misses=N" — the digest appended to
+  /// slow-log entries and the EXPLAIN ANALYZE resource line.
+  std::string ToText() const;
+};
+
+/// The deterministic per-relation size estimate behind
+/// ResourceUsage::approx_bytes: a fixed per-tuple overhead plus a
+/// per-field cost. Pure arithmetic over size and arity — O(1), identical
+/// at every thread count, and independent of allocator behaviour.
+size_t ApproxRelationBytes(const Relation& rel);
+
 /// Evaluates an instantiated application system (level 3 of the paper's
 /// framework): components of the application graph are materialized in
 /// dependency order — acyclic components in a single pass, cyclic ones by
@@ -141,6 +179,12 @@ class SystemEvaluator : public RelationResolver {
   /// before MaterializeAll (which computes the relevant-value closure).
   void InstallSpecialization(const SpecializationPlan* plan) { plan_ = plan; }
 
+  /// Installs a structured-event sink (not owned; may be null): the
+  /// evaluator emits specialize.fallback when a planned specialization
+  /// degrades to unspecialized evaluation. Must be called before
+  /// MaterializeAll.
+  void InstallEventLog(EventLog* events) { events_ = events; }
+
   /// Materializes every application node not already installed. Must be
   /// called exactly once, before NodeRelation/EvaluateExpr.
   Status MaterializeAll();
@@ -160,6 +204,10 @@ class SystemEvaluator : public RelationResolver {
   Result<const Relation*> Resolve(const Range& range) const override;
 
   const EvalStats& stats() const { return stats_; }
+
+  /// Resource attribution accumulated so far (complete after
+  /// MaterializeAll + EvaluateExpr).
+  const ResourceUsage& usage() const { return usage_; }
 
   /// The profile tree collected so far (null unless options.profile). The
   /// database layer also appends capture-rule nodes through this.
@@ -275,6 +323,14 @@ class SystemEvaluator : public RelationResolver {
   /// profiling, into the current profile node.
   void RecordBranchExec(const BranchExecStats& exec, bool count_inserted);
 
+  /// Raises the attribution working-set peak to `cardinality` — called with
+  /// each round's per-node delta/fresh-set size.
+  void NotePeakDelta(size_t cardinality) {
+    if (cardinality > usage_.peak_delta_tuples) {
+      usage_.peak_delta_tuples = cardinality;
+    }
+  }
+
   /// The display key of a component: "[k1, k2]" over the member node keys.
   std::string ComponentLabel(const std::vector<int>& component) const;
 
@@ -298,6 +354,9 @@ class SystemEvaluator : public RelationResolver {
 
   /// Materialization cache (not owned; null when disabled).
   MatCache* cache_ = nullptr;
+
+  /// Structured-event sink (not owned; null when disabled).
+  EventLog* events_ = nullptr;
 
   /// Materialized application relations. Shared so cache hits install
   /// without copying; relations obtained from the cache are immutable by
@@ -326,6 +385,7 @@ class SystemEvaluator : public RelationResolver {
   std::unique_ptr<ThreadPool> pool_;
 
   EvalStats stats_;
+  ResourceUsage usage_;
 
   /// Profile tree (only when options.profile) and the node branch-level
   /// counters currently flow into (a component, round, or query node).

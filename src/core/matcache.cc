@@ -71,23 +71,26 @@ Result<std::vector<CacheInput>> SnapshotCacheInputs(
   return out;
 }
 
-MatCache::MatCache(size_t capacity)
+MatCache::MatCache(size_t capacity, MetricsRegistry* registry,
+                   EventLog* events)
     : capacity_(capacity),
-      global_hits_(MetricsRegistry::Global().GetCounter("cache.hits")),
-      global_misses_(MetricsRegistry::Global().GetCounter("cache.misses")),
-      global_invalidations_(
-          MetricsRegistry::Global().GetCounter("cache.invalidations")),
-      global_delta_maintained_(
-          MetricsRegistry::Global().GetCounter("cache.delta_maintained")) {}
+      registry_hits_(registry ? registry->GetCounter("cache.hits") : nullptr),
+      registry_misses_(registry ? registry->GetCounter("cache.misses")
+                                : nullptr),
+      registry_invalidations_(
+          registry ? registry->GetCounter("cache.invalidations") : nullptr),
+      registry_delta_maintained_(
+          registry ? registry->GetCounter("cache.delta_maintained") : nullptr),
+      events_(events) {}
 
 void MatCache::CountInvalidation() {
   ++stats_.invalidations;
-  global_invalidations_->Increment();
+  if (registry_invalidations_ != nullptr) registry_invalidations_->Increment();
 }
 
 void MatCache::CountMiss() {
   ++stats_.misses;
-  global_misses_->Increment();
+  if (registry_misses_ != nullptr) registry_misses_->Increment();
 }
 
 CacheLookup MatCache::Lookup(const std::string& key, const Catalog& catalog) {
@@ -127,12 +130,18 @@ CacheLookup MatCache::Lookup(const std::string& key, const Catalog& catalog) {
     entries_.erase(it);
     CountInvalidation();
     CountMiss();
+    if (events_ != nullptr && events_->enabled()) {
+      events_->Emit("cache.invalidate", {EventField::Str("key", key)});
+    }
     return result;
   }
   if (!changed) {
     Touch(&entry);
     ++stats_.hits;
-    global_hits_->Increment();
+    if (registry_hits_ != nullptr) registry_hits_->Increment();
+    if (events_ != nullptr && events_->enabled()) {
+      events_->Emit("cache.hit", {EventField::Str("key", key)});
+    }
     result.outcome = CacheOutcome::kHit;
     result.members = entry.members;
     result.stats = entry.stats;
@@ -169,7 +178,12 @@ void MatCache::NoteMaintained(const std::string& key,
                               EvalStats stats) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.delta_maintained;
-  global_delta_maintained_->Increment();
+  if (registry_delta_maintained_ != nullptr) {
+    registry_delta_maintained_->Increment();
+  }
+  if (events_ != nullptr && events_->enabled()) {
+    events_->Emit("cache.delta", {EventField::Str("key", key)});
+  }
   auto it = entries_.find(key);
   if (it == entries_.end()) return;  // evicted concurrently with maintenance
   Entry& entry = it->second;
@@ -184,6 +198,9 @@ void MatCache::InvalidateAfterFailure(const std::string& key) {
   entries_.erase(key);
   CountInvalidation();
   CountMiss();
+  if (events_ != nullptr && events_->enabled()) {
+    events_->Emit("cache.invalidate", {EventField::Str("key", key)});
+  }
 }
 
 void MatCache::Clear() {

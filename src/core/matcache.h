@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "ast/range.h"
+#include "common/eventlog.h"
 #include "common/metrics.h"
 #include "common/thread_annotations.h"
 #include "common/result.h"
@@ -66,8 +67,8 @@ struct CacheLookup {
   EvalStats stats;
 };
 
-/// Counters of one MatCache (also mirrored into MetricsRegistry::Global()
-/// as cache.hits / cache.misses / cache.invalidations /
+/// Counters of one MatCache (also mirrored into the owning database's
+/// MetricsRegistry as cache.hits / cache.misses / cache.invalidations /
 /// cache.delta_maintained for `SHOW METRICS;`).
 struct MatCacheStats {
   int64_t hits = 0;
@@ -118,10 +119,15 @@ Result<std::vector<CacheInput>> SnapshotCacheInputs(
 /// The cache is per-Database; evaluations are serialized per database, but
 /// all entry/counter state is guarded by one mutex anyway so concurrent
 /// observers (PRAGMA CACHE_CAPACITY from another session, stats scrapes)
-/// are safe. The global metric counters it mirrors into are atomic.
+/// are safe. The registry counters it mirrors into are atomic.
 class MatCache {
  public:
-  explicit MatCache(size_t capacity = 64);
+  /// `registry` (usually the owning database's) receives the cache.*
+  /// counter mirrors; `events` (may be null) receives cache.hit /
+  /// cache.delta / cache.invalidate events when enabled. Both must outlive
+  /// the cache; null skips mirroring (stats() still counts).
+  explicit MatCache(size_t capacity = 64, MetricsRegistry* registry = nullptr,
+                    EventLog* events = nullptr);
 
   /// Looks `key` up and classifies it against `catalog`'s current relation
   /// generations. Counts a hit or miss; a kDeltaHit counts nothing yet —
@@ -189,11 +195,14 @@ class MatCache {
   std::map<std::string, Entry> entries_ DATACON_GUARDED_BY(mu_);
   MatCacheStats stats_ DATACON_GUARDED_BY(mu_);
 
-  /// Global mirrors (registry-owned, stable pointers).
-  Counter* global_hits_;
-  Counter* global_misses_;
-  Counter* global_invalidations_;
-  Counter* global_delta_maintained_;
+  /// Registry mirrors (registry-owned, stable pointers; null when no
+  /// registry was injected).
+  Counter* registry_hits_;
+  Counter* registry_misses_;
+  Counter* registry_invalidations_;
+  Counter* registry_delta_maintained_;
+  /// Event sink (not owned; may be null).
+  EventLog* events_;
 };
 
 }  // namespace datacon

@@ -207,6 +207,7 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       }
       text += "\n";
     }
+    text += "resources: " + db_->last_usage().ToText() + "\n";
     results_.push_back(QueryResult{std::move(text), std::move(value).value()});
     return Status::OK();
   }
@@ -300,13 +301,21 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
       db_->options().typecheck = pragma->value != 0;
       return Status::OK();
     }
+    if (pragma->name == "EVENTS") {
+      if (pragma->value != 0 && pragma->value != 1) {
+        return Status::InvalidArgument("PRAGMA EVENTS requires ON or OFF");
+      }
+      db_->options().events = pragma->value != 0;
+      db_->events().set_enabled(pragma->value != 0);
+      return Status::OK();
+    }
     return Status::Unsupported("unknown pragma '" + pragma->name + "'");
   }
   if (const auto* show = std::get_if<ShowStmt>(&stmt)) {
     std::string text;
     switch (show->what) {
       case ShowStmt::What::kMetrics:
-        text = "METRICS:\n" + MetricsRegistry::Global().ToText();
+        text = "METRICS:\n" + db_->metrics().ToText();
         break;
       case ShowStmt::What::kSlowLog:
         text = "SLOWLOG:\n" + db_->slow_query_log().ToText();
@@ -326,6 +335,9 @@ Status Interpreter::Run(const ScriptStmt& stmt) {
         }
         break;
       }
+      case ShowStmt::What::kEvents:
+        text = "EVENTS:\n" + db_->events().ToText();
+        break;
     }
     results_.push_back(QueryResult{std::move(text), Relation()});
     return Status::OK();

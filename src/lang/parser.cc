@@ -415,7 +415,7 @@ class Parser {
     DATACON_RETURN_IF_ERROR(ExpectKeyword("SHOW"));
     DATACON_ASSIGN_OR_RETURN(
         std::string what,
-        ExpectIdent("METRICS, SLOWLOG, CONSTRAINTS, or SCHEMAS"));
+        ExpectIdent("METRICS, SLOWLOG, CONSTRAINTS, SCHEMAS, or EVENTS"));
     if (what == "METRICS") {
       stmt.what = ShowStmt::What::kMetrics;
     } else if (what == "SLOWLOG") {
@@ -424,9 +424,12 @@ class Parser {
       stmt.what = ShowStmt::What::kConstraints;
     } else if (what == "SCHEMAS") {
       stmt.what = ShowStmt::What::kSchemas;
+    } else if (what == "EVENTS") {
+      stmt.what = ShowStmt::What::kEvents;
     } else {
       return Error(
-          "expected METRICS, SLOWLOG, CONSTRAINTS, or SCHEMAS after SHOW");
+          "expected METRICS, SLOWLOG, CONSTRAINTS, SCHEMAS, or EVENTS "
+          "after SHOW");
     }
     DATACON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'").status());
     return ScriptStmt(std::move(stmt));

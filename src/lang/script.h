@@ -106,14 +106,16 @@ struct PragmaStmt {
   int64_t value = 0;
 };
 
-/// `SHOW METRICS;` prints the process-wide query histograms (latency,
-/// fixpoint rounds, tuples derived, seed tuples pruned) with p50/p95/p99;
+/// `SHOW METRICS;` prints this database's query histograms (latency,
+/// fixpoint rounds, tuples derived, seed tuples pruned) with p50/p95/p99
+/// plus the cache.*/constraints.* counters;
 /// `SHOW SLOWLOG;` prints the database's slow-query log, slowest first;
 /// `SHOW CONSTRAINTS;` prints every defined constraint with its compiled
 /// per-update check plans; `SHOW SCHEMAS;` prints every constructor's
-/// inferred result schema (analysis/typecheck.h).
+/// inferred result schema (analysis/typecheck.h); `SHOW EVENTS;` prints
+/// the structured event log (`PRAGMA EVENTS = ON` to record).
 struct ShowStmt {
-  enum class What { kMetrics, kSlowLog, kConstraints, kSchemas };
+  enum class What { kMetrics, kSlowLog, kConstraints, kSchemas, kEvents };
   What what = What::kMetrics;
   SourceLoc loc;
 };

@@ -1,0 +1,135 @@
+// Unit tests of the bounded structured event log: the disabled fast path,
+// ring/wrap semantics with drop accounting, JSONL and text rendering, and
+// concurrent emission (this binary is in the TSan list of check.sh).
+
+#include "common/eventlog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace datacon {
+namespace {
+
+TEST(EventLog, DisabledByDefaultAndEmitIsANoOp) {
+  EventLog log;
+  EXPECT_FALSE(log.enabled());
+  log.Emit("query.start", {EventField::Int("eval_index", 1)});
+  EXPECT_TRUE(log.Events().empty());
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.ToText(), "(no events recorded)\n");
+  EXPECT_EQ(log.ToJsonl(), "");
+}
+
+TEST(EventLog, RecordsSequencedEventsOldestFirst) {
+  EventLog log;
+  log.set_enabled(true);
+  log.Emit("query.start", {EventField::Int("eval_index", 1),
+                           EventField::Str("query", "E {tc}")});
+  log.Emit("query.finish", {EventField::Int("eval_index", 1),
+                            EventField::Int("ok", 1)});
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].type, "query.start");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].type, "query.finish");
+  // Sequence order and steady-timestamp order agree (stamped under the
+  // ring lock) — the monotonicity the JSONL validator checks.
+  EXPECT_LE(events[0].steady_ns, events[1].steady_ns);
+  EXPECT_GT(events[0].wall_us, 0);
+}
+
+TEST(EventLog, RingWrapsKeepingTheNewestAndCountsDrops) {
+  EventLog log(4);
+  log.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    log.Emit("e", {EventField::Int("i", i)});
+  }
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(log.dropped(), 6u);
+  // The newest four survive, oldest first.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6 + i);
+    ASSERT_EQ(events[i].fields.size(), 1u);
+    EXPECT_EQ(events[i].fields[0].int_value, static_cast<int64_t>(6 + i));
+  }
+  EXPECT_NE(log.ToText().find("6 older event(s) dropped"), std::string::npos);
+}
+
+TEST(EventLog, ClearDropsEventsButKeepsSequencing) {
+  EventLog log;
+  log.set_enabled(true);
+  log.Emit("a", {});
+  log.Emit("b", {});
+  log.Clear();
+  EXPECT_TRUE(log.Events().empty());
+  log.Emit("c", {});
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].seq, 2u);  // sequence numbers keep counting
+}
+
+TEST(EventLog, JsonlFlattensFieldsAndEscapesStrings) {
+  EventLog log;
+  log.set_enabled(true);
+  log.Emit("cache.hit", {EventField::Str("key", "a\"b\nc"),
+                         EventField::Int("n", 7)});
+  std::string jsonl = log.ToJsonl();
+  // One line, terminated by exactly one newline.
+  ASSERT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl.back(), '\n');
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1);
+  EXPECT_NE(jsonl.find("\"seq\":0"), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"steady_ns\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"wall_us\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"cache.hit\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"key\":\"a\\\"b\\nc\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"n\":7"), std::string::npos);
+}
+
+TEST(EventLog, ConcurrentEmittersLoseNothingBelowCapacity) {
+  EventLog log(1024);
+  log.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Emit("e", {EventField::Int("thread", t)});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.dropped(), 0u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    if (i > 0) {
+      EXPECT_LE(events[i - 1].steady_ns, events[i].steady_ns);
+    }
+  }
+}
+
+TEST(EventLog, TogglingMidStreamSkipsDisabledSpans) {
+  EventLog log;
+  log.set_enabled(true);
+  log.Emit("kept.1", {});
+  log.set_enabled(false);
+  log.Emit("skipped", {});
+  log.set_enabled(true);
+  log.Emit("kept.2", {});
+  std::vector<Event> events = log.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, "kept.1");
+  EXPECT_EQ(events[1].type, "kept.2");
+}
+
+}  // namespace
+}  // namespace datacon

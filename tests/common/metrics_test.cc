@@ -339,6 +339,85 @@ TEST(MetricsRegistry, ResetZeroesCountersKeepsRegistration) {
             std::string::npos);
 }
 
+TEST(MetricsRegistry, MergeFromAggregatesHistogramsAndCounters) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetHistogram("query.latency_ns")->Record(100);
+  a.GetCounter("cache.hits")->Add(2);
+  b.GetHistogram("query.latency_ns")->Record(900);
+  b.GetHistogram("only.in.b")->Record(5);
+  b.GetCounter("cache.hits")->Add(3);
+  b.GetCounter("only.in.b")->Increment();
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetHistogram("query.latency_ns")->count(), 2);
+  EXPECT_EQ(a.GetHistogram("query.latency_ns")->sum(), 1000);
+  EXPECT_EQ(a.GetHistogram("only.in.b")->count(), 1);
+  EXPECT_EQ(a.GetCounter("cache.hits")->value(), 5);
+  EXPECT_EQ(a.GetCounter("only.in.b")->value(), 1);
+  // The source is left untouched.
+  EXPECT_EQ(b.GetHistogram("query.latency_ns")->count(), 1);
+  EXPECT_EQ(b.GetCounter("cache.hits")->value(), 3);
+  // Merging twice double-counts by design (it is an additive feed).
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("cache.hits")->value(), 8);
+}
+
+TEST(MetricsRegistry, ToPrometheusRendersHistogramsAndCounters) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("query.latency_ns");
+  h->Record(0);
+  h->Record(3);   // bucket [2, 3]
+  h->Record(57);  // bucket [32, 63]
+  registry.GetCounter("cache.hits")->Add(4);
+
+  std::string prom = registry.ToPrometheus();
+  // Names are prefixed and sanitized ('.' -> '_').
+  EXPECT_NE(prom.find("# TYPE datacon_query_latency_ns histogram"),
+            std::string::npos)
+      << prom;
+  // Cumulative buckets: le="0" holds the zero sample, le="3" two samples,
+  // le="63" all three, then +Inf == _count.
+  EXPECT_NE(prom.find("datacon_query_latency_ns_bucket{le=\"0\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("datacon_query_latency_ns_bucket{le=\"3\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("datacon_query_latency_ns_bucket{le=\"63\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("datacon_query_latency_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("datacon_query_latency_ns_sum 60"), std::string::npos);
+  EXPECT_NE(prom.find("datacon_query_latency_ns_count 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE datacon_cache_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("datacon_cache_hits_total 4"), std::string::npos);
+  // Every non-comment line is "name{labels} value" or "name value".
+  EXPECT_EQ(prom.back(), '\n');
+}
+
+TEST(SlowQueryLog, EntriesCarryWallAndSteadyTimestamps) {
+  SlowQueryLog log(4);
+  log.Record("QUERY E {tc};", 2'000'000, "rounds=3");
+  std::vector<SlowQueryLog::Entry> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_GT(entries[0].wall_us, 0);
+  EXPECT_GE(entries[0].steady_ns, 0);
+  std::string text = log.ToText();
+  // The rendered timestamp line sits between the statement and the digest.
+  EXPECT_NE(text.find("at "), std::string::npos) << text;
+  EXPECT_NE(text.find("steady="), std::string::npos) << text;
+  EXPECT_LT(text.find("QUERY E {tc};"), text.find("at "));
+  EXPECT_LT(text.find("at "), text.find("rounds=3"));
+}
+
+TEST(FormatWallTime, RendersIsoUtc) {
+  EXPECT_EQ(FormatWallTimeUs(1'000'000 + 123'456),
+            "1970-01-01T00:00:01.123456Z");
+  EXPECT_EQ(FormatWallTimeUs(0), "-");
+  EXPECT_EQ(FormatWallTimeUs(-5), "-");
+}
+
 TEST(SlowQueryLog, ThresholdGatesAdmission) {
   SlowQueryLog log(4);
   log.set_threshold_ns(1000);
